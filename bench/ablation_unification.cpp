@@ -1,0 +1,75 @@
+// Ablation of the postprocess-unification strategy (Sections V-C, VII-B,
+// VIII): the paper observes that its *aggressive* unification (reassign
+// fanouts to any equivalent cell as long as the critical delay is not
+// violated) causes excessive wiring overhead precisely on the LOW-density
+// circuits (dsip 47%, bigkey 58%), and suggests revisiting the strategy
+// there. This bench runs Lex-3 with aggressive vs conservative unification
+// on two low-density and two high-density circuits and reports the routed
+// wirelength overhead and delay for each combination.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "flow/table.h"
+#include "util/stats.h"
+
+using namespace repro;
+using namespace repro::bench;
+
+namespace {
+
+struct Outcome {
+  double winf_ratio;
+  double wire_ratio;
+  int net_replication;
+};
+
+Outcome run(const PlacedCircuit& pc, const FlowConfig& cfg, bool aggressive) {
+  WorkingCopy w(pc);
+  EngineOptions opt;
+  opt.variant = EmbedVariant::kLex3;
+  opt.aggressive_unification = aggressive;
+  EngineResult r = run_replication_engine(*w.nl, *w.pl, cfg.delay, opt);
+  CircuitMetrics m = evaluate_routed(pc.name, *w.nl, *w.pl, cfg);
+  CircuitMetrics base = evaluate_routed(pc.name, *pc.nl, *pc.pl, cfg);
+  return Outcome{m.crit_winf / base.crit_winf,
+                 static_cast<double>(m.wirelength) / base.wirelength,
+                 r.total_replicated - r.total_unified};
+}
+
+}  // namespace
+
+int main() {
+  FlowConfig cfg = config_from_env();
+  std::printf("Unification-strategy ablation (scale %.2f): aggressive (paper) vs\n"
+              "conservative postprocess unification under Lex-3\n\n",
+              cfg.scale);
+
+  // dsip & bigkey: low density (I/O-limited arrays). misex3 & s298: > 96%.
+  const int picks[] = {6, 11, 3, 9};
+
+  ConsoleTable table({"circuit", "density", "aggr:Winf", "aggr:wire", "aggr:net-rep",
+                      "cons:Winf", "cons:wire", "cons:net-rep"});
+  for (int idx : picks) {
+    const McncCircuit& c = mcnc_suite()[idx];
+    PlacedCircuit pc = prepare_circuit(c, cfg);
+    const double density =
+        FpgaGrid::design_density(pc.nl->num_logic(), pc.grid->n());
+    Outcome aggr = run(pc, cfg, true);
+    Outcome cons = run(pc, cfg, false);
+    table.add_row({pc.name, fmt(density, 3), fmt(aggr.winf_ratio, 3),
+                   fmt(aggr.wire_ratio, 3), std::to_string(aggr.net_replication),
+                   fmt(cons.winf_ratio, 3), fmt(cons.wire_ratio, 3),
+                   std::to_string(cons.net_replication)});
+    std::printf("[done] %s\n", pc.name.c_str());
+    std::fflush(stdout);
+  }
+  table.print();
+
+  std::printf("\nExpected shape (Section VIII): on the low-density circuits the\n"
+              "aggressive strategy shows the largest wiring overhead (the paper's\n"
+              "dsip +56%% / bigkey +33%% anomaly); conservative unification trims\n"
+              "wire at little or no delay cost there, supporting the paper's\n"
+              "suggestion to revisit unification for low-density designs.\n");
+  return 0;
+}

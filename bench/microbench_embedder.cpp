@@ -1,0 +1,151 @@
+// google-benchmark microbenchmarks of the performance-critical primitives:
+// the fanin tree embedder (by tree size, grid size and Lex order), static
+// timing analysis, eps-SPT extraction and the legalizer's composite cell
+// cost. These back the paper's "<5% runtime overhead" claim with numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "embed/embedder.h"
+#include "gen/circuit_gen.h"
+#include "place/annealer.h"
+#include "timing/spt.h"
+#include "timing/timing_graph.h"
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+/// Balanced fanin tree with `leaves` leaves spread on a circle.
+FaninTree make_tree(int leaves, int grid_n, Rng& rng) {
+  FaninTree tree;
+  std::vector<TreeNodeId> level;
+  for (int i = 0; i < leaves; ++i)
+    level.push_back(tree.add_leaf("l" + std::to_string(i),
+                                  Point{rng.next_int(0, grid_n - 1),
+                                        rng.next_int(0, grid_n - 1)},
+                                  rng.next_double() * 3, true));
+  int id = 0;
+  while (level.size() > 1) {
+    std::vector<TreeNodeId> next;
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      if (i + 1 < level.size())
+        next.push_back(tree.add_gate("g" + std::to_string(id++),
+                                     {level[i], level[i + 1]}, 1.0));
+      else
+        next.push_back(level[i]);
+    }
+    level = std::move(next);
+  }
+  tree.set_root(level[0], Point{grid_n / 2, grid_n / 2});
+  return tree;
+}
+
+void BM_EmbedderByLeaves(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  const int n = 12;
+  Rng rng(42);
+  FaninTree tree = make_tree(leaves, n, rng);
+  EmbeddingGraph g = EmbeddingGraph::make_grid({0, 0, n - 1, n - 1}, 1.0, 1.0);
+  EmbedOptions opt;
+  opt.max_labels = 24;
+  for (auto _ : state) {
+    FaninTreeEmbedder e(tree, g, nullptr, opt);
+    bool ok = e.run();
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetComplexityN(leaves);
+}
+BENCHMARK(BM_EmbedderByLeaves)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_EmbedderByGrid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  FaninTree tree = make_tree(8, n, rng);
+  EmbeddingGraph g = EmbeddingGraph::make_grid({0, 0, n - 1, n - 1}, 1.0, 1.0);
+  EmbedOptions opt;
+  opt.max_labels = 24;
+  for (auto _ : state) {
+    FaninTreeEmbedder e(tree, g, nullptr, opt);
+    bool ok = e.run();
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetComplexityN(n * n);
+}
+BENCHMARK(BM_EmbedderByGrid)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_EmbedderByLexOrder(benchmark::State& state) {
+  Rng rng(11);
+  FaninTree tree = make_tree(12, 10, rng);
+  EmbeddingGraph g = EmbeddingGraph::make_grid({0, 0, 9, 9}, 1.0, 1.0);
+  EmbedOptions opt;
+  opt.lex_order = static_cast<int>(state.range(0));
+  opt.max_labels = 24;
+  for (auto _ : state) {
+    FaninTreeEmbedder e(tree, g, nullptr, opt);
+    bool ok = e.run();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_EmbedderByLexOrder)->DenseRange(1, 5);
+
+struct StaFixture {
+  Netlist nl;
+  FpgaGrid grid;
+  Placement pl;
+  LinearDelayModel dm;
+
+  static Netlist make(int luts) {
+    CircuitSpec spec;
+    spec.num_logic = luts;
+    spec.num_inputs = luts / 12 + 2;
+    spec.num_outputs = luts / 12 + 2;
+    spec.registered_fraction = 0.3;
+    spec.seed = 3;
+    return generate_circuit(spec);
+  }
+
+  explicit StaFixture(int luts)
+      : nl(make(luts)),
+        grid(FpgaGrid::min_grid_for(nl.num_logic(),
+                                    nl.num_input_pads() + nl.num_output_pads())),
+        pl([&] {
+          Rng rng(5);
+          return random_placement(nl, grid, rng);
+        }()) {}
+};
+
+void BM_StaticTimingAnalysis(benchmark::State& state) {
+  StaFixture f(static_cast<int>(state.range(0)));
+  TimingGraph tg(f.nl, f.pl, f.dm);
+  for (auto _ : state) {
+    tg.run_sta();
+    benchmark::DoNotOptimize(tg.critical_delay());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StaticTimingAnalysis)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_EpsSptExtraction(benchmark::State& state) {
+  StaFixture f(1024);
+  TimingGraph tg(f.nl, f.pl, f.dm);
+  const double eps = tg.critical_delay() * 0.05 * state.range(0);
+  for (auto _ : state) {
+    Spt spt = extract_eps_spt(tg, tg.critical_sink(), eps);
+    benchmark::DoNotOptimize(spt.size());
+  }
+}
+BENCHMARK(BM_EpsSptExtraction)->DenseRange(0, 4);
+
+void BM_TimingGraphBuild(benchmark::State& state) {
+  StaFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TimingGraph tg(f.nl, f.pl, f.dm);
+    benchmark::DoNotOptimize(tg.num_edges());
+  }
+}
+BENCHMARK(BM_TimingGraphBuild)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace repro
+
+BENCHMARK_MAIN();

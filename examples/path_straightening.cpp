@@ -1,0 +1,80 @@
+// The paper's motivating example (Figs. 1 and 2): cell c drives two fanouts
+// whose endpoints pull it in opposite directions. Without replication at
+// least one input-to-output path must detour; duplicating c lets both paths
+// become monotone at almost no wirelength cost.
+//
+// This example builds that circuit, shows the forced detour, runs the
+// replication engine, and verifies that the optimized netlist is logically
+// equivalent with (near-)monotone paths.
+
+#include <cstdio>
+
+#include "arch/delay_model.h"
+#include "arch/fpga_grid.h"
+#include "netlist/netlist.h"
+#include "netlist/sim.h"
+#include "place/placement.h"
+#include "replicate/engine.h"
+#include "timing/monotone.h"
+#include "timing/timing_graph.h"
+
+using namespace repro;
+
+int main() {
+  // Netlist: inputs a, e; cell c = f(a, e); buffers gb, gd; outputs b, d.
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId e = nl.add_input_pad("e");
+  CellId c = nl.add_logic("c", {nl.cell(a).output, nl.cell(e).output}, 0b0110,
+                          false);
+  CellId gb = nl.add_logic("gb", {nl.cell(c).output}, 0b10, false);
+  CellId gd = nl.add_logic("gd", {nl.cell(c).output}, 0b10, false);
+  CellId b = nl.add_output_pad("b");
+  CellId d = nl.add_output_pad("d");
+  nl.connect(nl.cell(gb).output, b, 0);
+  nl.connect(nl.cell(gd).output, d, 0);
+  Netlist golden = nl;
+
+  // Terminals fixed as in Fig. 1: a/b on the left edge, d/e on the right.
+  FpgaGrid grid(8, 2);
+  Placement pl(nl, grid);
+  pl.place(a, {0, 3});
+  pl.place(b, {0, 6});
+  pl.place(e, {9, 3});
+  pl.place(d, {9, 6});
+  pl.place(gb, {1, 6});
+  pl.place(gd, {8, 6});
+  pl.place(c, {2, 4});  // forced to one side: paths from e detour
+
+  LinearDelayModel dm;
+  TimingGraph tg(nl, pl, dm);
+  std::printf("before: critical path %.2f ns, detour ratio %.2f\n",
+              tg.critical_delay(), path_detour_ratio(tg, tg.critical_path()));
+  std::printf("  (the e -> c -> gb -> b path cannot be straight while c also\n"
+              "   serves a -> c -> gd -> d)\n\n");
+
+  EngineOptions opt;
+  opt.max_iterations = 20;
+  EngineResult r = run_replication_engine(nl, pl, dm, opt);
+
+  TimingGraph after(nl, pl, dm);
+  std::printf("after:  critical path %.2f ns, detour ratio %.2f\n",
+              after.critical_delay(),
+              path_detour_ratio(after, after.critical_path()));
+  std::printf("  replicated %d cell(s); blocks %zu -> %zu\n", r.total_replicated,
+              r.initial_blocks, r.final_blocks);
+
+  std::string why;
+  if (!functionally_equivalent(golden, nl, 64, 7, &why)) {
+    std::printf("EQUIVALENCE FAILURE: %s\n", why.c_str());
+    return 1;
+  }
+  if (!pl.legal()) {
+    std::printf("PLACEMENT ILLEGAL: %s\n", pl.check_legal().c_str());
+    return 1;
+  }
+  std::printf("\noptimized circuit is functionally equivalent and legal.\n");
+  std::printf("copies of c now sit near their respective fanouts, exactly the\n"
+              "Fig. 2 configuration.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace repro {
+
+/// VPR-style net wirelength estimate: half-perimeter of the terminal bounding
+/// box scaled by the crossing-count correction factor q(k) for nets with many
+/// terminals (Cheng, "RISA"; used by VPR and by the paper's legalizer cost,
+/// Section V-A: "half-perimeter metric augmented by a net size coefficient").
+double net_size_coefficient(std::size_t num_terminals);
+
+/// HPWL * q(#terminals) over the given terminal points.
+double estimate_wirelength(const std::vector<Point>& terminals);
+
+/// Incremental form: bounding box + terminal count.
+double estimate_wirelength(const Rect& bbox, std::size_t num_terminals);
+
+}  // namespace repro

@@ -1,0 +1,218 @@
+#include "embed/embed_elmore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "util/log.h"
+
+namespace repro {
+
+ElmoreEmbedder::ElmoreEmbedder(const FaninTree& tree, const EmbeddingGraph& graph,
+                               ElmoreOptions options)
+    : tree_(tree), graph_(graph), opt_(std::move(options)) {
+  a_.resize(tree_.size());
+  for (auto& per_vertex : a_) per_vertex.resize(graph_.num_vertices());
+}
+
+bool ElmoreEmbedder::insert(std::vector<ElmoreLabel>& list, ElmoreLabel l,
+                            std::uint32_t* idx) {
+  // 3-D dominance: (cost, r, t), all lower-is-better. The paper notes that a
+  // balanced search tree gives an asymptotically faster test; the label lists
+  // here are small enough that a linear scan is faster in practice.
+  for (const ElmoreLabel& e : list)
+    if (!e.dead && e.cost <= l.cost && e.r <= l.r && e.t <= l.t) return false;
+  for (ElmoreLabel& e : list)
+    if (!e.dead && l.cost <= e.cost && l.r <= e.r && l.t <= e.t) e.dead = true;
+  if (idx) *idx = static_cast<std::uint32_t>(list.size());
+  list.push_back(std::move(l));
+  return true;
+}
+
+void ElmoreEmbedder::wavefront(TreeNodeId i) {
+  struct QItem {
+    double cost;
+    double t;
+    EmbedVertexId vertex;
+    std::uint32_t label;
+  };
+  struct Cmp {
+    bool operator()(const QItem& a, const QItem& b) const {
+      if (a.cost != b.cost) return a.cost > b.cost;
+      return a.t > b.t;
+    }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, Cmp> pq;
+  auto& per_vertex = a_[i.index()];
+  for (std::size_t j = 0; j < per_vertex.size(); ++j)
+    for (std::uint32_t li = 0; li < per_vertex[j].size(); ++li)
+      if (!per_vertex[j][li].dead)
+        pq.push(QItem{per_vertex[j][li].cost, per_vertex[j][li].t,
+                      EmbedVertexId(static_cast<EmbedVertexId::value_type>(j)), li});
+
+  while (!pq.empty()) {
+    QItem item = pq.top();
+    pq.pop();
+    const ElmoreLabel cur = per_vertex[item.vertex.index()][item.label];
+    if (cur.dead) continue;
+    for (const EmbeddingGraph::Edge& e : graph_.edges_from(item.vertex)) {
+      const int len = static_cast<int>(e.delay);  // edge delay field = length
+      ElmoreLabel next;
+      next.cost = cur.cost + e.cost;
+      next.t = cur.t + opt_.model.segment_delay(cur.r, len);
+      next.r = cur.r + opt_.model.r_per_unit * len;
+      next.kind = ElmoreLabel::Kind::kAugment;
+      next.from = item.vertex;
+      next.pred = item.label;
+      std::uint32_t ni = 0;
+      if (insert(per_vertex[e.to.index()], std::move(next), &ni))
+        pq.push(QItem{per_vertex[e.to.index()][ni].cost, per_vertex[e.to.index()][ni].t,
+                      e.to, ni});
+    }
+  }
+}
+
+void ElmoreEmbedder::join_node(TreeNodeId i, bool root_mode) {
+  const FaninTreeNode& node = tree_.node(i);
+  EmbedVertexId only_vertex;
+  if (root_mode) {
+    only_vertex = graph_.vertex_at(node.fixed_loc);
+    if (!only_vertex.valid()) return;
+  }
+  struct Partial {
+    double cost = 0;
+    double t = 0;
+    std::vector<std::uint32_t> children;
+  };
+  for (std::size_t jv = 0; jv < graph_.num_vertices(); ++jv) {
+    EmbedVertexId j(static_cast<EmbedVertexId::value_type>(jv));
+    if (only_vertex.valid() && j != only_vertex) continue;
+    std::vector<Partial> partials{Partial{}};
+    bool dead_end = false;
+    for (TreeNodeId child : node.children) {
+      const auto& cls = a_[child.index()][jv];
+      std::vector<Partial> next;
+      for (const Partial& p : partials)
+        for (std::uint32_t li = 0; li < cls.size(); ++li) {
+          if (cls[li].dead) continue;
+          Partial np;
+          np.cost = p.cost + cls[li].cost;
+          // Arriving at the gate input: the pin capacitance charges through
+          // the child's accumulated upstream resistance.
+          np.t = std::max(p.t, cls[li].t + opt_.model.c_in * cls[li].r);
+          np.children = p.children;
+          np.children.push_back(li);
+          bool dominated = false;
+          for (const Partial& q : next)
+            if (q.cost <= np.cost && q.t <= np.t) {
+              dominated = true;
+              break;
+            }
+          if (!dominated) {
+            std::erase_if(next, [&](const Partial& q) {
+              return np.cost <= q.cost && np.t <= q.t;
+            });
+            next.push_back(std::move(np));
+          }
+        }
+      partials = std::move(next);
+      if (partials.empty()) {
+        dead_end = true;
+        break;
+      }
+    }
+    if (dead_end) continue;
+    for (Partial& p : partials) {
+      ElmoreLabel l;
+      l.cost = p.cost + (opt_.placement_cost ? opt_.placement_cost(i, j) : 0.0);
+      l.t = p.t + node.gate_delay;
+      l.r = opt_.model.r_out;  // join resets upstream resistance (Section II-D)
+      l.kind = ElmoreLabel::Kind::kJoin;
+      l.child_labels = std::move(p.children);
+      insert(a_[i.index()][jv], std::move(l), nullptr);
+    }
+  }
+}
+
+bool ElmoreEmbedder::run() {
+  for (TreeNodeId i : tree_.post_order()) {
+    const FaninTreeNode& node = tree_.node(i);
+    const bool is_root = (i == tree_.root());
+    if (node.is_leaf()) {
+      EmbedVertexId v = graph_.vertex_at(node.fixed_loc);
+      if (!v.valid()) return false;
+      ElmoreLabel l;
+      l.cost = 0;
+      l.t = node.leaf_arrival;
+      l.r = opt_.model.r_out;  // driven by a fixed gate
+      l.kind = ElmoreLabel::Kind::kInitial;
+      insert(a_[i.index()][v.index()], std::move(l), nullptr);
+      if (!is_root) wavefront(i);
+    } else {
+      join_node(i, is_root);
+      if (!is_root) wavefront(i);
+    }
+  }
+  tradeoff_.clear();
+  EmbedVertexId rv = graph_.vertex_at(tree_.node(tree_.root()).fixed_loc);
+  if (!rv.valid()) return false;
+  const auto& list = a_[tree_.root().index()][rv.index()];
+  for (std::uint32_t li = 0; li < list.size(); ++li)
+    if (!list[li].dead)
+      tradeoff_.push_back(ElmoreSolution{li, list[li].cost, list[li].t});
+  std::sort(tradeoff_.begin(), tradeoff_.end(),
+            [](const ElmoreSolution& a, const ElmoreSolution& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.t < b.t;
+            });
+  return !tradeoff_.empty();
+}
+
+int ElmoreEmbedder::pick_cheapest_within(double t_bound) const {
+  for (std::size_t k = 0; k < tradeoff_.size(); ++k)
+    if (tradeoff_[k].t <= t_bound + 1e-12) return static_cast<int>(k);
+  return -1;
+}
+
+int ElmoreEmbedder::pick_fastest() const {
+  int best = -1;
+  for (std::size_t k = 0; k < tradeoff_.size(); ++k)
+    if (best < 0 || tradeoff_[k].t < tradeoff_[best].t) best = static_cast<int>(k);
+  return best;
+}
+
+std::unordered_map<TreeNodeId, EmbedVertexId> ElmoreEmbedder::extract(
+    int tradeoff_index) const {
+  std::unordered_map<TreeNodeId, EmbedVertexId> out;
+  EmbedVertexId rv = graph_.vertex_at(tree_.node(tree_.root()).fixed_loc);
+  struct Frame {
+    TreeNodeId node;
+    EmbedVertexId vertex;
+    std::uint32_t label;
+  };
+  std::vector<Frame> stack{
+      {tree_.root(), rv, tradeoff_[tradeoff_index].label_index}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const ElmoreLabel& l = a_[f.node.index()][f.vertex.index()][f.label];
+    switch (l.kind) {
+      case ElmoreLabel::Kind::kInitial:
+        out[f.node] = f.vertex;
+        break;
+      case ElmoreLabel::Kind::kAugment:
+        stack.push_back(Frame{f.node, l.from, l.pred});
+        break;
+      case ElmoreLabel::Kind::kJoin: {
+        out[f.node] = f.vertex;
+        const FaninTreeNode& node = tree_.node(f.node);
+        for (std::size_t k = 0; k < node.children.size(); ++k)
+          stack.push_back(Frame{node.children[k], f.vertex, l.child_labels[k]});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/delay_model.h"
+#include "embed/embedding_graph.h"
+#include "embed/fanin_tree.h"
+#include "util/ids.h"
+
+namespace repro {
+
+/// A non-dominated (cost, upstream-resistance, arrival) signature of the 3-D
+/// fanin embedding variant (Section II-D), intended for RC-dominated (ASIC)
+/// targets where wire delay is not linear in length.
+struct ElmoreLabel {
+  double cost = 0;
+  double r = 0;  ///< cumulative upstream resistance incl. driver output R
+  double t = 0;  ///< latest arrival
+  // Reconstruction provenance (same scheme as the linear embedder).
+  enum class Kind : std::uint8_t { kInitial, kAugment, kJoin } kind = Kind::kInitial;
+  EmbedVertexId from;
+  std::uint32_t pred = 0;
+  std::vector<std::uint32_t> child_labels;
+  bool dead = false;
+};
+
+struct ElmoreOptions {
+  ElmoreDelayModel model;
+  /// Optional per-(node, vertex) placement cost, as in the linear embedder.
+  std::function<double(TreeNodeId, EmbedVertexId)> placement_cost;
+};
+
+/// Result solution on the root trade-off surface.
+struct ElmoreSolution {
+  std::uint32_t label_index;
+  double cost;
+  double t;
+};
+
+/// 3-D fanin tree embedding under the Elmore delay model: candidate
+/// solutions propagate (c, r, t) triples from the leaves toward the sink;
+/// each graph-edge augment adds wire delay c_uv * (R(u) + r_uv/2) and
+/// accumulates upstream resistance; joins reset r to the gate's output
+/// resistance (Section II-D join rules). Dominance is the 3-way partial
+/// order; the cross-product join of the 3-D case is implemented directly.
+///
+/// Graph edges' `delay` field is interpreted as wire LENGTH here; resistance
+/// and capacitance are derived from the options' RC model.
+class ElmoreEmbedder {
+ public:
+  ElmoreEmbedder(const FaninTree& tree, const EmbeddingGraph& graph,
+                 ElmoreOptions options);
+
+  bool run();
+
+  /// Non-dominated (cost, arrival) projections at the root, cost-increasing.
+  const std::vector<ElmoreSolution>& tradeoff() const { return tradeoff_; }
+
+  int pick_cheapest_within(double t_bound) const;
+  int pick_fastest() const;
+
+  std::unordered_map<TreeNodeId, EmbedVertexId> extract(int tradeoff_index) const;
+
+ private:
+  bool insert(std::vector<ElmoreLabel>& list, ElmoreLabel l, std::uint32_t* idx);
+  void wavefront(TreeNodeId i);
+  void join_node(TreeNodeId i, bool root_mode);
+
+  const FaninTree& tree_;
+  const EmbeddingGraph& graph_;
+  ElmoreOptions opt_;
+  std::vector<std::vector<std::vector<ElmoreLabel>>> a_;
+  std::vector<ElmoreSolution> tradeoff_;
+};
+
+}  // namespace repro

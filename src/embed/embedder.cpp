@@ -1,0 +1,353 @@
+#include "embed/embedder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "util/log.h"
+
+namespace repro {
+
+FaninTreeEmbedder::FaninTreeEmbedder(const FaninTree& tree, const EmbeddingGraph& graph,
+                                     PlacementCostFn placement_cost, EmbedOptions options)
+    : tree_(tree), graph_(graph), pcost_(std::move(placement_cost)), opt_(options) {
+  assert(opt_.lex_order >= 1 && opt_.lex_order <= DelayVec::kCapacity);
+  if (opt_.lex_mc) opt_.lex_order = 1;  // mc uses its own [t, tc] layout
+  a_.resize(tree_.size());
+  for (auto& per_vertex : a_) per_vertex.resize(graph_.num_vertices());
+}
+
+bool FaninTreeEmbedder::dominates(const Label& a, const Label& b) const {
+  if (a.cost > b.cost) return false;
+  if (!a.delay.lex_less_equal(b.delay)) return false;
+  if (opt_.overlap_avoidance && a.branching > b.branching) return false;
+  if (opt_.stem_delay && a.stem_len > b.stem_len) return false;
+  return true;
+}
+
+bool FaninTreeEmbedder::insert_label(std::vector<Label>& list, Label l,
+                                     std::uint32_t* index_out) {
+  for (const Label& e : list) {
+    if (!e.dead && dominates(e, l)) return false;
+  }
+  for (Label& e : list) {
+    if (!e.dead && dominates(l, e)) e.dead = 1;
+  }
+  if (opt_.max_labels > 0) cap_list(list);
+  if (index_out) *index_out = static_cast<std::uint32_t>(list.size());
+  list.push_back(std::move(l));
+  ++labels_created_;
+  return true;
+}
+
+void FaninTreeEmbedder::cap_list(std::vector<Label>& list) {
+  // Soft cap: when the live population exceeds 2x the cap, keep the cheapest,
+  // the (lex) fastest, and an even cost-spread of the rest.
+  int live = 0;
+  for (const Label& e : list)
+    if (!e.dead) ++live;
+  if (live <= 2 * opt_.max_labels) return;
+  std::vector<std::uint32_t> idx;
+  for (std::uint32_t i = 0; i < list.size(); ++i)
+    if (!list[i].dead) idx.push_back(i);
+  std::sort(idx.begin(), idx.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return list[x].cost < list[y].cost;
+  });
+  // Mark all dead, then resurrect an even sample (ends always kept).
+  for (std::uint32_t i : idx) list[i].dead = 1;
+  const int keep = opt_.max_labels;
+  for (int k = 0; k < keep; ++k) {
+    std::size_t pos = (keep == 1) ? 0 : k * (idx.size() - 1) / (keep - 1);
+    list[idx[pos]].dead = 0;
+  }
+}
+
+double FaninTreeEmbedder::augment_delay_delta(const Label& from,
+                                              double edge_delay_or_len) const {
+  if (!opt_.stem_delay) return edge_delay_or_len;
+  const int len = static_cast<int>(edge_delay_or_len);
+  return opt_.stem_delay(from.stem_len + len) - opt_.stem_delay(from.stem_len);
+}
+
+void FaninTreeEmbedder::wavefront(TreeNodeId i) {
+  // Generalized Dijkstra (Fig. 6, GenDijkstra): multi-source expansion of all
+  // current labels of node i through the graph, keeping non-dominated
+  // signatures per vertex.
+  struct QItem {
+    double cost;
+    DelayVec delay;
+    EmbedVertexId vertex;
+    std::uint32_t label;
+  };
+  struct Cmp {
+    bool operator()(const QItem& x, const QItem& y) const {
+      if (x.cost != y.cost) return x.cost > y.cost;
+      return y.delay.lex_compare(x.delay) < 0;
+    }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, Cmp> pq;
+
+  auto& per_vertex = a_[i.index()];
+  for (std::size_t j = 0; j < per_vertex.size(); ++j)
+    for (std::uint32_t li = 0; li < per_vertex[j].size(); ++li)
+      if (!per_vertex[j][li].dead)
+        pq.push(QItem{per_vertex[j][li].cost, per_vertex[j][li].delay,
+                      EmbedVertexId(static_cast<EmbedVertexId::value_type>(j)), li});
+
+  while (!pq.empty()) {
+    QItem item = pq.top();
+    pq.pop();
+    // Copy: inserts below may reallocate label vectors.
+    const Label cur = per_vertex[item.vertex.index()][item.label];
+    if (cur.dead) continue;  // superseded since it was queued (line d7)
+
+    for (const EmbeddingGraph::Edge& e : graph_.edges_from(item.vertex)) {
+      Label next = cur;  // copies signature fields
+      next.cost = cur.cost + e.cost;
+      const double delta = augment_delay_delta(cur, e.delay);
+      next.delay = cur.delay;
+      if (opt_.lex_mc) {
+        next.delay.v[0] += delta;
+        if (cur.mc_weight > 0 && next.delay.n > 1) next.delay.v[1] += delta;
+      } else {
+        next.delay.shift(delta);
+      }
+      next.stem_len = opt_.stem_delay ? cur.stem_len + static_cast<int>(e.delay)
+                                      : 0;
+      next.branching = 0;
+      next.dead = 0;
+      next.prov = Provenance{};
+      next.prov.kind = Provenance::Kind::kAugment;
+      next.prov.from = item.vertex;
+      next.prov.pred_label = item.label;
+
+      std::uint32_t new_index = 0;
+      if (insert_label(per_vertex[e.to.index()], next, &new_index)) {
+        pq.push(QItem{per_vertex[e.to.index()][new_index].cost,
+                      per_vertex[e.to.index()][new_index].delay, e.to, new_index});
+      }
+    }
+  }
+}
+
+Label FaninTreeEmbedder::make_join_label(TreeNodeId i, EmbedVertexId j,
+                                         const PartialJoin& p) {
+  const FaninTreeNode& node = tree_.node(i);
+  Label l;
+  l.cost = p.cost + (pcost_ ? pcost_(i, j) : 0.0);
+  l.delay = p.delay;
+  if (opt_.lex_mc) {
+    l.delay.v[0] += node.gate_delay;
+    if (p.mc_weight > 0 && l.delay.n > 1) l.delay.v[1] += node.gate_delay;
+  } else {
+    l.delay.shift(node.gate_delay);
+  }
+  l.mc_weight = p.mc_weight;
+  l.stem_len = 0;
+  l.branching = 1;
+  l.prov.kind = Provenance::Kind::kJoin;
+  l.prov.num_children = static_cast<std::uint8_t>(p.child_labels.size());
+  if (p.child_labels.size() <= 2) {
+    for (std::size_t k = 0; k < p.child_labels.size(); ++k)
+      l.prov.child_labels_inline[k] = p.child_labels[k];
+  } else {
+    l.prov.spill_index = static_cast<std::int32_t>(spill_.size());
+    spill_.push_back(p.child_labels);
+  }
+  return l;
+}
+
+void FaninTreeEmbedder::join_node(TreeNodeId i, bool root_mode) {
+  const FaninTreeNode& node = tree_.node(i);
+  assert(!node.is_leaf());
+
+  // Restrict the root to its fixed vertex unless relocation is enabled.
+  EmbedVertexId only_vertex;
+  if (root_mode && !opt_.relocatable_root) {
+    only_vertex = graph_.vertex_at(node.fixed_loc);
+    if (!only_vertex.valid()) {
+      LOG_WARN() << "fanin tree root '" << node.name
+                 << "' lies outside the embedding graph";
+      return;
+    }
+  }
+
+  for (std::size_t jv = 0; jv < graph_.num_vertices(); ++jv) {
+    EmbedVertexId j(static_cast<EmbedVertexId::value_type>(jv));
+    if (only_vertex.valid() && j != only_vertex) continue;
+    // Forbidden locations (blocked slots, wrong resource type) are modeled
+    // as placement costs >= kForbiddenCost: no gate may be created there.
+    if (pcost_ && pcost_(i, j) >= kForbiddenCost) continue;
+
+    // Fold the children's label lists into partial joins, pruning dominated
+    // partials at each fold (JoinTree, line c2).
+    std::vector<PartialJoin> partials;
+    partials.push_back(PartialJoin{});
+    bool dead_end = false;
+    for (TreeNodeId child : node.children) {
+      const auto& child_labels = a_[child.index()][jv];
+      std::vector<PartialJoin> next;
+      for (const PartialJoin& p : partials) {
+        for (std::uint32_t li = 0; li < child_labels.size(); ++li) {
+          const Label& cl = child_labels[li];
+          if (cl.dead) continue;
+          PartialJoin np;
+          np.cost = p.cost + cl.cost;
+          if (opt_.lex_mc) {
+            // Section VI-A Lex-mc join: t = max(t_k); tc = sum(tc_k * w_k);
+            // w = sum(w_k). The partial already folded earlier children.
+            const double t = std::max(p.delay.n ? p.delay.v[0] : 0.0, cl.delay.v[0]);
+            const double tc_p = p.delay.n > 1 ? p.delay.v[1] : 0.0;
+            const double tc_c = cl.delay.n > 1 ? cl.delay.v[1] : 0.0;
+            np.delay = DelayVec::pair(t, tc_p + tc_c * cl.mc_weight);
+            np.mc_weight = p.mc_weight + cl.mc_weight;
+          } else {
+            np.delay = p.delay.merged_with(cl.delay, opt_.lex_order);
+            np.mc_weight = 0;
+          }
+          np.sum_branch_bits = p.sum_branch_bits + cl.branching;
+          np.child_labels = p.child_labels;
+          np.child_labels.push_back(li);
+          // Dominance prune among partials (cost vs delay vs bits).
+          bool dominated = false;
+          for (const PartialJoin& q : next) {
+            if (q.cost <= np.cost && q.delay.lex_less_equal(np.delay) &&
+                (!opt_.overlap_avoidance || q.sum_branch_bits <= np.sum_branch_bits)) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) {
+            std::erase_if(next, [&](const PartialJoin& q) {
+              return np.cost <= q.cost && np.delay.lex_less_equal(q.delay) &&
+                     (!opt_.overlap_avoidance ||
+                      np.sum_branch_bits <= q.sum_branch_bits);
+            });
+            next.push_back(std::move(np));
+          }
+        }
+      }
+      partials = std::move(next);
+      if (partials.empty()) {
+        dead_end = true;
+        break;
+      }
+    }
+    if (dead_end) continue;
+
+    for (const PartialJoin& p : partials) {
+      if (opt_.overlap_avoidance && p.sum_branch_bits > opt_.branch_capacity - 1)
+        continue;  // Section II-A: joining branching solutions overlaps
+      insert_label(a_[i.index()][jv], make_join_label(i, j, p), nullptr);
+    }
+  }
+}
+
+bool FaninTreeEmbedder::run() {
+  ran_ = true;
+  // Bottom-up over the tree (ComputeSubTree).
+  for (TreeNodeId i : tree_.post_order()) {
+    const FaninTreeNode& node = tree_.node(i);
+    const bool is_root = (i == tree_.root());
+    if (node.is_leaf()) {
+      EmbedVertexId v = graph_.vertex_at(node.fixed_loc);
+      if (!v.valid()) {
+        LOG_WARN() << "fanin tree leaf '" << node.name
+                   << "' lies outside the embedding graph";
+        return false;
+      }
+      Label l;
+      l.cost = 0;  // fixed terminals carry no placement cost (Section II)
+      if (opt_.lex_mc) {
+        l.delay = DelayVec::pair(node.leaf_arrival,
+                                 node.is_real_input ? node.leaf_arrival : 0.0);
+        l.mc_weight = node.is_real_input ? 1 : 0;
+      } else {
+        l.delay = DelayVec::single(node.leaf_arrival);
+      }
+      l.branching = 1;
+      l.prov.kind = Provenance::Kind::kInitial;
+      insert_label(a_[i.index()][v.index()], std::move(l), nullptr);
+      if (!is_root) wavefront(i);
+    } else {
+      join_node(i, is_root);
+      if (!is_root) wavefront(i);
+    }
+  }
+
+  // Collect the root trade-off curve (AugmentRoot / final selection).
+  tradeoff_.clear();
+  const auto& root_lists = a_[tree_.root().index()];
+  for (std::size_t jv = 0; jv < root_lists.size(); ++jv)
+    for (std::uint32_t li = 0; li < root_lists[jv].size(); ++li) {
+      const Label& l = root_lists[jv][li];
+      if (l.dead) continue;
+      tradeoff_.push_back(RootSolution{
+          EmbedVertexId(static_cast<EmbedVertexId::value_type>(jv)), li, l.cost,
+          l.delay});
+    }
+  std::sort(tradeoff_.begin(), tradeoff_.end(), [](const RootSolution& x,
+                                                   const RootSolution& y) {
+    if (x.cost != y.cost) return x.cost < y.cost;
+    return x.delay.lex_compare(y.delay) < 0;
+  });
+  return !tradeoff_.empty();
+}
+
+int FaninTreeEmbedder::pick_cheapest_within(double delay_bound) const {
+  for (std::size_t k = 0; k < tradeoff_.size(); ++k)
+    if (tradeoff_[k].delay.primary() <= delay_bound + 1e-12)
+      return static_cast<int>(k);
+  return -1;
+}
+
+int FaninTreeEmbedder::pick_fastest() const {
+  int best = -1;
+  for (std::size_t k = 0; k < tradeoff_.size(); ++k) {
+    if (best < 0 ||
+        tradeoff_[k].delay.lex_compare(tradeoff_[best].delay) < 0)
+      best = static_cast<int>(k);
+  }
+  return best;
+}
+
+std::unordered_map<TreeNodeId, EmbedVertexId> FaninTreeEmbedder::extract(
+    int tradeoff_index) const {
+  std::unordered_map<TreeNodeId, EmbedVertexId> out;
+  assert(tradeoff_index >= 0 &&
+         tradeoff_index < static_cast<int>(tradeoff_.size()));
+  const RootSolution& rs = tradeoff_[tradeoff_index];
+
+  struct Frame {
+    TreeNodeId node;
+    EmbedVertexId vertex;
+    std::uint32_t label;
+  };
+  std::vector<Frame> stack{{tree_.root(), rs.vertex, rs.label_index}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Label& l = a_[f.node.index()][f.vertex.index()][f.label];
+    switch (l.prov.kind) {
+      case Provenance::Kind::kInitial:
+        out[f.node] = f.vertex;
+        break;
+      case Provenance::Kind::kAugment:
+        stack.push_back(Frame{f.node, l.prov.from, l.prov.pred_label});
+        break;
+      case Provenance::Kind::kJoin: {
+        out[f.node] = f.vertex;
+        const FaninTreeNode& node = tree_.node(f.node);
+        const std::uint32_t* child_idx =
+            l.prov.spill_index >= 0 ? spill_[l.prov.spill_index].data()
+                                    : l.prov.child_labels_inline;
+        for (std::size_t k = 0; k < node.children.size(); ++k)
+          stack.push_back(Frame{node.children[k], f.vertex, child_idx[k]});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/embedding_graph.h"
+#include "embed/fanin_tree.h"
+#include "embed/signature.h"
+
+namespace repro {
+
+/// Per-(tree node, graph vertex) placement cost p_ij (Section II-A). This is
+/// where the replication engine encodes congestion penalties and the
+/// equivalent-cell discount that makes replication implicit.
+using PlacementCostFn = std::function<double(TreeNodeId, EmbedVertexId)>;
+
+/// Objective variants of the embedder.
+///
+///   lex_order = 1, lex_mc = false : the base 2-D cost/max-arrival algorithm
+///                                   (Sections II-A..II-C, "RT-Embedding");
+///   lex_order = N (2..5)          : Lex-N subcritical-path overoptimization
+///                                   (Section VI-A);
+///   lex_mc = true                 : the (c, t, tc, w) max-and-critical
+///                                   variant (Section VI-A).
+struct EmbedOptions {
+  int lex_order = 1;
+  bool lex_mc = false;
+
+  /// Branching-bit overlap avoidance (Section II-A, approach 1). When true,
+  /// a join is rejected if the number of children placed exactly at the join
+  /// vertex exceeds branch_capacity - 1 (the join itself occupies one slot).
+  bool overlap_avoidance = false;
+  int branch_capacity = 1;
+
+  /// Pareto-list size cap per (node, vertex); 0 = unlimited (exact DP).
+  int max_labels = 0;
+
+  /// Allow the root to be placed anywhere (simultaneous sink placement used
+  /// for FF relocation, Section V-D). When false the root stays at its
+  /// fixed location.
+  bool relocatable_root = false;
+
+  /// Optional nonlinear stem-delay function: delay of an unbranched wire run
+  /// as a function of its length. When set, edge `delay` values are
+  /// interpreted as *lengths* and the label's stem length enters the
+  /// dominance test. Reproduces the quadratic-delay worked example (Fig. 7).
+  std::function<double(int)> stem_delay;
+};
+
+/// One entry of the root trade-off curve.
+struct RootSolution {
+  EmbedVertexId vertex;
+  std::uint32_t label_index;
+  double cost;
+  DelayVec delay;
+};
+
+/// Optimal timing-driven fanin tree embedding by dynamic programming over an
+/// arbitrary target graph (the paper's core algorithm, Fig. 6):
+/// bottom-up over the tree; at each node, candidate solutions of the child
+/// subtrees are joined at every vertex and propagated through the graph by a
+/// generalized Dijkstra wavefront, keeping only non-dominated
+/// (cost, delay...) signatures.
+class FaninTreeEmbedder {
+ public:
+  /// Placement costs at or above this value mark a vertex as forbidden for
+  /// gate creation (blocked slot / wrong resource type): the wavefront may
+  /// route through it, but no join is made there.
+  static constexpr double kForbiddenCost = 1e8;
+
+  FaninTreeEmbedder(const FaninTree& tree, const EmbeddingGraph& graph,
+                    PlacementCostFn placement_cost, EmbedOptions options = {});
+
+  /// Runs the DP. Returns false if a fixed terminal lies outside the graph
+  /// or no solution reaches the root.
+  bool run();
+
+  /// Non-dominated solutions at the root, sorted by increasing cost.
+  const std::vector<RootSolution>& tradeoff() const { return tradeoff_; }
+
+  /// Index into tradeoff(): cheapest solution whose primary (max) arrival is
+  /// <= bound; -1 if none (Section II-C's "cheapest solution that is fast
+  /// enough").
+  int pick_cheapest_within(double delay_bound) const;
+  /// Index of the lexicographically fastest solution (min delay, then cost).
+  int pick_fastest() const;
+
+  /// Recovers the vertex of every tree node (leaves at their fixed vertices,
+  /// internal nodes and root where the chosen solution placed them).
+  std::unordered_map<TreeNodeId, EmbedVertexId> extract(int tradeoff_index) const;
+
+  /// Diagnostics.
+  std::size_t labels_created() const { return labels_created_; }
+
+ private:
+  struct PartialJoin {
+    double cost = 0;
+    DelayVec delay;
+    int mc_weight = 0;
+    int sum_branch_bits = 0;
+    std::vector<std::uint32_t> child_labels;
+  };
+
+  bool dominates(const Label& a, const Label& b) const;
+  bool insert_label(std::vector<Label>& list, Label l, std::uint32_t* index_out);
+  void cap_list(std::vector<Label>& list);
+  void wavefront(TreeNodeId i);
+  void join_node(TreeNodeId i, bool root_mode);
+  Label make_join_label(TreeNodeId i, EmbedVertexId j, const PartialJoin& p);
+  double augment_delay_delta(const Label& from, double edge_delay_or_len) const;
+
+  const FaninTree& tree_;
+  const EmbeddingGraph& graph_;
+  PlacementCostFn pcost_;
+  EmbedOptions opt_;
+
+  /// A[i][j]: labels for subtree i driven from vertex j. Branching labels
+  /// (initial / join) and augmented labels share the list; the branching
+  /// flag distinguishes them.
+  std::vector<std::vector<std::vector<Label>>> a_;
+  /// Spill pool for join provenance with > 2 children.
+  std::vector<std::vector<std::uint32_t>> spill_;
+
+  std::vector<RootSolution> tradeoff_;
+  std::size_t labels_created_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace repro

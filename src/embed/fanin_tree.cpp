@@ -1,0 +1,40 @@
+#include "embed/fanin_tree.h"
+
+namespace repro {
+
+TreeNodeId FaninTree::critical_input() const {
+  // Downstream delay estimate from a leaf to the root: sum of gate delays on
+  // the tree path plus a straight-line wire estimate from the leaf's fixed
+  // location to the root's. This matches the paper's "critical input = the
+  // one with the largest downstream delay" with the pre-embedding knowledge
+  // available.
+  TreeNodeId best;
+  double best_delay = -1;
+  // Depth-first with an explicit stack carrying accumulated gate delay.
+  struct Item {
+    TreeNodeId n;
+    double gates;
+  };
+  std::vector<Item> stack{{root_, nodes_[root_.index()].gate_delay}};
+  const Point root_loc = nodes_[root_.index()].fixed_loc;
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    const FaninTreeNode& node = nodes_[it.n.index()];
+    if (node.is_leaf()) {
+      if (!node.is_real_input) continue;
+      double d = node.leaf_arrival + it.gates +
+                 static_cast<double>(manhattan(node.fixed_loc, root_loc));
+      if (d > best_delay) {
+        best_delay = d;
+        best = it.n;
+      }
+      continue;
+    }
+    for (TreeNodeId c : node.children)
+      stack.push_back({c, it.gates + nodes_[c.index()].gate_delay});
+  }
+  return best;
+}
+
+}  // namespace repro

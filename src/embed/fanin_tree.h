@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/ids.h"
+
+namespace repro {
+
+/// One node of a fanin tree to be embedded (Section II).
+///
+/// Signal flows from the leaves toward the root. Leaves are fixed terminals
+/// carrying signal arrival times: either *real inputs* of the tree (primary
+/// inputs / FF outputs, arrival ~0 plus launch delay) or *reconvergence
+/// terminators* (cells whose timing is fixed and known, Section III). The
+/// root is the sink (e.g., an FF's D input). Internal nodes are the gates the
+/// embedder places.
+struct FaninTreeNode {
+  /// Original netlist cell this node corresponds to (invalid for synthetic
+  /// test trees).
+  CellId cell;
+  std::string name;
+  /// Children = this gate's inputs in the tree (empty for leaves).
+  std::vector<TreeNodeId> children;
+  /// Fixed location: meaningful for leaves and for the root (unless the
+  /// embedder is asked to relocate the root, Section V-D).
+  Point fixed_loc{-1, -1};
+  /// Signal arrival time at a leaf (latest arrival from static timing
+  /// analysis for reconvergence terminators; source launch delay for real
+  /// inputs).
+  double leaf_arrival = 0.0;
+  /// True for leaves that are genuine tree inputs (identified in the paper
+  /// as leaves with zero signal arrival); reconvergence terminators are
+  /// false. Used by the Lex-mc variant to locate the critical input.
+  bool is_real_input = false;
+  /// Intrinsic gate delay charged when the signal passes through this node
+  /// (internal nodes and root; 0 for leaves).
+  double gate_delay = 0.0;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// A rooted k-ary in-tree; node 0 is created first but the root is explicit.
+class FaninTree {
+ public:
+  TreeNodeId add_leaf(std::string name, Point loc, double arrival, bool real_input,
+                      CellId cell = CellId()) {
+    FaninTreeNode n;
+    n.name = std::move(name);
+    n.fixed_loc = loc;
+    n.leaf_arrival = arrival;
+    n.is_real_input = real_input;
+    n.cell = cell;
+    return push(std::move(n));
+  }
+
+  TreeNodeId add_gate(std::string name, std::vector<TreeNodeId> children,
+                      double gate_delay, CellId cell = CellId()) {
+    assert(!children.empty());
+    FaninTreeNode n;
+    n.name = std::move(name);
+    n.children = std::move(children);
+    n.gate_delay = gate_delay;
+    n.cell = cell;
+    return push(std::move(n));
+  }
+
+  void set_root(TreeNodeId r, Point loc) {
+    root_ = r;
+    nodes_[r.index()].fixed_loc = loc;
+  }
+
+  TreeNodeId root() const { return root_; }
+  std::size_t size() const { return nodes_.size(); }
+  const FaninTreeNode& node(TreeNodeId n) const { return nodes_[n.index()]; }
+  FaninTreeNode& node_mutable(TreeNodeId n) { return nodes_[n.index()]; }
+
+  /// Post-order traversal (children before parents), root last.
+  std::vector<TreeNodeId> post_order() const {
+    std::vector<TreeNodeId> out;
+    out.reserve(nodes_.size());
+    post_order_rec(root_, out);
+    return out;
+  }
+
+  /// Among real-input leaves, the one with the largest downstream delay to
+  /// the root (the paper's "critical input" for Lex-mc). Returns invalid if
+  /// there are no real inputs.
+  TreeNodeId critical_input() const;
+
+  /// Leaves in post-order.
+  std::vector<TreeNodeId> leaves() const {
+    std::vector<TreeNodeId> out;
+    for (TreeNodeId n : post_order())
+      if (node(n).is_leaf()) out.push_back(n);
+    return out;
+  }
+
+ private:
+  TreeNodeId push(FaninTreeNode n) {
+    nodes_.push_back(std::move(n));
+    return TreeNodeId(static_cast<TreeNodeId::value_type>(nodes_.size() - 1));
+  }
+  void post_order_rec(TreeNodeId n, std::vector<TreeNodeId>& out) const {
+    for (TreeNodeId c : nodes_[n.index()].children) post_order_rec(c, out);
+    out.push_back(n);
+  }
+
+  std::vector<FaninTreeNode> nodes_;
+  TreeNodeId root_;
+};
+
+}  // namespace repro

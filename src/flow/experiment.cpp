@@ -1,0 +1,116 @@
+#include "flow/experiment.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "timing/timing_graph.h"
+#include "util/log.h"
+
+namespace repro {
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+FlowConfig config_from_env() {
+  FlowConfig cfg;
+  if (const char* s = std::getenv("REPRO_SCALE")) cfg.scale = std::atof(s);
+  if (const char* q = std::getenv("REPRO_QUICK"); q && q[0] == '1') {
+    cfg.scale = std::min(cfg.scale, 0.1);
+    cfg.annealer.inner_num = 0.3;
+  }
+  return cfg;
+}
+
+PlacedCircuit prepare_circuit(const McncCircuit& c, const FlowConfig& cfg) {
+  PlacedCircuit out;
+  out.name = c.name;
+  CircuitSpec spec = spec_for(c, cfg.scale, cfg.seed);
+  out.nl = std::make_unique<Netlist>(generate_circuit(spec));
+
+  const int n = FpgaGrid::min_grid_for(out.nl->num_logic(),
+                                       out.nl->num_input_pads() +
+                                           out.nl->num_output_pads());
+  out.grid = std::make_unique<FpgaGrid>(n);
+
+  AnnealerOptions aopt = cfg.annealer;
+  aopt.seed = cfg.seed * 977 + 13;
+  const double t0 = now_seconds();
+  out.pl = std::make_unique<Placement>(
+      anneal_placement(*out.nl, *out.grid, cfg.delay, aopt));
+  out.anneal_seconds = now_seconds() - t0;
+  return out;
+}
+
+CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
+                               const Placement& pl, const FlowConfig& cfg) {
+  CircuitMetrics m;
+  m.circuit = name;
+  m.luts = nl.num_logic();
+  m.ios = nl.num_input_pads() + nl.num_output_pads();
+  m.blocks = nl.num_live_cells();
+  m.fpga_n = pl.grid().n();
+  m.density = FpgaGrid::design_density(m.luts, m.fpga_n);
+
+  const double t0 = now_seconds();
+  // Placement-level criticalities steer the timing-driven router; like VPR's
+  // routing schedule, criticalities are then refreshed from the ROUTED
+  // delays and the nets re-routed, so connections stretched through shared
+  // trees in the first pass get direct routes in the next.
+  TimingGraph tg(nl, pl, cfg.delay);
+  std::unordered_map<std::int64_t, double> crit;
+  auto refresh_crit = [&]() {
+    for (std::size_t e = 0; e < tg.num_edges(); ++e) {
+      const TimingEdge& ed = tg.edge(e);
+      const std::int64_t key =
+          (static_cast<std::int64_t>(tg.node(ed.to).cell.value()) << 8) |
+          static_cast<std::int64_t>(ed.pin);
+      crit[key] = tg.edge_criticality(e);
+    }
+  };
+  refresh_crit();
+  auto crit_fn = [&crit](CellId sink, int pin) {
+    auto it = crit.find((static_cast<std::int64_t>(sink.value()) << 8) |
+                        static_cast<std::int64_t>(pin));
+    return it == crit.end() ? 0.0 : it->second;
+  };
+  auto retime_from = [&](const RoutingResult& routing) {
+    tg.set_wire_length_override([&routing](CellId sink, int pin, int fallback) {
+      return routing.length_of(sink, pin, fallback);
+    });
+    tg.run_sta();
+    refresh_crit();
+    tg.set_wire_length_override(nullptr);
+  };
+
+  // Infinite-resource routing: the placement-evaluation metric of Table I.
+  RouterOptions inf = cfg.router;
+  inf.channel_width = 0;
+  RoutingResult r_inf = route(nl, pl, inf, crit_fn);
+  retime_from(r_inf);
+  r_inf = route(nl, pl, inf, crit_fn);
+  m.crit_winf = routed_critical_delay(nl, pl, cfg.delay, r_inf);
+  m.wirelength = r_inf.total_wirelength;
+
+  if (cfg.route_lowstress) {
+    m.wmin = find_min_channel_width(nl, pl, cfg.router);
+    RouterOptions ls = cfg.router;
+    ls.channel_width = static_cast<int>(std::ceil(1.2 * m.wmin));
+    RoutingResult r_ls = route(nl, pl, ls, crit_fn);
+    retime_from(r_ls);
+    r_ls = route(nl, pl, ls, crit_fn);
+    m.crit_wls = routed_critical_delay(nl, pl, cfg.delay, r_ls);
+    m.wirelength = r_ls.total_wirelength;
+  } else {
+    m.crit_wls = m.crit_winf;
+  }
+  m.route_seconds = now_seconds() - t0;
+  return m;
+}
+
+}  // namespace repro

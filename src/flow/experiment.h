@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/delay_model.h"
+#include "arch/fpga_grid.h"
+#include "gen/circuit_gen.h"
+#include "netlist/netlist.h"
+#include "place/annealer.h"
+#include "place/placement.h"
+#include "route/router.h"
+
+namespace repro {
+
+/// Shared configuration of the experiment flow used by all benches.
+struct FlowConfig {
+  /// Circuit size scale relative to Table I (1.0 = full MCNC sizes). The
+  /// default keeps the full 20-circuit sweep within minutes on a laptop;
+  /// the shapes of Tables II/III are scale-stable (see EXPERIMENTS.md).
+  /// Override with REPRO_SCALE.
+  double scale = 0.15;
+  AnnealerOptions annealer;
+  LinearDelayModel delay;
+  RouterOptions router;
+  /// Compute the low-stress numbers (W_min search + 1.2 W_min routing).
+  bool route_lowstress = true;
+  std::uint64_t seed = 7;
+};
+
+/// Reads REPRO_SCALE / REPRO_QUICK environment variables so the bench
+/// binaries can be re-run at other scales without rebuilding.
+FlowConfig config_from_env();
+
+/// A generated circuit placed by the timing-driven annealer ("VPR" baseline)
+/// on its minimum square FPGA.
+struct PlacedCircuit {
+  std::string name;
+  std::unique_ptr<Netlist> nl;
+  std::unique_ptr<FpgaGrid> grid;
+  std::unique_ptr<Placement> pl;
+  double anneal_seconds = 0;
+};
+
+PlacedCircuit prepare_circuit(const McncCircuit& c, const FlowConfig& cfg);
+
+/// Post-place(-and-route) metrics matching the Table I columns.
+struct CircuitMetrics {
+  std::string circuit;
+  double crit_winf = 0;   ///< routed critical path, infinite resources [ns]
+  double crit_wls = 0;    ///< routed critical path, low-stress width [ns]
+  std::int64_t wirelength = 0;  ///< routed total wirelength (low-stress)
+  int wmin = 0;
+  std::size_t luts = 0;
+  std::size_t ios = 0;
+  std::size_t blocks = 0;
+  int fpga_n = 0;
+  double density = 0;
+  double route_seconds = 0;
+};
+
+/// Routes and times the design in both modes of Section VII.
+CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
+                               const Placement& pl, const FlowConfig& cfg);
+
+}  // namespace repro

@@ -1,0 +1,85 @@
+#include "flow/svg_report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+constexpr int kCellPx = 14;
+constexpr int kPad = 10;
+
+int px(int coord) { return kPad + coord * kCellPx; }
+
+}  // namespace
+
+void write_placement_svg(const Placement& pl, const LinearDelayModel& dm,
+                         std::ostream& out) {
+  const Netlist& nl = pl.netlist();
+  const FpgaGrid& grid = pl.grid();
+  TimingGraph tg(nl, pl, dm);
+  const double crit = std::max(tg.critical_delay(), 1e-9);
+
+  const int size = 2 * kPad + grid.extent() * kCellPx;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << size << "' height='"
+      << size << "'>\n";
+  out << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  // Array outline: logic region and I/O ring.
+  out << "<rect x='" << px(1) << "' y='" << px(1) << "' width='"
+      << grid.n() * kCellPx << "' height='" << grid.n() * kCellPx
+      << "' fill='#f8f8f8' stroke='#999'/>\n";
+
+  // Cells.
+  for (CellId c : nl.live_cells()) {
+    const Cell& cell = nl.cell(c);
+    Point p = pl.location(c);
+    const double slowest = tg.slowest_path_through_cell(c);
+    const double criticality = std::clamp(slowest / crit, 0.0, 1.0);
+    // White (slack) to red (critical).
+    const int green_blue = static_cast<int>(235 * (1.0 - criticality * criticality));
+    std::string fill;
+    if (cell.kind == CellKind::kLogic)
+      fill = "rgb(235," + std::to_string(green_blue) + "," +
+             std::to_string(green_blue) + ")";
+    else
+      fill = "#b0c4ff";
+    const bool replica = cell.kind == CellKind::kLogic &&
+                         nl.eq_members(cell.eq_class).size() > 1;
+    out << "<rect x='" << px(p.x) + 1 << "' y='" << px(p.y) + 1 << "' width='"
+        << kCellPx - 2 << "' height='" << kCellPx - 2 << "' fill='" << fill
+        << "' stroke='" << (replica ? "#0050d0" : "#ccc")
+        << "' stroke-width='" << (replica ? 2 : 1) << "'>"
+        << "<title>" << cell.name << " (" << p.x << "," << p.y << ") slowest "
+        << slowest << "</title></rect>\n";
+  }
+
+  // Critical path polyline.
+  auto path = tg.critical_path();
+  if (path.size() >= 2) {
+    out << "<polyline fill='none' stroke='#d00000' stroke-width='2' points='";
+    for (TimingNodeId n : path) {
+      Point p = pl.location(tg.node(n).cell);
+      out << px(p.x) + kCellPx / 2 << ',' << px(p.y) + kCellPx / 2 << ' ';
+    }
+    out << "'/>\n";
+  }
+
+  out << "<text x='" << kPad << "' y='" << size - 2
+      << "' font-family='monospace' font-size='11'>critical " << crit
+      << " ns; red = near-critical, blue outline = replicated</text>\n";
+  out << "</svg>\n";
+}
+
+void write_placement_svg_file(const Placement& pl, const LinearDelayModel& dm,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_placement_svg(pl, dm, out);
+}
+
+}  // namespace repro

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/delay_model.h"
+#include "place/placement.h"
+
+namespace repro {
+
+/// Writes an SVG rendering of a placement: the FPGA array with the I/O ring,
+/// logic cells shaded by timing criticality (slowest path through the cell
+/// relative to the critical delay), replicated cells outlined, and the
+/// current critical path drawn as a polyline. Useful for eyeballing the
+/// before/after effect of the replication engine (the Fig. 1/2 pictures).
+void write_placement_svg(const Placement& pl, const LinearDelayModel& dm,
+                         std::ostream& out);
+void write_placement_svg_file(const Placement& pl, const LinearDelayModel& dm,
+                              const std::string& path);
+
+}  // namespace repro

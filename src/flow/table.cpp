@@ -1,0 +1,44 @@
+#include "flow/table.h"
+
+#include <algorithm>
+
+namespace repro {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::add_separator() { rows_.emplace_back(); }
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      os << (i == 0 ? "" : "  ");
+      os << cell << std::string(width[i] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < width.size(); ++i) total += width[i] + (i ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty())
+      os << std::string(total, '-') << '\n';
+    else
+      print_row(row);
+  }
+}
+
+}  // namespace repro

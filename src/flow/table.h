@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Minimal fixed-width console table used by the bench binaries to print the
+/// paper-style result tables.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+}  // namespace repro

@@ -1,0 +1,286 @@
+#include "netlist/blif.h"
+
+#include <cassert>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace repro {
+namespace {
+
+struct NamesDecl {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::pair<std::string, char>> rows;  // (pattern, value)
+  int line = 0;
+};
+
+struct LatchDecl {
+  std::string input;
+  std::string output;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("blif:" + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream iss(s);
+  std::string tok;
+  while (iss >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Builds the truth table from a single-output cover.
+std::uint64_t cover_to_function(const NamesDecl& d) {
+  const int k = static_cast<int>(d.inputs.size());
+  if (k > Netlist::kMaxLutInputs)
+    fail(d.line, ".names with more than " + std::to_string(Netlist::kMaxLutInputs) +
+                     " inputs is not supported");
+  // Determine cover polarity.
+  char polarity = 0;
+  for (const auto& [pattern, value] : d.rows) {
+    if (value != '0' && value != '1') fail(d.line, "cover output must be 0 or 1");
+    if (polarity == 0) polarity = value;
+    if (value != polarity) fail(d.line, "mixed-polarity cover");
+    if (static_cast<int>(pattern.size()) != k)
+      fail(d.line, "cover row width does not match input count");
+  }
+  if (d.rows.empty()) return 0;  // constant 0
+
+  std::uint64_t covered = 0;
+  const unsigned count = 1u << k;
+  for (unsigned m = 0; m < count; ++m) {
+    for (const auto& [pattern, value] : d.rows) {
+      bool match = true;
+      for (int b = 0; b < k && match; ++b) {
+        char p = pattern[b];
+        bool bit = (m >> b) & 1;
+        if (p == '-') continue;
+        if ((p == '1') != bit) match = false;
+      }
+      if (match) {
+        covered |= 1ULL << m;
+        break;
+      }
+    }
+  }
+  if (polarity == '0') {
+    const std::uint64_t mask = (k >= 6) ? ~0ULL : ((1ULL << count) - 1);
+    covered = ~covered & mask;
+  }
+  return covered;
+}
+
+}  // namespace
+
+BlifResult read_blif(std::istream& in) {
+  BlifResult result;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<NamesDecl> names;
+  std::vector<LatchDecl> latches;
+
+  // ---- lexing: comments, continuations, directives ------------------------
+  std::string line;
+  std::string pending;
+  int lineno = 0;
+  int pending_line = 0;
+  std::vector<std::pair<int, std::vector<std::string>>> records;
+
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    auto toks = tokenize(pending);
+    if (!toks.empty()) records.emplace_back(pending_line, std::move(toks));
+    pending.clear();
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto h = line.find('#'); h != std::string::npos) line.resize(h);
+    bool continued = false;
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      continued = true;
+    }
+    if (pending.empty()) pending_line = lineno;
+    pending += line + " ";
+    if (!continued) flush_pending();
+  }
+  flush_pending();
+
+  // ---- parse records -------------------------------------------------------
+  NamesDecl* open_names = nullptr;
+  for (auto& [ln, toks] : records) {
+    const std::string& head = toks[0];
+    if (head[0] != '.') {
+      // Cover row for the open .names.
+      if (!open_names) fail(ln, "cover row outside .names");
+      if (open_names->inputs.empty()) {
+        if (toks.size() != 1) fail(ln, "constant cover row must be a single token");
+        open_names->rows.emplace_back("", toks[0][0]);
+      } else {
+        if (toks.size() != 2) fail(ln, "cover row must be '<pattern> <value>'");
+        open_names->rows.emplace_back(toks[0], toks[1][0]);
+      }
+      continue;
+    }
+    open_names = nullptr;
+    if (head == ".model") {
+      if (toks.size() >= 2) result.model_name = toks[1];
+    } else if (head == ".inputs") {
+      input_names.insert(input_names.end(), toks.begin() + 1, toks.end());
+    } else if (head == ".outputs") {
+      output_names.insert(output_names.end(), toks.begin() + 1, toks.end());
+    } else if (head == ".names") {
+      if (toks.size() < 2) fail(ln, ".names needs at least an output");
+      NamesDecl d;
+      d.inputs.assign(toks.begin() + 1, toks.end() - 1);
+      d.output = toks.back();
+      d.line = ln;
+      names.push_back(std::move(d));
+      open_names = &names.back();
+    } else if (head == ".latch") {
+      if (toks.size() < 3) fail(ln, ".latch needs input and output");
+      latches.push_back(LatchDecl{toks[1], toks[2], ln});
+    } else if (head == ".end") {
+      break;
+    } else {
+      fail(ln, "unsupported directive '" + head + "'");
+    }
+  }
+
+  // ---- build the netlist ----------------------------------------------------
+  Netlist& nl = result.netlist;
+  std::unordered_map<std::string, NetId> net_of;  // signal name -> net
+  std::unordered_map<std::string, CellId> producer;
+
+  for (const std::string& n : input_names) {
+    if (net_of.count(n)) fail(0, "duplicate signal '" + n + "'");
+    CellId pad = nl.add_input_pad(n);
+    net_of[n] = nl.cell(pad).output;
+  }
+  for (const NamesDecl& d : names) {
+    if (net_of.count(d.output)) fail(d.line, "duplicate signal '" + d.output + "'");
+    CellId c = nl.add_logic(d.output,
+                            std::vector<NetId>(d.inputs.size(), NetId::invalid()),
+                            cover_to_function(d), false);
+    net_of[d.output] = nl.cell(c).output;
+    producer[d.output] = c;
+  }
+  for (const LatchDecl& l : latches) {
+    if (net_of.count(l.output)) fail(l.line, "duplicate signal '" + l.output + "'");
+    CellId c = nl.add_logic(l.output, {NetId::invalid()}, 0b10, true);
+    net_of[l.output] = nl.cell(c).output;
+    producer[l.output] = c;
+  }
+
+  auto net_named = [&](const std::string& n, int ln) {
+    auto it = net_of.find(n);
+    if (it == net_of.end()) fail(ln, "undefined signal '" + n + "'");
+    return it->second;
+  };
+
+  for (const NamesDecl& d : names) {
+    CellId c = producer.at(d.output);
+    for (std::size_t p = 0; p < d.inputs.size(); ++p)
+      nl.connect(net_named(d.inputs[p], d.line), c, static_cast<int>(p));
+  }
+  for (const LatchDecl& l : latches)
+    nl.connect(net_named(l.input, l.line), producer.at(l.output), 0);
+
+  for (const std::string& n : output_names) {
+    CellId pad = nl.add_output_pad(n);
+    nl.connect(net_named(n, 0), pad, 0);
+  }
+
+  // ---- collapse single-fanout LUT -> latch pairs into registered BLEs ------
+  for (const LatchDecl& l : latches) {
+    CellId latch = producer.at(l.output);
+    if (!nl.cell_alive(latch)) continue;
+    NetId d_net = nl.cell(latch).inputs[0];
+    CellId driver = nl.net(d_net).driver;
+    const Cell& drv = nl.cell(driver);
+    if (drv.kind != CellKind::kLogic || drv.registered) continue;
+    if (nl.net(d_net).sinks.size() != 1) continue;
+    if (producer.count(drv.name) == 0) continue;  // paranoid
+    // Merge: the driver becomes registered and adopts the latch's fanout.
+    // (Order matters: make the driver registered only after stealing, so the
+    // steal does not see a half-merged state.)
+    nl.steal_fanout(latch, driver);
+    std::vector<CellId> deleted;
+    nl.remove_if_redundant(latch, &deleted);
+    nl.set_registered(driver, true);
+    // The merged BLE now produces the latch's signal: adopt its name so the
+    // writer's "<name>$d / .latch" convention round-trips.
+    nl.rename_cell(driver, l.output);
+  }
+
+  std::string problem = nl.validate();
+  if (!problem.empty()) fail(0, "internal: " + problem);
+  return result;
+}
+
+BlifResult read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_blif(in);
+}
+
+void write_blif(const Netlist& nl, const std::string& model_name, std::ostream& out) {
+  // Signal name of a cell's output: the cell's name.
+  auto signal = [&](NetId n) { return nl.cell(nl.net(n).driver).name; };
+
+  out << ".model " << model_name << "\n.inputs";
+  for (CellId c : nl.live_cells())
+    if (nl.cell(c).kind == CellKind::kInputPad) out << ' ' << nl.cell(c).name;
+  out << "\n.outputs";
+  for (CellId c : nl.live_cells())
+    if (nl.cell(c).kind == CellKind::kOutputPad) out << ' ' << nl.cell(c).name;
+  out << "\n";
+
+  for (CellId c : nl.live_cells()) {
+    const Cell& cell = nl.cell(c);
+    if (cell.kind == CellKind::kOutputPad) {
+      // Identity buffer only when the pad name differs from its source.
+      if (signal(cell.inputs[0]) != cell.name)
+        out << ".names " << signal(cell.inputs[0]) << ' ' << cell.name << "\n1 1\n";
+      continue;
+    }
+    if (cell.kind != CellKind::kLogic) continue;
+
+    const std::string lut_out = cell.registered ? cell.name + "$d" : cell.name;
+    out << ".names";
+    for (NetId in : cell.inputs) out << ' ' << signal(in);
+    out << ' ' << lut_out << "\n";
+    const int k = static_cast<int>(cell.inputs.size());
+    const unsigned count = 1u << k;
+    bool any = false;
+    for (unsigned m = 0; m < count; ++m) {
+      if (!((cell.function >> m) & 1)) continue;
+      any = true;
+      for (int b = 0; b < k; ++b) out << (((m >> b) & 1) ? '1' : '0');
+      out << (k ? " " : "") << "1\n";
+    }
+    if (!any) {
+      // Constant-0 cover: an empty cover means 0 already; emit nothing.
+    }
+    if (cell.registered) out << ".latch " << lut_out << ' ' << cell.name << " 2\n";
+  }
+  out << ".end\n";
+}
+
+void write_blif_file(const Netlist& nl, const std::string& model_name,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_blif(nl, model_name, out);
+}
+
+}  // namespace repro

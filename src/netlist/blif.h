@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace repro {
+
+/// Berkeley Logic Interchange Format (BLIF) import/export.
+///
+/// The MCNC benchmarks the paper evaluates on are distributed as mapped
+/// .blif netlists; this reader accepts that technology-mapped subset:
+///
+///   .model / .inputs / .outputs / .end
+///   .names  <in...> <out>     with single-output cover rows ("-01 1" etc.)
+///   .latch  <in> <out> [type [control]] [init]
+///
+/// Constraints of this library's BLE netlist model:
+///   * .names support of at most Netlist::kMaxLutInputs (6) inputs;
+///   * a .latch whose input is produced by a single-fanout .names collapses
+///     into one registered BLE (the VPR packing convention); stand-alone
+///     latches become pass-through registered BLEs;
+///   * covers must be single-output and deterministic (no overlapping
+///     contradictory rows).
+///
+/// The writer emits one .names per LUT (deriving the cover from the truth
+/// table) and one .latch per registered BLE, so write -> read round-trips.
+struct BlifResult {
+  Netlist netlist;
+  std::string model_name;
+};
+
+/// Parses BLIF text. Throws std::runtime_error with a line-numbered message
+/// on malformed input.
+BlifResult read_blif(std::istream& in);
+BlifResult read_blif_file(const std::string& path);
+
+/// Writes the netlist as BLIF.
+void write_blif(const Netlist& nl, const std::string& model_name, std::ostream& out);
+void write_blif_file(const Netlist& nl, const std::string& model_name,
+                     const std::string& path);
+
+}  // namespace repro

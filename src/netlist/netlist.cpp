@@ -1,0 +1,326 @@
+#include "netlist/netlist.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace repro {
+
+NetId Netlist::new_net(std::string name, CellId driver) {
+  NetId id(static_cast<NetId::value_type>(nets_.size()));
+  Net n;
+  n.name = std::move(name);
+  n.driver = driver;
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+EqClassId Netlist::new_eq_class(CellId first) {
+  EqClassId id(static_cast<EqClassId::value_type>(eq_classes_.size()));
+  eq_classes_.push_back({first});
+  return id;
+}
+
+CellId Netlist::add_input_pad(std::string name) {
+  CellId id(static_cast<CellId::value_type>(cells_.size()));
+  Cell c;
+  c.kind = CellKind::kInputPad;
+  c.name = name;
+  cells_.push_back(std::move(c));
+  cells_.back().output = new_net(name + ".o", id);
+  cells_.back().eq_class = new_eq_class(id);
+  ++num_live_cells_;
+  return id;
+}
+
+CellId Netlist::add_output_pad(std::string name) {
+  CellId id(static_cast<CellId::value_type>(cells_.size()));
+  Cell c;
+  c.kind = CellKind::kOutputPad;
+  c.name = std::move(name);
+  c.inputs.resize(1, NetId::invalid());
+  cells_.push_back(std::move(c));
+  cells_.back().eq_class = new_eq_class(id);
+  ++num_live_cells_;
+  return id;
+}
+
+CellId Netlist::add_logic(std::string name, std::vector<NetId> inputs, std::uint64_t function,
+                          bool registered) {
+  assert(static_cast<int>(inputs.size()) <= kMaxLutInputs);
+  CellId id(static_cast<CellId::value_type>(cells_.size()));
+  Cell c;
+  c.kind = CellKind::kLogic;
+  c.name = name;
+  c.inputs = std::move(inputs);
+  c.function = function;
+  c.registered = registered;
+  cells_.push_back(std::move(c));
+  cells_.back().output = new_net(name + ".o", id);
+  cells_.back().eq_class = new_eq_class(id);
+  ++num_live_cells_;
+  // Register this cell as a sink of each already-known input net.
+  for (std::size_t pin = 0; pin < cells_[id.index()].inputs.size(); ++pin) {
+    NetId n = cells_[id.index()].inputs[pin];
+    if (n.valid()) nets_[n.index()].sinks.push_back({id, static_cast<int>(pin)});
+  }
+  return id;
+}
+
+void Netlist::connect(NetId n, CellId cell, int pin) {
+  Cell& c = cells_[cell.index()];
+  assert(pin >= 0 && pin < static_cast<int>(c.inputs.size()));
+  assert(!c.inputs[pin].valid() && "pin already connected; use reassign_input");
+  c.inputs[pin] = n;
+  nets_[n.index()].sinks.push_back({cell, pin});
+}
+
+void Netlist::set_registered(CellId cell, bool registered) {
+  Cell& c = cells_[cell.index()];
+  assert(c.kind == CellKind::kLogic);
+  c.registered = registered;
+}
+
+void Netlist::rename_cell(CellId cell, std::string name) {
+  Cell& c = cells_[cell.index()];
+  c.name = std::move(name);
+  if (c.output.valid()) nets_[c.output.index()].name = c.name + ".o";
+}
+
+void Netlist::grow_input(CellId cell, NetId n, std::uint64_t new_function) {
+  Cell& c = cells_[cell.index()];
+  assert(c.kind == CellKind::kLogic);
+  assert(static_cast<int>(c.inputs.size()) < kMaxLutInputs);
+  const int pin = static_cast<int>(c.inputs.size());
+  c.inputs.push_back(n);
+  c.function = new_function;
+  nets_[n.index()].sinks.push_back({cell, pin});
+}
+
+std::vector<CellId> Netlist::live_cells() const {
+  std::vector<CellId> out;
+  out.reserve(num_live_cells_);
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].alive) out.push_back(CellId(static_cast<CellId::value_type>(i)));
+  return out;
+}
+
+std::vector<NetId> Netlist::live_nets() const {
+  std::vector<NetId> out;
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    if (nets_[i].alive) out.push_back(NetId(static_cast<NetId::value_type>(i)));
+  return out;
+}
+
+std::size_t Netlist::num_logic() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_)
+    if (c.alive && c.kind == CellKind::kLogic) ++n;
+  return n;
+}
+
+std::size_t Netlist::num_registered() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_)
+    if (c.alive && c.kind == CellKind::kLogic && c.registered) ++n;
+  return n;
+}
+
+std::size_t Netlist::num_input_pads() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_)
+    if (c.alive && c.kind == CellKind::kInputPad) ++n;
+  return n;
+}
+
+std::size_t Netlist::num_output_pads() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_)
+    if (c.alive && c.kind == CellKind::kOutputPad) ++n;
+  return n;
+}
+
+std::vector<CellId> Netlist::eq_members(EqClassId c) const {
+  std::vector<CellId> out;
+  for (CellId id : eq_classes_[c.index()])
+    if (cells_[id.index()].alive) out.push_back(id);
+  return out;
+}
+
+bool Netlist::equivalent(CellId a, CellId b) const {
+  return cells_[a.index()].alive && cells_[b.index()].alive &&
+         cells_[a.index()].eq_class == cells_[b.index()].eq_class;
+}
+
+CellId Netlist::replicate_cell(CellId v) {
+  // Copy the source cell by value: push_back below may reallocate cells_.
+  const Cell src = cells_[v.index()];
+  assert(src.alive && src.kind == CellKind::kLogic && "only logic cells are replicable");
+  CellId id(static_cast<CellId::value_type>(cells_.size()));
+  Cell c;
+  c.kind = src.kind;
+  c.name = src.name + "$r" + std::to_string(eq_classes_[src.eq_class.index()].size());
+  c.inputs = src.inputs;
+  c.function = src.function;
+  c.registered = src.registered;
+  c.eq_class = src.eq_class;
+  cells_.push_back(std::move(c));
+  cells_.back().output = new_net(cells_.back().name + ".o", id);
+  eq_classes_[src.eq_class.index()].push_back(id);
+  ++num_live_cells_;
+  for (std::size_t pin = 0; pin < cells_[id.index()].inputs.size(); ++pin) {
+    NetId n = cells_[id.index()].inputs[pin];
+    assert(n.valid());
+    nets_[n.index()].sinks.push_back({id, static_cast<int>(pin)});
+  }
+  return id;
+}
+
+void Netlist::reassign_input(CellId cell, int pin, NetId new_net_id) {
+  Cell& c = cells_[cell.index()];
+  assert(pin >= 0 && pin < static_cast<int>(c.inputs.size()));
+  NetId old = c.inputs[pin];
+  if (old == new_net_id) return;
+  if (old.valid()) {
+    auto& sinks = nets_[old.index()].sinks;
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (sinks[i].cell == cell && sinks[i].pin == pin) {
+        sinks[i] = sinks.back();
+        sinks.pop_back();
+        break;
+      }
+    }
+  }
+  c.inputs[pin] = new_net_id;
+  nets_[new_net_id.index()].sinks.push_back({cell, pin});
+}
+
+void Netlist::steal_fanout(CellId from_cell, CellId into_cell) {
+  NetId from = cells_[from_cell.index()].output;
+  NetId into = cells_[into_cell.index()].output;
+  assert(from.valid() && into.valid());
+  // Copy the sink list: reassign_input mutates nets_[from].sinks.
+  std::vector<Sink> sinks = nets_[from.index()].sinks;
+  for (const Sink& s : sinks) reassign_input(s.cell, s.pin, into);
+}
+
+int Netlist::remove_if_redundant(CellId v, std::vector<CellId>* deleted) {
+  Cell& c = cells_[v.index()];
+  if (!c.alive || c.kind != CellKind::kLogic) return 0;
+  if (!nets_[c.output.index()].sinks.empty()) return 0;
+  // Detach from fanin nets, then recursively test the fanins.
+  std::vector<NetId> fanin = c.inputs;
+  for (int pin = 0; pin < static_cast<int>(c.inputs.size()); ++pin) {
+    NetId n = c.inputs[pin];
+    if (!n.valid()) continue;
+    auto& sinks = nets_[n.index()].sinks;
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (sinks[i].cell == v && sinks[i].pin == pin) {
+        sinks[i] = sinks.back();
+        sinks.pop_back();
+        break;
+      }
+    }
+    c.inputs[pin] = NetId::invalid();
+  }
+  c.alive = false;
+  nets_[c.output.index()].alive = false;
+  --num_live_cells_;
+  if (deleted) deleted->push_back(v);
+  int count = 1;
+  for (NetId n : fanin)
+    if (n.valid()) count += remove_if_redundant(nets_[n.index()].driver, deleted);
+  return count;
+}
+
+int Netlist::unify(CellId from, CellId into, std::vector<CellId>* deleted) {
+  assert(equivalent(from, into));
+  steal_fanout(from, into);
+  return remove_if_redundant(from, deleted);
+}
+
+std::string Netlist::validate() const {
+  std::ostringstream err;
+  std::size_t live_count = 0;
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    if (!c.alive) continue;
+    ++live_count;
+    CellId cid(static_cast<CellId::value_type>(ci));
+    if (c.kind != CellKind::kOutputPad) {
+      if (!c.output.valid()) {
+        err << "cell " << c.name << " has no output net";
+        return err.str();
+      }
+      const Net& n = nets_[c.output.index()];
+      if (!n.alive || n.driver != cid) {
+        err << "cell " << c.name << " output net driver mismatch";
+        return err.str();
+      }
+    }
+    if (c.kind == CellKind::kInputPad && !c.inputs.empty()) {
+      err << "input pad " << c.name << " has inputs";
+      return err.str();
+    }
+    if (c.kind == CellKind::kLogic &&
+        static_cast<int>(c.inputs.size()) > kMaxLutInputs) {
+      err << "cell " << c.name << " has too many inputs";
+      return err.str();
+    }
+    for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
+      NetId nid = c.inputs[pin];
+      if (!nid.valid()) {
+        err << "cell " << c.name << " pin " << pin << " unconnected";
+        return err.str();
+      }
+      const Net& n = nets_[nid.index()];
+      if (!n.alive) {
+        err << "cell " << c.name << " pin " << pin << " on dead net";
+        return err.str();
+      }
+      bool found = false;
+      for (const Sink& s : n.sinks)
+        if (s.cell == cid && s.pin == static_cast<int>(pin)) found = true;
+      if (!found) {
+        err << "net " << n.name << " missing back-link to " << c.name << " pin " << pin;
+        return err.str();
+      }
+      if (!cells_[n.driver.index()].alive) {
+        err << "net " << n.name << " driven by dead cell";
+        return err.str();
+      }
+    }
+    if (!eq_classes_[c.eq_class.index()].empty()) {
+      bool member = false;
+      for (CellId m : eq_classes_[c.eq_class.index()])
+        if (m == cid) member = true;
+      if (!member) {
+        err << "cell " << c.name << " not listed in its equivalence class";
+        return err.str();
+      }
+    }
+  }
+  if (live_count != num_live_cells_) {
+    err << "live cell count mismatch: " << live_count << " vs " << num_live_cells_;
+    return err.str();
+  }
+  for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+    const Net& n = nets_[ni];
+    if (!n.alive) continue;
+    NetId nid(static_cast<NetId::value_type>(ni));
+    for (const Sink& s : n.sinks) {
+      const Cell& c = cells_[s.cell.index()];
+      if (!c.alive) {
+        err << "net " << n.name << " has dead sink cell";
+        return err.str();
+      }
+      if (s.pin < 0 || s.pin >= static_cast<int>(c.inputs.size()) ||
+          c.inputs[s.pin] != nid) {
+        err << "net " << n.name << " sink back-link mismatch at " << c.name;
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace repro

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace repro {
+
+/// Kinds of placeable blocks.
+///
+/// We follow the clustered VPR model used by the paper's experimental setup
+/// (T-VPlace / MCNC circuits mapped to K-input LUT + optional flip-flop
+/// "basic logic elements"): a kLogic cell is one BLE — a LUT whose output is
+/// optionally registered. I/O pads sit on the FPGA perimeter. With this
+/// model, Table I's "total blk" = #LUT-blocks + #I/Os, matching the paper.
+enum class CellKind : std::uint8_t {
+  kLogic,      ///< K-input LUT with optional output flip-flop (a BLE).
+  kInputPad,   ///< Primary input.
+  kOutputPad,  ///< Primary output (one input pin, no output).
+};
+
+/// One fanout connection of a net: input pin `pin` of cell `cell`.
+struct Sink {
+  CellId cell;
+  int pin = 0;
+
+  friend bool operator==(Sink a, Sink b) { return a.cell == b.cell && a.pin == b.pin; }
+};
+
+/// A placeable block.
+struct Cell {
+  CellKind kind = CellKind::kLogic;
+  std::string name;
+  /// Nets feeding each input pin (size = #used input pins; empty for kInputPad).
+  std::vector<NetId> inputs;
+  /// Net driven by this cell's output (invalid for kOutputPad).
+  NetId output;
+  /// LUT truth table over `inputs.size()` variables, bit i = f(i's binary
+  /// input assignment). Only meaningful for kLogic.
+  std::uint64_t function = 0;
+  /// True if the LUT output goes through the BLE flip-flop.
+  bool registered = false;
+  /// Logical-equivalence class. Replicating a cell puts the replica in the
+  /// same class; two cells in the same class compute the same signal.
+  EqClassId eq_class;
+  /// Soft-delete flag (ids remain stable across edits).
+  bool alive = true;
+};
+
+/// A signal net: one driver, many sinks.
+struct Net {
+  std::string name;
+  CellId driver;
+  std::vector<Sink> sinks;
+  bool alive = true;
+};
+
+/// Mutable gate-level netlist with the editing operations the replication
+/// engine needs (replicate / rewire / unify / delete-redundant), stable ids,
+/// equivalence-class tracking, and an invariant checker.
+class Netlist {
+ public:
+  /// Max LUT inputs supported by the 64-bit truth table.
+  static constexpr int kMaxLutInputs = 6;
+
+  // ---- construction -------------------------------------------------------
+
+  CellId add_input_pad(std::string name);
+  CellId add_output_pad(std::string name);
+  /// Adds a BLE. `inputs` may contain invalid NetIds to be connected later
+  /// via connect(); function bits beyond 2^inputs are ignored.
+  CellId add_logic(std::string name, std::vector<NetId> inputs, std::uint64_t function,
+                   bool registered);
+
+  /// Connects net `n` to input pin `pin` of `cell` (pin must currently be
+  /// unconnected or this asserts; use reassign_input to change).
+  void connect(NetId n, CellId cell, int pin);
+
+  /// Adds one more input pin to a logic cell, connected to `n`, and replaces
+  /// the truth table with `new_function` over the enlarged support (used by
+  /// the circuit generator to absorb dangling signals).
+  void grow_input(CellId cell, NetId n, std::uint64_t new_function);
+
+  /// Turns a logic cell's BLE flip-flop on or off (used by the BLIF reader
+  /// to collapse a single-fanout LUT -> latch pair into one registered BLE).
+  void set_registered(CellId cell, bool registered);
+
+  /// Renames a cell (cosmetic; names are used by file formats and reports).
+  void rename_cell(CellId cell, std::string name);
+
+  // ---- access --------------------------------------------------------------
+
+  std::size_t cell_capacity() const { return cells_.size(); }
+  std::size_t net_capacity() const { return nets_.size(); }
+
+  const Cell& cell(CellId id) const { return cells_[id.index()]; }
+  const Net& net(NetId id) const { return nets_[id.index()]; }
+
+  bool cell_alive(CellId id) const { return cells_[id.index()].alive; }
+  bool net_alive(NetId id) const { return nets_[id.index()].alive; }
+
+  /// All ids of live cells (in id order).
+  std::vector<CellId> live_cells() const;
+  std::vector<NetId> live_nets() const;
+
+  std::size_t num_live_cells() const { return num_live_cells_; }
+  std::size_t num_logic() const;
+  std::size_t num_registered() const;
+  std::size_t num_input_pads() const;
+  std::size_t num_output_pads() const;
+
+  /// Live members of an equivalence class, in id order.
+  std::vector<CellId> eq_members(EqClassId c) const;
+  /// True if a and b are in the same equivalence class (and both alive).
+  bool equivalent(CellId a, CellId b) const;
+
+  // ---- editing (the ops the replication engine performs) -------------------
+
+  /// Duplicates `v`: the replica has the same kind/function/registered flag,
+  /// the same input nets, a fresh output net with NO sinks, and joins v's
+  /// equivalence class. Returns the replica id.
+  CellId replicate_cell(CellId v);
+
+  /// Moves input pin `pin` of `cell` from its current net to `new_net`.
+  void reassign_input(CellId cell, int pin, NetId new_net);
+
+  /// Moves every sink of `from_cell`'s output net onto `into_cell`'s output
+  /// net (the paper's unification: fanouts of a redundant equivalent cell are
+  /// reassigned to the kept replica). Does not delete anything.
+  void steal_fanout(CellId from_cell, CellId into_cell);
+
+  /// Deletes `v` if it is a logic cell whose output has no sinks, then
+  /// recursively re-tests its fanin cells (the paper's recursive redundant
+  /// deletion, Section V-C). Returns the number of cells deleted; the ids of
+  /// deleted cells are appended to *deleted when provided (callers use this
+  /// to unplace them).
+  int remove_if_redundant(CellId v, std::vector<CellId>* deleted = nullptr);
+
+  /// steal_fanout(from, into) followed by remove_if_redundant(from).
+  /// Returns number of deleted cells (appended to *deleted when provided).
+  int unify(CellId from, CellId into, std::vector<CellId>* deleted = nullptr);
+
+  // ---- verification ---------------------------------------------------------
+
+  /// Checks all structural invariants (driver/sink cross-links, pin ranges,
+  /// liveness consistency, equivalence-class symmetry). Returns an empty
+  /// string on success or a description of the first violation.
+  std::string validate() const;
+
+ private:
+  NetId new_net(std::string name, CellId driver);
+  EqClassId new_eq_class(CellId first);
+
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  /// eq class -> member cell ids (may contain dead cells; filtered on query).
+  std::vector<std::vector<CellId>> eq_classes_;
+  std::size_t num_live_cells_ = 0;
+};
+
+}  // namespace repro

@@ -1,0 +1,135 @@
+#include "netlist/sim.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace repro {
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl) {
+  value_.resize(nl.net_capacity(), 0);
+  computed_.resize(nl.net_capacity(), 0);
+  state_.resize(nl.cell_capacity(), 0);
+}
+
+void Simulator::reset() {
+  for (auto& s : state_) s = 0;
+}
+
+std::uint64_t Simulator::eval_net(NetId n) {
+  if (computed_[n.index()] == 2) return value_[n.index()];
+  if (computed_[n.index()] == 1)
+    throw std::runtime_error("combinational loop detected during simulation");
+  computed_[n.index()] = 1;
+
+  const Cell& drv = nl_.cell(nl_.net(n).driver);
+  std::uint64_t v = 0;
+  switch (drv.kind) {
+    case CellKind::kInputPad: {
+      auto it = pi_.find(drv.name);
+      v = (it != pi_.end()) ? it->second : 0;
+      break;
+    }
+    case CellKind::kLogic: {
+      if (drv.registered) {
+        // The BLE flip-flop drives the net; its D input is evaluated later.
+        v = state_[nl_.net(n).driver.index()];
+      } else {
+        // Bitwise LUT evaluation: for each of the 64 vectors, assemble the
+        // input index and look it up in the truth table.
+        const int k = static_cast<int>(drv.inputs.size());
+        std::uint64_t in[Netlist::kMaxLutInputs] = {};
+        for (int p = 0; p < k; ++p) in[p] = eval_net(drv.inputs[p]);
+        for (int bit = 0; bit < 64; ++bit) {
+          unsigned idx = 0;
+          for (int p = 0; p < k; ++p) idx |= static_cast<unsigned>((in[p] >> bit) & 1) << p;
+          v |= ((drv.function >> idx) & 1) << bit;
+        }
+      }
+      break;
+    }
+    case CellKind::kOutputPad:
+      assert(false && "output pads do not drive nets");
+      break;
+  }
+  value_[n.index()] = v;
+  computed_[n.index()] = 2;
+  return v;
+}
+
+std::unordered_map<std::string, std::uint64_t> Simulator::step(
+    const std::unordered_map<std::string, std::uint64_t>& pi_values) {
+  pi_ = pi_values;
+  for (auto& c : computed_) c = 0;
+
+  std::unordered_map<std::string, std::uint64_t> po;
+  std::vector<std::uint64_t> next_state = state_;
+
+  for (CellId cid : nl_.live_cells()) {
+    const Cell& c = nl_.cell(cid);
+    if (c.kind == CellKind::kOutputPad) {
+      po[c.name] = eval_net(c.inputs[0]);
+    } else if (c.kind == CellKind::kLogic && c.registered) {
+      // Compute the D value = LUT function of the inputs (combinational).
+      const int k = static_cast<int>(c.inputs.size());
+      std::uint64_t in[Netlist::kMaxLutInputs] = {};
+      for (int p = 0; p < k; ++p) in[p] = eval_net(c.inputs[p]);
+      std::uint64_t d = 0;
+      for (int bit = 0; bit < 64; ++bit) {
+        unsigned idx = 0;
+        for (int p = 0; p < k; ++p) idx |= static_cast<unsigned>((in[p] >> bit) & 1) << p;
+        d |= ((c.function >> idx) & 1) << bit;
+      }
+      next_state[cid.index()] = d;
+    }
+  }
+  state_ = std::move(next_state);
+  return po;
+}
+
+bool functionally_equivalent(const Netlist& a, const Netlist& b, int cycles,
+                             std::uint64_t seed, std::string* why) {
+  // Collect pad name sets.
+  std::vector<std::string> pis;
+  std::vector<std::string> pos_a;
+  for (CellId id : a.live_cells()) {
+    const Cell& c = a.cell(id);
+    if (c.kind == CellKind::kInputPad) pis.push_back(c.name);
+    if (c.kind == CellKind::kOutputPad) pos_a.push_back(c.name);
+  }
+  std::size_t pis_b = 0;
+  std::size_t pos_b = 0;
+  for (CellId id : b.live_cells()) {
+    const Cell& c = b.cell(id);
+    if (c.kind == CellKind::kInputPad) ++pis_b;
+    if (c.kind == CellKind::kOutputPad) ++pos_b;
+  }
+  if (pis.size() != pis_b || pos_a.size() != pos_b) {
+    if (why) *why = "primary I/O count mismatch";
+    return false;
+  }
+
+  Simulator sa(a);
+  Simulator sb(b);
+  Rng rng(seed);
+  for (int cyc = 0; cyc < cycles; ++cyc) {
+    std::unordered_map<std::string, std::uint64_t> stim;
+    for (const auto& name : pis) stim[name] = rng.next_u64();
+    auto oa = sa.step(stim);
+    auto ob = sb.step(stim);
+    for (const auto& [name, va] : oa) {
+      auto it = ob.find(name);
+      if (it == ob.end()) {
+        if (why) *why = "output pad " + name + " missing in second netlist";
+        return false;
+      }
+      if (it->second != va) {
+        if (why)
+          *why = "output " + name + " differs at cycle " + std::to_string(cyc);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace repro

@@ -1,0 +1,290 @@
+#include "place/annealer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "timing/timing_graph.h"
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace repro {
+
+Placement random_placement(const Netlist& nl, const FpgaGrid& grid, Rng& rng) {
+  Placement pl(nl, grid);
+  std::vector<Point> logic_slots = grid.logic_locations();
+  rng.shuffle(logic_slots);
+  // I/O slots expanded by capacity.
+  std::vector<Point> io_slots;
+  for (Point p : grid.io_locations())
+    for (int k = 0; k < grid.io_rat(); ++k) io_slots.push_back(p);
+  rng.shuffle(io_slots);
+
+  std::size_t li = 0;
+  std::size_t ii = 0;
+  for (CellId c : nl.live_cells()) {
+    if (nl.cell(c).kind == CellKind::kLogic) {
+      assert(li < logic_slots.size() && "grid too small for logic blocks");
+      pl.place(c, logic_slots[li++]);
+    } else {
+      assert(ii < io_slots.size() && "grid too small for I/O pads");
+      pl.place(c, io_slots[ii++]);
+    }
+  }
+  return pl;
+}
+
+namespace {
+
+/// Incremental cost bookkeeping for the annealer.
+class AnnealState {
+ public:
+  AnnealState(const Netlist& nl, Placement& pl, TimingGraph& tg, const AnnealerOptions& opt)
+      : nl_(nl), pl_(pl), tg_(tg), opt_(opt) {
+    net_wl_.resize(nl.net_capacity(), 0.0);
+    for (NetId n : nl.live_nets()) {
+      net_wl_[n.index()] = pl.net_wirelength(n);
+      wiring_cost_ += net_wl_[n.index()];
+    }
+    edge_delay_.resize(tg.num_edges(), 0.0);
+    edge_weight_.resize(tg.num_edges(), 0.0);
+    cell_edges_.resize(nl.cell_capacity());
+    for (std::size_t e = 0; e < tg.num_edges(); ++e) {
+      const TimingEdge& ed = tg.edge(e);
+      cell_edges_[tg.node(ed.from).cell.index()].push_back(e);
+      cell_edges_[tg.node(ed.to).cell.index()].push_back(e);
+    }
+    refresh_criticalities(1.0);
+  }
+
+  /// Re-runs STA and recomputes criticality weights with the given exponent.
+  void refresh_criticalities(double crit_exponent) {
+    tg_.run_sta();
+    timing_cost_ = 0;
+    for (std::size_t e = 0; e < tg_.num_edges(); ++e) {
+      edge_delay_[e] = tg_.edge(e).delay;
+      edge_weight_[e] = std::pow(tg_.edge_criticality(e), crit_exponent);
+      timing_cost_ += edge_delay_[e] * edge_weight_[e];
+    }
+    wiring_norm_ = std::max(wiring_cost_, 1e-9);
+    timing_norm_ = std::max(timing_cost_, 1e-9);
+  }
+
+  double wiring_cost() const { return wiring_cost_; }
+  double timing_cost() const { return timing_cost_; }
+
+  /// Normalized composite delta for moving cells (already moved in pl_);
+  /// `touched_nets` and `touched_cells` describe the move.
+  double evaluate_delta(const std::vector<NetId>& touched_nets,
+                        const std::vector<CellId>& touched_cells,
+                        std::vector<double>& new_wl, std::vector<double>& new_delay,
+                        std::vector<std::size_t>& touched_edges) const {
+    double dw = 0;
+    new_wl.clear();
+    for (NetId n : touched_nets) {
+      double wl = pl_.net_wirelength(n);
+      new_wl.push_back(wl);
+      dw += wl - net_wl_[n.index()];
+    }
+    double dt = 0;
+    new_delay.clear();
+    touched_edges.clear();
+    if (opt_.timing_driven) {
+      for (CellId c : touched_cells) {
+        for (std::size_t e : cell_edges_[c.index()]) {
+          if (std::find(touched_edges.begin(), touched_edges.end(), e) !=
+              touched_edges.end())
+            continue;
+          touched_edges.push_back(e);
+          const TimingEdge& ed = tg_.edge(e);
+          Point a = pl_.location(tg_.node(ed.from).cell);
+          Point b = pl_.location(tg_.node(ed.to).cell);
+          double d = tg_.delay_model().wire_delay(a, b) + tg_.node_intrinsic_delay(ed.to);
+          new_delay.push_back(d);
+          dt += (d - edge_delay_[e]) * edge_weight_[e];
+        }
+      }
+    }
+    return opt_.lambda * dt / timing_norm_ + (1 - opt_.lambda) * dw / wiring_norm_;
+  }
+
+  /// Commits the cached deltas after an accepted move.
+  void commit(const std::vector<NetId>& touched_nets, const std::vector<double>& new_wl,
+              const std::vector<std::size_t>& touched_edges,
+              const std::vector<double>& new_delay) {
+    for (std::size_t i = 0; i < touched_nets.size(); ++i) {
+      wiring_cost_ += new_wl[i] - net_wl_[touched_nets[i].index()];
+      net_wl_[touched_nets[i].index()] = new_wl[i];
+    }
+    for (std::size_t i = 0; i < touched_edges.size(); ++i) {
+      timing_cost_ += (new_delay[i] - edge_delay_[touched_edges[i]]) *
+                      edge_weight_[touched_edges[i]];
+      edge_delay_[touched_edges[i]] = new_delay[i];
+    }
+  }
+
+ private:
+  const Netlist& nl_;
+  Placement& pl_;
+  TimingGraph& tg_;
+  const AnnealerOptions& opt_;
+  std::vector<double> net_wl_;
+  std::vector<double> edge_delay_;
+  std::vector<double> edge_weight_;
+  std::vector<std::vector<std::size_t>> cell_edges_;
+  double wiring_cost_ = 0;
+  double timing_cost_ = 0;
+  double wiring_norm_ = 1;
+  double timing_norm_ = 1;
+};
+
+/// Collects the nets incident to a cell, deduplicated into `out`.
+void collect_nets(const Netlist& nl, CellId c, std::vector<NetId>& out) {
+  const Cell& cell = nl.cell(c);
+  auto push = [&out](NetId n) {
+    if (n.valid() && std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  };
+  push(cell.output);
+  for (NetId n : cell.inputs) push(n);
+}
+
+}  // namespace
+
+Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
+                           const LinearDelayModel& dm, const AnnealerOptions& opt) {
+  Rng rng(opt.seed);
+  Placement pl = random_placement(nl, grid, rng);
+  TimingGraph tg(nl, pl, dm);
+  AnnealState state(nl, pl, tg, opt);
+
+  std::vector<CellId> movable = nl.live_cells();
+  if (movable.empty()) return pl;
+  const double num_blocks = static_cast<double>(movable.size());
+  const int moves_per_temp = std::max(
+      16, static_cast<int>(opt.inner_num * std::pow(num_blocks, 4.0 / 3.0)));
+
+  double rlim = grid.extent();
+  const double rlim_initial = rlim;
+  auto crit_exp = [&]() {
+    if (rlim_initial <= 1.0) return opt.max_crit_exponent;
+    double f = (rlim_initial - rlim) / (rlim_initial - 1.0);
+    return 1.0 + f * (opt.max_crit_exponent - 1.0);
+  };
+
+  std::vector<NetId> touched_nets;
+  std::vector<CellId> touched_cells;
+  std::vector<double> new_wl;
+  std::vector<double> new_delay;
+  std::vector<std::size_t> touched_edges;
+
+  // Proposes a move/swap; returns false if no target could be found.
+  // On success the placement is already updated and the touched sets filled.
+  auto propose = [&](CellId& a, CellId& b, Point& a_from, Point& b_from) -> bool {
+    a = movable[rng.next_below(movable.size())];
+    a_from = pl.location(a);
+    const bool is_logic = nl.cell(a).kind == CellKind::kLogic;
+    const int r = std::max(1, static_cast<int>(rlim));
+    Point target{-1, -1};
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      Point t{a_from.x + rng.next_int(-r, r), a_from.y + rng.next_int(-r, r)};
+      if (!grid.in_array(t) || t == a_from) continue;
+      if (is_logic ? !grid.is_logic(t) : !grid.is_io(t)) continue;
+      target = t;
+      break;
+    }
+    if (target.x < 0) return false;
+
+    b = CellId::invalid();
+    if (pl.occupancy(target) >= grid.capacity(target)) {
+      const auto& occ = pl.cells_at(target);
+      b = occ[rng.next_below(occ.size())];
+      b_from = target;
+    }
+
+    touched_nets.clear();
+    touched_cells.clear();
+    touched_cells.push_back(a);
+    collect_nets(nl, a, touched_nets);
+    if (b.valid()) {
+      touched_cells.push_back(b);
+      collect_nets(nl, b, touched_nets);
+      pl.place(b, a_from);
+    }
+    pl.place(a, target);
+    return true;
+  };
+
+  auto revert = [&](CellId a, CellId b, Point a_from, Point b_from) {
+    pl.place(a, a_from);
+    if (b.valid()) pl.place(b, b_from);
+  };
+
+  // Initial temperature: std-dev of cost over num_blocks accepted random
+  // moves, times 20 (VPR's rule).
+  StatAccumulator probe;
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    CellId a;
+    CellId b;
+    Point af;
+    Point bf;
+    if (!propose(a, b, af, bf)) continue;
+    double delta = state.evaluate_delta(touched_nets, touched_cells, new_wl, new_delay,
+                                        touched_edges);
+    state.commit(touched_nets, new_wl, touched_edges, new_delay);
+    probe.add(delta);
+  }
+  double temperature = 20.0 * std::max(probe.stddev(), 1e-6);
+  state.refresh_criticalities(crit_exp());
+
+  const double num_nets = std::max<double>(1.0, static_cast<double>(nl.live_nets().size()));
+  int temp_iter = 0;
+  while (true) {
+    int accepted = 0;
+    for (int m = 0; m < moves_per_temp; ++m) {
+      CellId a;
+      CellId b;
+      Point af;
+      Point bf;
+      if (!propose(a, b, af, bf)) continue;
+      double delta = state.evaluate_delta(touched_nets, touched_cells, new_wl,
+                                          new_delay, touched_edges);
+      bool accept = delta < 0 || rng.next_double() < std::exp(-delta / temperature);
+      if (accept) {
+        state.commit(touched_nets, new_wl, touched_edges, new_delay);
+        ++accepted;
+      } else {
+        revert(a, b, af, bf);
+      }
+    }
+    const double success = static_cast<double>(accepted) / moves_per_temp;
+
+    // VPR temperature update schedule.
+    double gamma;
+    if (success > 0.96)
+      gamma = 0.5;
+    else if (success > 0.8)
+      gamma = 0.9;
+    else if (success > 0.15 || rlim > 1.0)
+      gamma = 0.95;
+    else
+      gamma = 0.8;
+    temperature *= gamma;
+
+    rlim = std::clamp(rlim * (1.0 - 0.44 + success), 1.0, rlim_initial);
+    state.refresh_criticalities(crit_exp());
+    ++temp_iter;
+
+    // VPR exit criterion: T below a small fraction of the average per-net
+    // cost. Deltas here are normalized (total composite cost ~ 1), so the
+    // per-net cost is 1/num_nets. A hard iteration backstop guards odd cases.
+    if (temperature < 0.005 / num_nets || temp_iter > 400) break;
+  }
+
+  LOG_INFO() << "annealer finished after " << temp_iter << " temperatures; wiring cost "
+             << state.wiring_cost();
+  assert(pl.legal());
+  return pl;
+}
+
+}  // namespace repro

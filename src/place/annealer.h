@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/delay_model.h"
+#include "arch/fpga_grid.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+#include "util/rng.h"
+
+namespace repro {
+
+/// Options for the timing-driven simulated-annealing placer.
+///
+/// The defaults follow T-VPlace (Marquardt, Betz, Rose, FPGA-2000), the
+/// placer the paper uses as its baseline and starting point:
+///   cost = lambda * Timing/Timing_prev + (1-lambda) * Wiring/Wiring_prev,
+///   Timing = sum_e delay(e) * criticality(e)^crit_exponent,
+/// with the adaptive annealing schedule, range limiting, and per-temperature
+/// STA recomputation of criticalities.
+struct AnnealerOptions {
+  double lambda = 0.5;
+  /// Final criticality exponent; ramped from 1 to this value as the range
+  /// limit shrinks, as in T-VPlace.
+  double max_crit_exponent = 8.0;
+  /// Moves per temperature = inner_num * num_blocks^(4/3). VPR default is 10;
+  /// 1.0 gives near-identical quality at a tenth of the runtime for the
+  /// circuit sizes used in the benches.
+  double inner_num = 1.0;
+  bool timing_driven = true;  ///< false = pure wirelength-driven VPlace
+  std::uint64_t seed = 1;
+};
+
+/// Places a netlist on a grid with timing-driven simulated annealing and
+/// returns a legal placement. This is the repository's "VPR" baseline.
+Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
+                           const LinearDelayModel& dm, const AnnealerOptions& opt);
+
+/// Produces a valid random initial placement (used by the annealer and by
+/// tests that need any legal placement).
+Placement random_placement(const Netlist& nl, const FpgaGrid& grid, Rng& rng);
+
+}  // namespace repro

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "arch/delay_model.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+
+namespace repro {
+
+/// Options for the timing-driven ripple-move legalizer (Section V-A).
+struct LegalizerOptions {
+  /// Composite cost weight: C = alpha * C_T + (1 - alpha) * C_W.
+  /// The paper uses 0.95 ("the main goal ... was to improve timing").
+  double alpha = 0.95;
+  /// A cell's timing cost is nonzero only when the slowest path through it is
+  /// within this fraction of the critical delay (paper: 40%).
+  double near_critical_fraction = 0.4;
+  /// Safety bound on legalization passes (one pass resolves one overlap).
+  int max_passes = 100000;
+};
+
+struct LegalizerResult {
+  bool success = false;  ///< all overlaps resolved
+  int ripple_moves = 0;  ///< number of single-slot cell moves performed
+  int overlaps_resolved = 0;
+  int unifications = 0;  ///< cells removed by mid-ripple unification
+  std::string failure;   ///< empty on success; diagnostic otherwise
+};
+
+/// Resolves placement overlaps by timing-driven ripple moves, adapted from
+/// Mongrel's ripple strategy as described in Section V-A:
+///
+///   * find the first congested location;
+///   * find up to four closest free slots (one per quadrant);
+///   * build the gain graph over monotone paths toward those slots, each edge
+///     labeled with the composite (timing + wiring) gain of moving its cell
+///     one slot toward the target;
+///   * execute the max-gain path, moving each cell exactly one slot;
+///   * if a ripple lands a cell on a logically equivalent cell, unify them
+///     and end the pass.
+///
+/// May mutate the netlist (unification deletes redundant cells). Fails only
+/// if no free slot exists for a remaining overlap.
+LegalizerResult legalize_timing_driven(Netlist& nl, Placement& pl,
+                                       const LinearDelayModel& dm,
+                                       const LegalizerOptions& opt = {});
+
+}  // namespace repro

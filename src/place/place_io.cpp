@@ -1,0 +1,102 @@
+#include "place/place_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace repro {
+
+namespace {
+
+const char* kind_token(CellKind k) {
+  switch (k) {
+    case CellKind::kLogic:
+      return "logic";
+    case CellKind::kInputPad:
+      return "input";
+    case CellKind::kOutputPad:
+      return "output";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_placement(const Placement& pl, const std::string& netlist_name,
+                     std::ostream& out) {
+  const Netlist& nl = pl.netlist();
+  out << "Netlist file: " << netlist_name << "  Architecture: " << pl.grid().n()
+      << " x " << pl.grid().n() << " (io_rat " << pl.grid().io_rat() << ")\n";
+  out << "#block\tx\ty\tkind\n";
+  for (CellId c : nl.live_cells()) {
+    Point p = pl.location(c);
+    out << nl.cell(c).name << '\t' << p.x << '\t' << p.y << '\t'
+        << kind_token(nl.cell(c).kind) << '\n';
+  }
+}
+
+void write_placement_file(const Placement& pl, const std::string& netlist_name,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_placement(pl, netlist_name, out);
+}
+
+void read_placement(Placement& pl, std::istream& in) {
+  const Netlist& nl = pl.netlist();
+  // Pad and logic names may collide (BLIF output buffers carry the pad
+  // name), so the key includes the kind; a name-only fallback keeps files
+  // without the kind column working.
+  std::unordered_map<std::string, CellId> by_name_kind;
+  std::unordered_map<std::string, CellId> by_name;
+  for (CellId c : nl.live_cells()) {
+    by_name_kind[nl.cell(c).name + "/" + kind_token(nl.cell(c).kind)] = c;
+    by_name[nl.cell(c).name] = c;
+  }
+
+  std::string line;
+  int lineno = 0;
+  std::size_t placed = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto h = line.find('#'); h != std::string::npos) line.resize(h);
+    std::istringstream iss(line);
+    std::string name;
+    int x = 0;
+    int y = 0;
+    std::string kind;
+    if (!(iss >> name)) continue;           // blank line
+    if (name == "Netlist") continue;        // header
+    if (!(iss >> x >> y))
+      throw std::runtime_error("place:" + std::to_string(lineno) +
+                               ": expected '<name> <x> <y> [kind]'");
+    iss >> kind;
+    auto it = kind.empty() ? by_name.find(name)
+                           : by_name_kind.find(name + "/" + kind);
+    auto end = kind.empty() ? by_name.end() : by_name_kind.end();
+    if (it == end)
+      throw std::runtime_error("place:" + std::to_string(lineno) +
+                               ": unknown cell '" + name + "'");
+    Point p{x, y};
+    if (!pl.grid().in_array(p) || !pl.compatible(it->second, p))
+      throw std::runtime_error("place:" + std::to_string(lineno) +
+                               ": illegal location for '" + name + "'");
+    pl.place(it->second, p);
+    ++placed;
+  }
+  if (placed != nl.num_live_cells())
+    throw std::runtime_error("placement file covers " + std::to_string(placed) +
+                             " of " + std::to_string(nl.num_live_cells()) +
+                             " cells");
+}
+
+void read_placement_file(Placement& pl, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  read_placement(pl, in);
+}
+
+}  // namespace repro

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "place/placement.h"
+
+namespace repro {
+
+/// Text placement format, modeled on VPR's .place files:
+///
+///   Netlist file: <name>  Architecture: <n> x <n> (io_rat <r>)
+///   #block       x   y
+///   <cellname>   <x> <y>
+///
+/// Cells are matched by name on load; every live cell must be present and
+/// every location must be kind-compatible. Loading does not require the
+/// placement to be overlap-free (the flow's intermediate states are not).
+void write_placement(const Placement& pl, const std::string& netlist_name,
+                     std::ostream& out);
+void write_placement_file(const Placement& pl, const std::string& netlist_name,
+                          const std::string& path);
+
+/// Loads locations into `pl` (which must be bound to the same netlist the
+/// file was written for). Throws std::runtime_error on unknown cells, bad
+/// coordinates, or missing cells.
+void read_placement(Placement& pl, std::istream& in);
+void read_placement_file(Placement& pl, const std::string& path);
+
+}  // namespace repro

@@ -1,0 +1,215 @@
+#include "replicate/extraction.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "timing/timing_graph.h"
+#include "util/log.h"
+
+namespace repro {
+namespace {
+
+/// Live cell at point p equivalent to `like`, or invalid.
+CellId equivalent_cell_at(const Netlist& nl, const Placement& pl, Point p, CellId like) {
+  for (CellId occ : pl.cells_at(p))
+    if (nl.cell_alive(occ) && nl.equivalent(occ, like)) return occ;
+  return CellId::invalid();
+}
+
+}  // namespace
+
+ExtractionStats apply_embedding(
+    Netlist& nl, Placement& pl, const ReplicationTree& rt,
+    const std::unordered_map<TreeNodeId, EmbedVertexId>& embedding,
+    const EmbeddingGraph& graph) {
+  ExtractionStats stats;
+
+  // Tree-parent connection of each internal node: (parent cell, pin). Used
+  // for the relocate-instead-of-replicate test.
+  std::unordered_map<TreeNodeId, std::pair<CellId, int>> parent_conn;
+  auto record_parent = [&](const ReplicationTree::InternalInfo& info) {
+    for (std::size_t pin = 0; pin < info.pin_child.size(); ++pin)
+      if (info.pin_is_internal[pin])
+        parent_conn[info.pin_child[pin]] = {info.cell, static_cast<int>(pin)};
+  };
+  for (const auto& info : rt.internals) record_parent(info);
+  record_parent(rt.root_info);
+
+  // Realized signal source per tree node. Leaves realize to their original
+  // driver cells.
+  std::unordered_map<TreeNodeId, CellId> realized;
+  for (TreeNodeId n : rt.tree.post_order())
+    if (rt.tree.node(n).is_leaf()) realized[n] = rt.tree.node(n).cell;
+
+  // Internal nodes are listed children-before-parents.
+  for (const auto& info : rt.internals) {
+    auto it = embedding.find(info.node);
+    assert(it != embedding.end());
+    const Point target = graph.point(it->second);
+    const Cell& orig = nl.cell(info.cell);
+    (void)orig;
+
+    CellId use = equivalent_cell_at(nl, pl, target, info.cell);
+    CellId cell_to_use;
+    if (use.valid()) {
+      // Implicit unification: the embedder chose a location already holding
+      // an equivalent signal, so copy and resident merge into one cell. The
+      // merged cell must take the TREE-optimized inputs (the embedder's
+      // arrival signature assumed them); its other fanouts still receive a
+      // logically identical signal.
+      ++stats.reused;
+      cell_to_use = use;
+    } else {
+      // Relocate when the original's entire fanout is exactly the
+      // tree-parent connection (replicating would leave the original
+      // fanout-free anyway).
+      bool relocate = false;
+      auto pc = parent_conn.find(info.node);
+      if (pc != parent_conn.end()) {
+        const auto& sinks = nl.net(nl.cell(info.cell).output).sinks;
+        relocate = sinks.size() == 1 && sinks[0].cell == pc->second.first &&
+                   sinks[0].pin == pc->second.second;
+      }
+      if (relocate) {
+        cell_to_use = info.cell;
+        pl.place(info.cell, target);
+        ++stats.relocated;
+      } else {
+        cell_to_use = nl.replicate_cell(info.cell);
+        pl.place(cell_to_use, target);
+        ++stats.replicated;
+      }
+    }
+    // Rewire tree input pins to the realized children (external pins keep
+    // the drivers the cell already has — logically equivalent by class).
+    for (std::size_t pin = 0; pin < info.pin_child.size(); ++pin) {
+      if (!info.pin_is_internal[pin]) continue;
+      CellId child = realized.at(info.pin_child[pin]);
+      nl.reassign_input(cell_to_use, static_cast<int>(pin),
+                        nl.cell(child).output);
+    }
+    realized[info.node] = cell_to_use;
+  }
+
+  // Root: rewire its tree pins in place; move it only if the embedding chose
+  // a different root vertex (FF relocation).
+  {
+    const auto& info = rt.root_info;
+    auto it = embedding.find(rt.tree.root());
+    if (it != embedding.end()) {
+      Point root_target = graph.point(it->second);
+      if (root_target != pl.location(info.cell)) pl.place(info.cell, root_target);
+    }
+    for (std::size_t pin = 0; pin < info.pin_child.size(); ++pin) {
+      if (!info.pin_is_internal[pin]) continue;
+      CellId child = realized.at(info.pin_child[pin]);
+      nl.reassign_input(info.cell, static_cast<int>(pin), nl.cell(child).output);
+    }
+  }
+
+  // Originals that lost their fanout are redundant now.
+  for (const auto& info : rt.internals) {
+    if (!nl.cell_alive(info.cell)) continue;
+    std::vector<CellId> deleted;
+    nl.remove_if_redundant(info.cell, &deleted);
+    for (CellId d : deleted) pl.unplace(d);
+    stats.deleted += static_cast<int>(deleted.size());
+  }
+  return stats;
+}
+
+UnificationStats postprocess_unification(Netlist& nl, Placement& pl,
+                                         const LinearDelayModel& dm, bool aggressive) {
+  UnificationStats stats;
+  TimingGraph tg(nl, pl, dm);
+  const double crit = tg.critical_delay();
+  const double tol = 1e-9;
+
+  // Collect equivalence classes with more than one live member.
+  std::unordered_map<EqClassId, std::vector<CellId>> classes;
+  for (CellId c : nl.live_cells()) {
+    const Cell& cell = nl.cell(c);
+    if (cell.kind != CellKind::kLogic) continue;
+    classes[cell.eq_class].push_back(c);
+  }
+
+  for (auto& [cls, members] : classes) {
+    if (members.size() < 2) continue;
+    // Aggressive consolidation target order: members with the most fanout
+    // first, so lightly-loaded replicas drain and die (Section V-C /
+    // Section VII-B: unify "as long as they do not violate current critical
+    // delay").
+    std::vector<CellId> by_fanout = members;
+    std::sort(by_fanout.begin(), by_fanout.end(), [&](CellId a, CellId b) {
+      return nl.net(nl.cell(a).output).sinks.size() >
+             nl.net(nl.cell(b).output).sinks.size();
+    });
+
+    for (CellId e : members) {
+      if (!nl.cell_alive(e)) continue;
+      // Copy: reassign_input mutates the sink list.
+      std::vector<Sink> sinks = nl.net(nl.cell(e).output).sinks;
+      for (const Sink& s : sinks) {
+        Point s_loc = pl.location(s.cell);
+        double cur_est =
+            tg.arrival(tg.out_node(e)) + dm.wire_delay(pl.location(e), s_loc);
+        CellId chosen;
+        if (aggressive) {
+          // Take the highest-fanout equivalent whose use either does not
+          // slow this connection, or keeps its slowest path clearly
+          // subcritical (guard band below the current critical delay).
+          // Without the guard band, unification would park paths exactly at
+          // the critical delay and undo the progress the embedder just made
+          // on them, thrashing with replication forever.
+          const Cell& sc = nl.cell(s.cell);
+          TimingNodeId recv = (sc.kind == CellKind::kLogic && !sc.registered)
+                                  ? tg.out_node(s.cell)
+                                  : tg.sink_node(s.cell);
+          const std::size_t e_fanout = nl.net(nl.cell(e).output).sinks.size();
+          const double guard = 0.95 * crit;
+          for (CellId r : by_fanout) {
+            if (r == e || !nl.cell_alive(r)) continue;
+            // Drain smaller members into larger ones only (ties broken by
+            // id) so consolidation converges instead of oscillating.
+            const std::size_t r_fanout = nl.net(nl.cell(r).output).sinks.size();
+            if (r_fanout < e_fanout || (r_fanout == e_fanout && e < r)) continue;
+            double est =
+                tg.arrival(tg.out_node(r)) + dm.wire_delay(pl.location(r), s_loc);
+            double path = est + tg.node_intrinsic_delay(recv) + tg.downstream(recv);
+            if (est <= cur_est + tol || path <= guard) {
+              chosen = r;
+              break;
+            }
+          }
+        } else {
+          // Conservative: only strictly non-degrading reassignments.
+          double best_est = cur_est;
+          for (CellId r : members) {
+            if (r == e || !nl.cell_alive(r)) continue;
+            double est =
+                tg.arrival(tg.out_node(r)) + dm.wire_delay(pl.location(r), s_loc);
+            if (est < best_est - tol) {
+              best_est = est;
+              chosen = r;
+            }
+          }
+        }
+        if (chosen.valid()) {
+          nl.reassign_input(s.cell, s.pin, nl.cell(chosen).output);
+          ++stats.fanouts_moved;
+        }
+      }
+    }
+    // Drain: delete members that lost all fanout.
+    for (CellId e : members) {
+      if (!nl.cell_alive(e)) continue;
+      std::vector<CellId> deleted;
+      nl.remove_if_redundant(e, &deleted);
+      for (CellId d : deleted) pl.unplace(d);
+      stats.cells_deleted += static_cast<int>(deleted.size());
+    }
+  }
+  return stats;
+}
+
+}  // namespace repro

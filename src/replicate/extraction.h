@@ -1,0 +1,60 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "arch/delay_model.h"
+#include "embed/embedder.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+#include "replicate/replication_tree.h"
+
+namespace repro {
+
+struct ExtractionStats {
+  int replicated = 0;  ///< new cells created
+  int relocated = 0;   ///< originals moved instead of copied (fanout-1 case)
+  int reused = 0;      ///< tree nodes landing on an equivalent cell (implicit
+                       ///< unification — no replication)
+  int deleted = 0;     ///< originals removed as redundant afterwards
+};
+
+/// Realizes an embedding of a replication tree on the netlist/placement
+/// (Section IV: "the chosen solution ... will guide the solution extraction
+/// algorithm to determine which cells need to be replicated or just
+/// relocated if no replication is necessary"):
+///
+///   * a tree node placed on a location holding a logically equivalent live
+///     cell reuses that cell (implicit unification — the embedder's
+///     placement-cost discount made this attractive);
+///   * a node whose original cell would lose its entire fanout to the tree
+///     is relocated rather than copied;
+///   * otherwise a replica is created and placed (possibly overlapping —
+///     the timing-driven legalizer resolves that later);
+///   * tree input pins are rewired to the realized children; external pins
+///     keep their original drivers;
+///   * originals that end up fanout-free are recursively deleted.
+///
+/// `embedding` maps every tree node to its vertex (from
+/// FaninTreeEmbedder::extract). If the root vertex differs from the root
+/// cell's current location the root cell is moved (FF relocation,
+/// Section V-D).
+ExtractionStats apply_embedding(
+    Netlist& nl, Placement& pl, const ReplicationTree& rt,
+    const std::unordered_map<TreeNodeId, EmbedVertexId>& embedding,
+    const EmbeddingGraph& graph);
+
+struct UnificationStats {
+  int fanouts_moved = 0;
+  int cells_deleted = 0;
+};
+
+/// Postprocess unification (Section V-C): for every group of logically
+/// equivalent cells, reassign fanouts to the best-placed replica when doing
+/// so does not hurt, then delete members that lost all fanout (recursively).
+/// `aggressive` = accept any reassignment that keeps the path under the
+/// current critical delay (the paper's high-density tuning); otherwise only
+/// reassignments that do not increase the estimated sink arrival are taken.
+UnificationStats postprocess_unification(Netlist& nl, Placement& pl,
+                                         const LinearDelayModel& dm, bool aggressive);
+
+}  // namespace repro

@@ -1,0 +1,155 @@
+#include "replicate/local_replication.h"
+
+#include <algorithm>
+#include <climits>
+#include <memory>
+#include <vector>
+
+#include "place/legalizer.h"
+#include "timing/monotone.h"
+#include "timing/timing_graph.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+/// Logic slot that best straightens the v1 -> v3 path: minimize
+/// d(v1, t) + d(t, v3), tie-break by distance to the midpoint, preferring a
+/// free slot among equals. Occupied slots are allowed — DAC-2003 places the
+/// duplicate at the desired location and legalizes afterwards.
+Point best_straightening_slot(const Placement& pl, Point v1, Point v3, bool& found) {
+  Point mid{(v1.x + v3.x) / 2, (v1.y + v3.y) / 2};
+  Point best{-1, -1};
+  long best_key = LONG_MAX;
+  for (Point p : pl.grid().logic_locations()) {
+    const bool free = pl.occupancy(p) < pl.grid().capacity(p);
+    long detour = manhattan(v1, p) + manhattan(p, v3);
+    long key = detour * 100000 + manhattan(p, mid) * 10 + (free ? 0 : 1);
+    if (key < best_key) {
+      best_key = key;
+      best = p;
+    }
+  }
+  found = best.x >= 0;
+  return best;
+}
+
+struct Candidate {
+  CellId v2;
+  Point v1_loc;
+  Point v3_loc;
+  CellId v3_cell;
+  int v3_pin;
+};
+
+}  // namespace
+
+LocalReplicationResult run_local_replication(Netlist& nl, Placement& pl,
+                                             const LinearDelayModel& dm,
+                                             const LocalReplicationOptions& opt) {
+  LocalReplicationResult res;
+  Rng rng(opt.seed);
+
+  auto snapshot_nl = std::make_unique<Netlist>(nl);
+  auto snapshot_pl = std::make_unique<Placement>(pl.with_netlist(*snapshot_nl));
+
+  {
+    TimingGraph tg0(nl, pl, dm);
+    res.initial_critical = tg0.critical_delay();
+  }
+  double best_crit = res.initial_critical;
+  int nonimproving = 0;
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    ++res.iterations;
+    TimingGraph tg(nl, pl, dm);
+    const double crit = tg.critical_delay();
+    if (crit < best_crit - 1e-9) {
+      best_crit = crit;
+      nonimproving = 0;
+      snapshot_nl = std::make_unique<Netlist>(nl);
+      snapshot_pl = std::make_unique<Placement>(pl.with_netlist(*snapshot_nl));
+    } else {
+      if (++nonimproving > opt.max_nonimproving) break;
+    }
+
+    // Collect locally nonmonotone triples along the critical path whose
+    // middle cell is replicable combinational logic.
+    std::vector<TimingNodeId> path = tg.critical_path();
+    std::vector<Candidate> cands;
+    for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+      CellId c1 = tg.node(path[i]).cell;
+      CellId c2 = tg.node(path[i + 1]).cell;
+      CellId c3 = tg.node(path[i + 2]).cell;
+      if (tg.node(path[i + 1]).kind != TimingNodeKind::kComb) continue;
+      Point p1 = pl.location(c1);
+      Point p2 = pl.location(c2);
+      Point p3 = pl.location(c3);
+      if (!locally_nonmonotone(p1, p2, p3)) continue;
+      // Find the pin of c3 driven by c2 on this path edge.
+      int pin = -1;
+      for (std::size_t e : tg.fanout_edges(path[i + 1]))
+        if (tg.edge(e).to == path[i + 2]) pin = tg.edge(e).pin;
+      if (pin < 0) continue;
+      cands.push_back(Candidate{c2, p1, p3, c3, pin});
+    }
+    if (cands.empty()) {
+      // Local monotonicity everywhere along the critical path: the
+      // technique's structural limitation (Fig. 3) — nothing more to do.
+      break;
+    }
+
+    const Candidate& cand = cands[rng.next_below(cands.size())];
+    bool found = false;
+    Point target = best_straightening_slot(pl, cand.v1_loc, cand.v3_loc, found);
+    if (!found) break;  // out of free slots
+
+    // Copy the fanout list up front: replicate_cell below grows the net
+    // array and would invalidate any reference into it.
+    std::vector<Sink> sinks = nl.net(nl.cell(cand.v2).output).sinks;
+    if (sinks.size() <= 1) {
+      // Single fanout: replication is pointless — relocate instead.
+      pl.place(cand.v2, target);
+    } else {
+      // Replicate and partition fanouts by proximity; the critical
+      // connection always goes to the duplicate (placed to straighten it).
+      CellId rep = nl.replicate_cell(cand.v2);
+      pl.place(rep, target);
+      ++res.replications;
+      Point orig_loc = pl.location(cand.v2);
+      for (const Sink& s : sinks) {
+        const bool is_critical_conn =
+            (s.cell == cand.v3_cell && s.pin == cand.v3_pin);
+        Point s_loc = pl.location(s.cell);
+        if (is_critical_conn ||
+            manhattan(target, s_loc) < manhattan(orig_loc, s_loc))
+          nl.reassign_input(s.cell, s.pin, nl.cell(rep).output);
+      }
+      // The original may have lost its entire fanout.
+      std::vector<CellId> deleted;
+      nl.remove_if_redundant(cand.v2, &deleted);
+      for (CellId d : deleted) pl.unplace(d);
+    }
+    // DAC-2003 order: place the duplicate where it should go, THEN legalize
+    // the resulting overlap.
+    LegalizerResult leg = legalize_timing_driven(nl, pl, dm);
+    if (!leg.success) break;  // out of free slots
+    if (sinks.size() <= 1) ++res.relocations;
+  }
+
+  // Restore the best configuration seen. The current state may be worse OR
+  // carry unresolved overlaps (when the run ended on a legalization
+  // failure); the snapshot is always legal.
+  {
+    TimingGraph tg(nl, pl, dm);
+    if (tg.critical_delay() > best_crit + 1e-9 || !pl.legal()) {
+      nl = *snapshot_nl;
+      pl = snapshot_pl->with_netlist(nl);
+    }
+  }
+  res.final_critical = best_crit;
+  return res;
+}
+
+}  // namespace repro

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/delay_model.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+
+namespace repro {
+
+/// Options for the local-replication baseline (Beraudo & Lillis, DAC 2003),
+/// the algorithm the paper compares against in Table II.
+struct LocalReplicationOptions {
+  int max_iterations = 400;
+  /// Stop after this many consecutive iterations without improvement.
+  int max_nonimproving = 25;
+  std::uint64_t seed = 1;
+};
+
+struct LocalReplicationResult {
+  double initial_critical = 0;
+  double final_critical = 0;
+  int iterations = 0;
+  int replications = 0;
+  int relocations = 0;
+};
+
+/// Incremental replication driven by *local monotonicity*: walk the current
+/// critical path; any triple (v1, v2, v3) with d(v1,v3) < d(v1,v2)+d(v2,v3)
+/// marks v2 as a replication candidate (replicating v2 straightens this path
+/// without disturbing the other paths through v2). A randomly chosen
+/// candidate is duplicated, the duplicate is placed on the free slot that
+/// best straightens v1->v3, fanouts are partitioned between the copies by
+/// proximity, and the best configuration seen is kept. The algorithm is
+/// randomized; the paper runs it three times and keeps the best result.
+///
+/// Mutates nl/pl in place, restoring the best configuration at the end.
+LocalReplicationResult run_local_replication(Netlist& nl, Placement& pl,
+                                             const LinearDelayModel& dm,
+                                             const LocalReplicationOptions& opt = {});
+
+}  // namespace repro

@@ -1,0 +1,106 @@
+#include "replicate/replication_tree.h"
+
+#include <cassert>
+
+namespace repro {
+namespace {
+
+/// Recursive conversion of an SPT member into a fanin tree node.
+///
+/// Every input pin of an internal cell becomes a tree child: an internal
+/// node when the pin's SPT fanin is itself an internal member (a tree edge),
+/// otherwise a leaf standing for the original external driver (Section III:
+/// "if (u_i, v) is a tree edge, v^R receives its i'th input from u_i^R;
+/// otherwise it receives its i'th input from u_i"). The leaves are exactly
+/// the Leaf-DAG terminals whose timing is fixed and known.
+struct Builder {
+  const TimingGraph& tg;
+  const Spt& spt;
+  ReplicationTree& out;
+
+  bool is_internal(TimingNodeId v) const {
+    if (v == spt.root) return true;
+    // Every combinational SPT member is copied (the paper's Fig. 8 copies
+    // the full member set {f, d, a, b, c}); members without tree children
+    // become movable gates whose pins are all external leaves.
+    return spt.contains(v) && tg.node(v).kind == TimingNodeKind::kComb;
+  }
+
+  TreeNodeId make_leaf_for_driver(CellId driver) {
+    TimingNodeId dn = tg.out_node(driver);
+    const Cell& dcell = tg.netlist().cell(driver);
+    const bool real_input = tg.node(dn).kind == TimingNodeKind::kSource;
+    return out.tree.add_leaf(dcell.name, tg.placement().location(driver),
+                             tg.arrival(dn), real_input, driver);
+  }
+
+  TreeNodeId convert(TimingNodeId v) {
+    const Cell& cell = tg.netlist().cell(tg.node(v).cell);
+    if (!is_internal(v)) {
+      // Fixed terminal: either a real input (source) or a reconvergence
+      // terminator (combinational member whose fanins were cut by epsilon or
+      // a non-member the SPT edge points from).
+      const bool real_input = tg.node(v).kind == TimingNodeKind::kSource;
+      TreeNodeId leaf =
+          out.tree.add_leaf(cell.name, tg.placement().location(tg.node(v).cell),
+                            tg.arrival(v), real_input, tg.node(v).cell);
+      out.node_of[v] = leaf;
+      return leaf;
+    }
+
+    // Internal: find which pin each SPT tree child feeds.
+    std::vector<TimingNodeId> pin_feed(cell.inputs.size(), TimingNodeId::invalid());
+    auto ch = spt.children.find(v);
+    if (ch != spt.children.end()) {
+      for (TimingNodeId u : ch->second) {
+        int pin = spt.parent_pin.at(u);
+        assert(pin >= 0 && pin < static_cast<int>(pin_feed.size()));
+        pin_feed[pin] = u;
+      }
+    }
+
+    ReplicationTree::InternalInfo info;
+    info.cell = tg.node(v).cell;
+    info.pin_child.resize(cell.inputs.size(), TreeNodeId::invalid());
+    info.pin_is_internal.resize(cell.inputs.size(), false);
+
+    std::vector<TreeNodeId> children;
+    for (std::size_t pin = 0; pin < cell.inputs.size(); ++pin) {
+      TreeNodeId child;
+      if (pin_feed[pin].valid()) {
+        child = convert(pin_feed[pin]);
+        info.pin_is_internal[pin] = is_internal(pin_feed[pin]);
+      } else {
+        // External pin: its original driver becomes a fixed leaf.
+        CellId driver = tg.netlist().net(cell.inputs[pin]).driver;
+        child = make_leaf_for_driver(driver);
+        info.pin_is_internal[pin] = false;
+      }
+      info.pin_child[pin] = child;
+      children.push_back(child);
+    }
+
+    TreeNodeId node = out.tree.add_gate(cell.name + "^R", std::move(children),
+                                        tg.node_intrinsic_delay(v), tg.node(v).cell);
+    info.node = node;
+    out.node_of[v] = node;
+    if (v == spt.root)
+      out.root_info = std::move(info);
+    else
+      out.internals.push_back(std::move(info));
+    return node;
+  }
+};
+
+}  // namespace
+
+ReplicationTree build_replication_tree(const TimingGraph& tg, const Spt& spt) {
+  ReplicationTree rt;
+  Builder b{tg, spt, rt};
+  TreeNodeId root = b.convert(spt.root);
+  rt.root_info.cell = tg.node(spt.root).cell;
+  rt.tree.set_root(root, tg.placement().location(tg.node(spt.root).cell));
+  return rt;
+}
+
+}  // namespace repro

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "embed/fanin_tree.h"
+#include "timing/spt.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+
+/// A replication tree (Section III): a genuine fanin tree induced from the
+/// epsilon-SPT by (conceptually) copying every internal tree cell. Tree edges
+/// keep their SPT input pins; every non-tree input of a copied cell still
+/// comes from the original driver, and leaves are the *original* cells
+/// (reconvergence terminators or real inputs), so the construction is
+/// functionally equivalent by definition.
+struct ReplicationTree {
+  FaninTree tree;
+
+  struct InternalInfo {
+    TreeNodeId node;
+    CellId cell;  ///< the cell this tree node is a (temporary) copy of
+    /// For each input pin of the cell: the tree node feeding it. Pins fed by
+    /// an *internal* child must be rewired to the realized replica; pins fed
+    /// by a leaf keep their original external driver (the leaf IS that
+    /// driver), so extraction leaves them alone.
+    std::vector<TreeNodeId> pin_child;
+    /// Parallel to pin_child: true if the feeding node is internal.
+    std::vector<bool> pin_is_internal;
+  };
+
+  /// Internal (movable/replicable) nodes, children-before-parents.
+  std::vector<InternalInfo> internals;
+
+  /// The root sink: the cell whose tree-fed pins get rewired in place.
+  InternalInfo root_info;
+
+  std::unordered_map<TimingNodeId, TreeNodeId> node_of;
+
+  std::size_t num_internal() const { return internals.size(); }
+};
+
+/// Builds the replication tree for an epsilon-SPT.
+///
+/// Mapping: SPT members that are combinational timing nodes with tree
+/// children become internal (replicable) nodes; members without tree
+/// children, and all source nodes, become fixed leaves carrying their STA
+/// arrival times (reconvergence terminators keep is_real_input = false).
+/// The root is the SPT root (a timing end point).
+ReplicationTree build_replication_tree(const TimingGraph& tg, const Spt& spt);
+
+}  // namespace repro

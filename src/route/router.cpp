@@ -1,0 +1,314 @@
+#include "route/router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "timing/timing_graph.h"
+#include "util/log.h"
+
+namespace repro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Channel-graph geometry helper: edges connect 4-adjacent grid locations.
+struct ChannelGraph {
+  explicit ChannelGraph(int extent) : e(extent), num_h((e - 1) * e) {}
+
+  int e;
+  int num_h;
+
+  int num_edges() const { return num_h + e * (e - 1); }
+  int node(Point p) const { return p.y * e + p.x; }
+  Point point(int n) const { return Point{n % e, n / e}; }
+
+  /// Edge between p and its neighbor in direction d (0:+x, 1:-x, 2:+y, 3:-y);
+  /// returns -1 if off-grid.
+  int edge_from(Point p, int d, Point& q) const {
+    switch (d) {
+      case 0:
+        if (p.x + 1 >= e) return -1;
+        q = Point{p.x + 1, p.y};
+        return p.y * (e - 1) + p.x;
+      case 1:
+        if (p.x - 1 < 0) return -1;
+        q = Point{p.x - 1, p.y};
+        return p.y * (e - 1) + (p.x - 1);
+      case 2:
+        if (p.y + 1 >= e) return -1;
+        q = Point{p.x, p.y + 1};
+        return num_h + p.y * e + p.x;
+      default:
+        if (p.y - 1 < 0) return -1;
+        q = Point{p.x, p.y - 1};
+        return num_h + (p.y - 1) * e + p.x;
+    }
+  }
+};
+
+struct NetRoute {
+  std::vector<int> edges;  ///< channel segments used by this net's tree
+};
+
+class PathFinder {
+ public:
+  PathFinder(const Netlist& nl, const Placement& pl, const RouterOptions& opt,
+             const ConnectionCriticalityFn& criticality)
+      : nl_(nl), pl_(pl), opt_(opt), crit_fn_(criticality), g_(pl.grid().extent()) {
+    occupancy_.assign(g_.num_edges(), 0);
+    history_.assign(g_.num_edges(), 0.0);
+    dist_.assign(g_.e * g_.e, kInf);
+    prev_edge_.assign(g_.e * g_.e, -1);
+    prev_node_.assign(g_.e * g_.e, -1);
+    stamp_.assign(g_.e * g_.e, 0);
+    for (NetId n : nl.live_nets())
+      if (!nl.net(n).sinks.empty()) nets_.push_back(n);
+  }
+
+  RoutingResult run() {
+    RoutingResult res;
+    routes_.assign(nl_.net_capacity(), NetRoute{});
+    double present_factor = opt_.present_factor_initial;
+    const int cap = opt_.channel_width > 0 ? opt_.channel_width
+                                           : std::numeric_limits<int>::max();
+
+    for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+      res.iterations = iter + 1;
+      for (NetId n : nets_) {
+        rip_up(n);
+        route_net(n, cap, present_factor, res);
+      }
+      int overused = 0;
+      for (int e = 0; e < g_.num_edges(); ++e) {
+        if (occupancy_[e] > cap) {
+          ++overused;
+          history_[e] += opt_.history_increment * (occupancy_[e] - cap);
+        }
+      }
+      if (overused == 0) {
+        res.success = true;
+        break;
+      }
+      present_factor *= opt_.present_factor_mult;
+    }
+
+    res.total_wirelength = 0;
+    res.max_channel_occupancy = 0;
+    for (int e = 0; e < g_.num_edges(); ++e) {
+      res.total_wirelength += occupancy_[e];
+      res.max_channel_occupancy = std::max(res.max_channel_occupancy, occupancy_[e]);
+    }
+    return res;
+  }
+
+ private:
+  void rip_up(NetId n) {
+    for (int e : routes_[n.index()].edges) --occupancy_[e];
+    routes_[n.index()].edges.clear();
+  }
+
+  double edge_cost(int e, int cap, double present_factor) const {
+    const int over_if_used = occupancy_[e] + 1 - cap;
+    const double present = over_if_used > 0 ? present_factor * over_if_used : 0.0;
+    return 1.0 + history_[e] + present;
+  }
+
+  /// Grows the net's Steiner tree sink by sink with bounded maze expansion.
+  void route_net(NetId nid, int cap, double present_factor, RoutingResult& res) {
+    const Net& net = nl_.net(nid);
+    Point src = pl_.location(net.driver);
+
+    // Expansion region: net bbox inflated; grows if a sink is unreachable.
+    Rect bbox = Rect::around(src);
+    for (const Sink& s : net.sinks) bbox.include(pl_.location(s.cell));
+
+    // Per-connection criticalities; critical sinks are routed first so they
+    // get the most direct source paths (VPR timing-driven router order).
+    std::vector<double> crit(net.sinks.size(), 0.0);
+    if (crit_fn_)
+      for (std::size_t i = 0; i < net.sinks.size(); ++i)
+        crit[i] = std::clamp(crit_fn_(net.sinks[i].cell, net.sinks[i].pin), 0.0, 1.0);
+    std::vector<std::size_t> order(net.sinks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (crit[a] != crit[b]) return crit[a] > crit[b];
+      return manhattan(src, pl_.location(net.sinks[a].cell)) <
+             manhattan(src, pl_.location(net.sinks[b].cell));
+    });
+
+    // Tree state: nodes with their depth (segments from the driver).
+    tree_nodes_.clear();
+    tree_depth_.clear();
+    tree_edges_set_.assign(g_.num_edges(), 0);
+    tree_nodes_.push_back(g_.node(src));
+    tree_depth_[g_.node(src)] = 0;
+
+    auto& route = routes_[nid.index()];
+    for (std::size_t oi : order) {
+      const Sink& sink = net.sinks[oi];
+      Point dst = pl_.location(sink.cell);
+      const std::int64_t key =
+          (static_cast<std::int64_t>(sink.cell.value()) << 8) |
+          static_cast<std::int64_t>(sink.pin);
+      if (tree_depth_.count(g_.node(dst))) {
+        res.connection_length[key] = tree_depth_[g_.node(dst)];
+        continue;
+      }
+      int margin = std::max(3, bbox.half_perimeter() / 4);
+      bool found = false;
+      while (!found) {
+        Rect region = bbox.inflated(margin, g_.e - 1, g_.e - 1);
+        found = maze_to(dst, region, cap, present_factor, crit[oi]);
+        if (!found) {
+          if (region.xmin == 0 && region.ymin == 0 && region.xmax == g_.e - 1 &&
+              region.ymax == g_.e - 1)
+            break;  // whole grid searched; should not happen
+          margin *= 2;
+        }
+      }
+      assert(found && "sink unreachable on connected grid");
+      if (!found) continue;
+      // Trace back from dst to the tree, committing edges.
+      int cur = g_.node(dst);
+      std::vector<int> path_nodes;
+      std::vector<int> path_edges;
+      while (prev_edge_[cur] >= 0 && stamp_[cur] == generation_) {
+        path_nodes.push_back(cur);
+        path_edges.push_back(prev_edge_[cur]);
+        cur = prev_node_[cur];
+      }
+      // cur is the attachment point (a tree node).
+      int depth = tree_depth_[cur];
+      for (std::size_t i = path_nodes.size(); i-- > 0;) {
+        ++depth;
+        int node = path_nodes[i];
+        int edge = path_edges[i];
+        tree_nodes_.push_back(node);
+        tree_depth_[node] = depth;
+        tree_edges_set_[edge] = 1;
+        route.edges.push_back(edge);
+        ++occupancy_[edge];
+      }
+      res.connection_length[key] = tree_depth_[g_.node(dst)];
+    }
+  }
+
+  /// Multi-source Dijkstra from all tree nodes to dst within region.
+  ///
+  /// The label of tree node v starts at crit * depth(v): a critical
+  /// connection (crit -> 1) pays for its full source-to-sink tree length and
+  /// therefore attaches near the driver; a non-critical one (crit -> 0)
+  /// reuses the tree freely and optimizes congestion cost only.
+  bool maze_to(Point dst, const Rect& region, int cap, double present_factor,
+               double crit) {
+    // Even fully critical connections must keep feeling congestion or
+    // PathFinder could never resolve overuse on them.
+    crit = std::min(crit, 0.95);
+    ++generation_;
+    using QItem = std::pair<double, int>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    for (int tn : tree_nodes_) {
+      dist_[tn] = crit * tree_depth_[tn];
+      prev_edge_[tn] = -1;
+      prev_node_[tn] = -1;
+      stamp_[tn] = generation_;
+      pq.push({dist_[tn], tn});
+    }
+    const int dst_node = g_.node(dst);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (stamp_[u] == generation_ && d > dist_[u]) continue;
+      if (u == dst_node) return true;
+      Point up = g_.point(u);
+      for (int dir = 0; dir < 4; ++dir) {
+        Point vp;
+        int e = g_.edge_from(up, dir, vp);
+        if (e < 0 || !region.contains(vp)) continue;
+        double step = tree_edges_set_[e]
+                          ? crit
+                          : crit + (1.0 - crit) * edge_cost(e, cap, present_factor);
+        double nd = d + step;
+        int v = g_.node(vp);
+        if (stamp_[v] != generation_ || nd < dist_[v]) {
+          stamp_[v] = generation_;
+          dist_[v] = nd;
+          prev_edge_[v] = e;
+          prev_node_[v] = u;
+          pq.push({nd, v});
+        }
+      }
+    }
+    return false;
+  }
+
+  const Netlist& nl_;
+  const Placement& pl_;
+  const RouterOptions& opt_;
+  const ConnectionCriticalityFn& crit_fn_;
+  ChannelGraph g_;
+  std::vector<NetId> nets_;
+  std::vector<int> occupancy_;
+  std::vector<double> history_;
+  std::vector<NetRoute> routes_;
+
+  // Maze scratch (generation-stamped).
+  std::vector<double> dist_;
+  std::vector<int> prev_edge_;
+  std::vector<int> prev_node_;
+  std::vector<int> stamp_;
+  int generation_ = 0;
+
+  // Per-net tree scratch.
+  std::vector<int> tree_nodes_;
+  std::unordered_map<int, int> tree_depth_;
+  std::vector<char> tree_edges_set_;
+};
+
+}  // namespace
+
+RoutingResult route(const Netlist& nl, const Placement& pl, const RouterOptions& opt,
+                    const ConnectionCriticalityFn& criticality) {
+  PathFinder pf(nl, pl, opt, criticality);
+  RoutingResult res = pf.run();
+  if (opt.channel_width <= 0) res.success = true;
+  return res;
+}
+
+int find_min_channel_width(const Netlist& nl, const Placement& pl,
+                           const RouterOptions& base_opt) {
+  RouterOptions inf_opt = base_opt;
+  inf_opt.channel_width = 0;
+  RoutingResult inf = route(nl, pl, inf_opt);
+  int hi = std::max(1, inf.max_channel_occupancy);
+  // Shortest-path routing achieves peak occupancy `hi`, so hi always routes.
+  int lo = 1;
+  int best = hi;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    RouterOptions opt = base_opt;
+    opt.channel_width = mid;
+    if (route(nl, pl, opt).success) {
+      best = mid;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+double routed_critical_delay(const Netlist& nl, const Placement& pl,
+                             const LinearDelayModel& dm, const RoutingResult& routing) {
+  TimingGraph tg(nl, pl, dm);
+  tg.set_wire_length_override([&routing](CellId sink, int pin, int fallback) {
+    return routing.length_of(sink, pin, fallback);
+  });
+  tg.run_sta();
+  return tg.critical_delay();
+}
+
+}  // namespace repro

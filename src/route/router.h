@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/delay_model.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+#include "util/ids.h"
+
+namespace repro {
+
+/// Options for the negotiated-congestion (PathFinder-style) router.
+struct RouterOptions {
+  /// Channel width (tracks per channel). <= 0 means infinite resources —
+  /// the paper's W-infinity evaluation mode.
+  int channel_width = 0;
+  int max_iterations = 30;
+  /// Present-congestion penalty growth per iteration.
+  double present_factor_initial = 0.5;
+  double present_factor_mult = 1.6;
+  /// History cost increment for overused edges.
+  double history_increment = 1.0;
+};
+
+/// Result of routing one netlist.
+struct RoutingResult {
+  bool success = false;           ///< no overused channel after final iteration
+  int iterations = 0;             ///< PathFinder iterations used
+  std::int64_t total_wirelength = 0;  ///< total channel segments used
+  int max_channel_occupancy = 0;  ///< peak per-edge usage (useful for W_inf)
+  /// Routed source-to-sink wire length per connection, keyed by
+  /// (sink cell id value, pin).
+  std::unordered_map<std::int64_t, int> connection_length;
+
+  int length_of(CellId sink, int pin, int fallback) const {
+    auto it = connection_length.find((static_cast<std::int64_t>(sink.value()) << 8) |
+                                     static_cast<std::int64_t>(pin));
+    return it == connection_length.end() ? fallback : it->second;
+  }
+};
+
+/// Per-connection timing criticality in [0,1] used by the router to trade
+/// wirelength sharing against source-to-sink path length (VPR-style
+/// timing-driven routing). Null = purely congestion-driven.
+using ConnectionCriticalityFn = std::function<double(CellId sink, int pin)>;
+
+/// Routes all nets of a placed netlist over the grid's channel graph.
+///
+/// Model: routing resources are the channels between adjacent grid locations
+/// (4-neighbor); each channel holds `channel_width` tracks. A net is routed
+/// as a Steiner tree grown sink-by-sink with congestion-aware maze expansion;
+/// PathFinder negotiation (present + history costs) resolves overuse across
+/// iterations. With a criticality function, critical connections minimize
+/// their source-to-sink tree length (attaching near the driver) while
+/// non-critical ones share freely — reproducing the mechanism behind the
+/// paper's W_ls vs W_infinity comparison: under low-stress capacities,
+/// congested channels force detours that lengthen near-critical connections.
+RoutingResult route(const Netlist& nl, const Placement& pl, const RouterOptions& opt,
+                    const ConnectionCriticalityFn& criticality = nullptr);
+
+/// Smallest channel width that routes successfully (binary search, seeded by
+/// the infinite-resource peak occupancy).
+int find_min_channel_width(const Netlist& nl, const Placement& pl,
+                           const RouterOptions& base_opt = {});
+
+/// Post-route evaluation: reruns STA with routed wire lengths and returns
+/// the routed critical-path delay.
+double routed_critical_delay(const Netlist& nl, const Placement& pl,
+                             const LinearDelayModel& dm, const RoutingResult& routing);
+
+}  // namespace repro

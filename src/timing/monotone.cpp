@@ -1,0 +1,75 @@
+#include "timing/monotone.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace repro {
+
+bool locally_nonmonotone(Point v1, Point v2, Point v3) {
+  return manhattan(v1, v3) < manhattan(v1, v2) + manhattan(v2, v3);
+}
+
+double path_detour_ratio(const TimingGraph& tg, const std::vector<TimingNodeId>& path) {
+  if (path.size() < 2) return 1.0;
+  const Placement& pl = tg.placement();
+  int total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Point a = pl.location(tg.node(path[i]).cell);
+    Point b = pl.location(tg.node(path[i + 1]).cell);
+    total += manhattan(a, b);
+  }
+  Point s = pl.location(tg.node(path.front()).cell);
+  Point t = pl.location(tg.node(path.back()).cell);
+  int direct = manhattan(s, t);
+  if (direct == 0) return 1.0;
+  return static_cast<double>(total) / direct;
+}
+
+double monotone_lower_bound_for_sink(const TimingGraph& tg, TimingNodeId sink) {
+  // Backward label-correcting pass computing, for every cone node, the
+  // MAXIMUM number of combinational blocks strictly between it and the sink
+  // (the timing graph is a DAG; values only increase, so this terminates).
+  std::unordered_map<TimingNodeId, int> maxlev;
+  std::queue<TimingNodeId> q;
+  maxlev[sink] = 0;
+  q.push(sink);
+  while (!q.empty()) {
+    TimingNodeId n = q.front();
+    q.pop();
+    int lev_through_n =
+        maxlev[n] + (tg.node(n).kind == TimingNodeKind::kComb ? 1 : 0);
+    for (std::size_t e : tg.fanin_edges(n)) {
+      TimingNodeId f = tg.edge(e).from;
+      auto it = maxlev.find(f);
+      if (it == maxlev.end() || lev_through_n > it->second) {
+        maxlev[f] = lev_through_n;
+        q.push(f);
+      }
+    }
+  }
+
+  const Placement& pl = tg.placement();
+  const LinearDelayModel& dm = tg.delay_model();
+  Point t_loc = pl.location(tg.node(sink).cell);
+  double intrinsic_t = tg.node_intrinsic_delay(sink);
+  double bound = 0;
+  for (const auto& [n, lev] : maxlev) {
+    if (tg.node(n).kind != TimingNodeKind::kSource) continue;
+    Point s_loc = pl.location(tg.node(n).cell);
+    double b = tg.arrival(n) + dm.wire_delay(s_loc, t_loc) + lev * dm.logic_delay +
+               intrinsic_t;
+    bound = std::max(bound, b);
+  }
+  return bound;
+}
+
+double monotone_lower_bound(const TimingGraph& tg) {
+  double bound = 0;
+  for (TimingNodeId s : tg.sinks())
+    bound = std::max(bound, monotone_lower_bound_for_sink(tg, s));
+  return bound;
+}
+
+}  // namespace repro

@@ -1,0 +1,108 @@
+#include "timing/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "timing/monotone.h"
+
+namespace repro {
+namespace {
+
+/// Argmax traceback from an endpoint to a start point.
+std::vector<TimingNodeId> trace_path(const TimingGraph& tg, TimingNodeId end) {
+  std::vector<TimingNodeId> path{end};
+  TimingNodeId cur = end;
+  while (!tg.fanin_edges(cur).empty()) {
+    double best_a = -1;
+    TimingNodeId best;
+    for (std::size_t e : tg.fanin_edges(cur)) {
+      double a = tg.arrival(tg.edge(e).from) + tg.edge(e).delay;
+      if (a > best_a) {
+        best_a = a;
+        best = tg.edge(e).from;
+      }
+    }
+    cur = best;
+    path.push_back(cur);
+    if (tg.node(cur).kind == TimingNodeKind::kSource) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<PathReport> top_paths(const TimingGraph& tg, std::size_t k) {
+  std::vector<TimingNodeId> ends = tg.sinks();
+  std::sort(ends.begin(), ends.end(), [&](TimingNodeId a, TimingNodeId b) {
+    return tg.arrival(a) > tg.arrival(b);
+  });
+  if (ends.size() > k) ends.resize(k);
+
+  std::vector<PathReport> out;
+  for (TimingNodeId e : ends) {
+    PathReport r;
+    r.endpoint = e;
+    r.arrival = tg.arrival(e);
+    r.slack = tg.critical_delay() - tg.arrival(e);
+    r.nodes = trace_path(tg, e);
+    r.detour_ratio = path_detour_ratio(tg, r.nodes);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<std::size_t> slack_histogram(const TimingGraph& tg, std::size_t buckets) {
+  std::vector<std::size_t> hist(buckets, 0);
+  const double crit = tg.critical_delay();
+  if (crit <= 0 || buckets == 0) return hist;
+  for (TimingNodeId s : tg.sinks()) {
+    double slack = crit - tg.arrival(s);
+    auto bin = static_cast<std::size_t>(slack / crit * static_cast<double>(buckets));
+    hist[std::min(bin, buckets - 1)]++;
+  }
+  return hist;
+}
+
+void write_timing_report(const TimingGraph& tg, std::size_t k, std::ostream& out) {
+  const Netlist& nl = tg.netlist();
+  const Placement& pl = tg.placement();
+  out << "critical delay: " << tg.critical_delay() << " ns\n";
+  out << "monotone lower bound: " << monotone_lower_bound(tg) << " ns\n";
+  out << "endpoints: " << tg.sinks().size() << "\n\n";
+
+  auto paths = top_paths(tg, k);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const PathReport& p = paths[i];
+    out << "path " << i + 1 << ": arrival " << p.arrival << " ns, slack "
+        << p.slack << " ns, detour " << p.detour_ratio << "x\n";
+    for (std::size_t j = 0; j < p.nodes.size(); ++j) {
+      const TimingNode& node = tg.node(p.nodes[j]);
+      Point loc = pl.location(node.cell);
+      out << "  " << nl.cell(node.cell).name << " (" << loc.x << ',' << loc.y
+          << ") arr " << tg.arrival(p.nodes[j]);
+      if (j + 1 < p.nodes.size()) {
+        Point nxt = pl.location(tg.node(p.nodes[j + 1]).cell);
+        out << "  -> wire " << manhattan(loc, nxt);
+      }
+      out << '\n';
+    }
+  }
+
+  out << "\nslack histogram (bins of critical/10):\n";
+  auto hist = slack_histogram(tg, 10);
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    out << "  [" << b * 10 << "%," << (b + 1) * 10 << "%) " << hist[b] << ' ';
+    for (std::size_t n = 0; n < std::min<std::size_t>(hist[b], 60); ++n) out << '#';
+    out << '\n';
+  }
+}
+
+std::string timing_report(const TimingGraph& tg, std::size_t k) {
+  std::ostringstream ss;
+  write_timing_report(tg, k, ss);
+  return ss.str();
+}
+
+}  // namespace repro

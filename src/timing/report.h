@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "timing/timing_graph.h"
+
+namespace repro {
+
+/// One reported timing path: end point, slack, and the node sequence from a
+/// start point to the end point.
+struct PathReport {
+  TimingNodeId endpoint;
+  double arrival = 0;
+  double slack = 0;
+  std::vector<TimingNodeId> nodes;
+  /// Manhattan detour ratio of the placed path (1.0 = monotone).
+  double detour_ratio = 1.0;
+};
+
+/// The k slowest end-to-end paths, one per end point, slowest first.
+/// (Paths are the argmax traceback per endpoint — the standard "top paths by
+/// endpoint" report, not a full path enumeration.)
+std::vector<PathReport> top_paths(const TimingGraph& tg, std::size_t k);
+
+/// Histogram of endpoint slacks in `buckets` equal-width bins over
+/// [0, critical_delay]; entry i counts endpoints whose slack falls in bin i.
+std::vector<std::size_t> slack_histogram(const TimingGraph& tg, std::size_t buckets);
+
+/// Human-readable multi-line timing report: critical delay, monotone lower
+/// bound headroom, the top-k paths with per-hop locations and delays, and
+/// the slack histogram.
+void write_timing_report(const TimingGraph& tg, std::size_t k, std::ostream& out);
+std::string timing_report(const TimingGraph& tg, std::size_t k = 5);
+
+}  // namespace repro

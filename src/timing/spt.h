@@ -1,0 +1,42 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "timing/timing_graph.h"
+
+namespace repro {
+
+/// Slowest-paths tree rooted at a timing end point (Section III).
+///
+/// For every node u in the fanin cone of the root, the SPT fixes one outgoing
+/// edge toward the root: the one on u's slowest path to the root (i.e., the
+/// longest-paths tree from the root in the reversed timing graph). The
+/// epsilon-SPT keeps only nodes whose slowest root-path is within eps of the
+/// critical (root) arrival time, which focuses the replication tree on the
+/// most critical portion of the cone.
+struct Spt {
+  TimingNodeId root;
+  /// Member nodes (root included), in reverse-topological order from the
+  /// root outward (parents before children).
+  std::vector<TimingNodeId> nodes;
+  /// Toward-root successor for every member except the root.
+  std::unordered_map<TimingNodeId, TimingNodeId> parent;
+  /// Input pin of the successor cell that the member drives along its tree
+  /// edge (needed to rewire replicas pin-exactly).
+  std::unordered_map<TimingNodeId, int> parent_pin;
+  /// Inverted parent relation: tree children of each member.
+  std::unordered_map<TimingNodeId, std::vector<TimingNodeId>> children;
+  /// Slowest path delay to the root, per member (tree-path delay).
+  std::unordered_map<TimingNodeId, double> dist_to_root;
+
+  bool contains(TimingNodeId n) const { return dist_to_root.count(n) > 0; }
+  std::size_t size() const { return nodes.size(); }
+};
+
+/// Extracts the epsilon-SPT rooted at `root` from a completed STA.
+/// eps = 0 yields exactly the slowest path(s) tree spine; larger eps widens
+/// the tree (Section V-B dynamically grows eps on non-improvement).
+Spt extract_eps_spt(const TimingGraph& tg, TimingNodeId root, double eps);
+
+}  // namespace repro

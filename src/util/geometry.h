@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace repro {
+
+/// Integer grid coordinate. On an FPGA array, x and y index slots
+/// (including the I/O ring at the perimeter).
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+  friend constexpr bool operator!=(Point a, Point b) { return !(a == b); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+/// Rectilinear (Manhattan) distance — the paper's d(u, v).
+inline int manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Closed axis-aligned rectangle.
+struct Rect {
+  int xmin = 0;
+  int ymin = 0;
+  int xmax = -1;  // empty by default
+  int ymax = -1;
+
+  static Rect around(Point p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  bool empty() const { return xmax < xmin || ymax < ymin; }
+  int width() const { return empty() ? 0 : xmax - xmin + 1; }
+  int height() const { return empty() ? 0 : ymax - ymin + 1; }
+  bool contains(Point p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+
+  /// Expand to include p.
+  void include(Point p) {
+    if (empty()) {
+      xmin = xmax = p.x;
+      ymin = ymax = p.y;
+      return;
+    }
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+
+  /// Inflate by m on every side and clip to [0, limX] x [0, limY].
+  Rect inflated(int m, int lim_x, int lim_y) const {
+    Rect r{std::max(0, xmin - m), std::max(0, ymin - m), std::min(lim_x, xmax + m),
+           std::min(lim_y, ymax + m)};
+    return r;
+  }
+
+  /// Half-perimeter of the bounding box.
+  int half_perimeter() const { return empty() ? 0 : (width() - 1) + (height() - 1); }
+};
+
+}  // namespace repro

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace repro {
+
+/// Strongly-typed integer identifier.
+///
+/// EDA data structures index everything (cells, nets, pins, slots, timing
+/// nodes...) and silently mixing those index spaces is a classic source of
+/// bugs. Id<Tag> is a zero-overhead wrapper that makes each index space a
+/// distinct type. An Id is either valid (>= 0) or the sentinel invalid().
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::int32_t;
+
+  constexpr Id() : value_(kInvalid) {}
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  static constexpr Id invalid() { return Id(); }
+
+  constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr value_type value() const { return value_; }
+  /// Index for container access; caller must ensure valid().
+  constexpr std::size_t index() const { return static_cast<std::size_t>(value_); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  static constexpr value_type kInvalid = -1;
+  value_type value_;
+};
+
+struct CellTag {};
+struct NetTag {};
+struct SlotTag {};
+struct TimingNodeTag {};
+struct EmbedVertexTag {};
+struct TreeNodeTag {};
+struct EqClassTag {};
+
+using CellId = Id<CellTag>;
+using NetId = Id<NetTag>;
+using SlotId = Id<SlotTag>;
+using TimingNodeId = Id<TimingNodeTag>;
+using EmbedVertexId = Id<EmbedVertexTag>;
+using TreeNodeId = Id<TreeNodeTag>;
+using EqClassId = Id<EqClassTag>;
+
+}  // namespace repro
+
+namespace std {
+template <typename Tag>
+struct hash<repro::Id<Tag>> {
+  std::size_t operator()(repro::Id<Tag> id) const {
+    return std::hash<typename repro::Id<Tag>::value_type>()(id.value());
+  }
+};
+}  // namespace std

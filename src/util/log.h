@@ -1,0 +1,41 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace repro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Process-wide log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Minimal streaming logger:  LOG_INFO() << "placed " << n << " cells";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, ss_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace repro
+
+#define LOG_DEBUG() ::repro::LogLine(::repro::LogLevel::kDebug)
+#define LOG_INFO() ::repro::LogLine(::repro::LogLevel::kInfo)
+#define LOG_WARN() ::repro::LogLine(::repro::LogLevel::kWarn)
+#define LOG_ERROR() ::repro::LogLine(::repro::LogLevel::kError)

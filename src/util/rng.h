@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace repro {
+
+/// Deterministic xoshiro256** PRNG.
+///
+/// Experiments in this repository must be exactly reproducible across
+/// platforms, so we do not use std::mt19937 + distribution objects (whose
+/// outputs are implementation-defined for some distributions). This is a
+/// small, fast generator with explicit, portable derivation functions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true);
+
+  /// Sample an index from a (non-normalized, non-negative) weight vector.
+  /// Returns weights.size()-1 on rounding fallout; at least one weight must
+  /// be positive.
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace repro

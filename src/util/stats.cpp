@@ -1,0 +1,42 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace repro {
+
+void StatAccumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double geomean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += std::log(x);
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace repro

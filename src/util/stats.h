@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Streaming summary statistics (Welford's algorithm for variance).
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// Arithmetic mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& v);
+
+/// Geometric mean of a vector of positive values (0 for empty).
+double geomean_of(const std::vector<double>& v);
+
+/// Format a double with fixed precision — shared by the table printers.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace repro

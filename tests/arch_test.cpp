@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "arch/delay_model.h"
+#include "arch/fpga_grid.h"
+#include "arch/wirelength.h"
+
+namespace repro {
+namespace {
+
+TEST(FpgaGrid, Dimensions) {
+  FpgaGrid g(4, 2);
+  EXPECT_EQ(g.n(), 4);
+  EXPECT_EQ(g.extent(), 6);
+  EXPECT_EQ(g.logic_locations().size(), 16u);
+  EXPECT_EQ(g.logic_capacity_total(), 16u);
+}
+
+TEST(FpgaGrid, IoRing) {
+  FpgaGrid g(4, 2);
+  // Perimeter minus 4 corners: 4 sides x 4 locations.
+  EXPECT_EQ(g.io_locations().size(), 16u);
+  EXPECT_EQ(g.io_capacity_total(), 32u);
+}
+
+TEST(FpgaGrid, Classification) {
+  FpgaGrid g(4, 2);
+  EXPECT_TRUE(g.is_corner({0, 0}));
+  EXPECT_TRUE(g.is_corner({5, 5}));
+  EXPECT_TRUE(g.is_corner({0, 5}));
+  EXPECT_TRUE(g.is_io({0, 1}));
+  EXPECT_TRUE(g.is_io({3, 0}));
+  EXPECT_TRUE(g.is_logic({1, 1}));
+  EXPECT_TRUE(g.is_logic({4, 4}));
+  EXPECT_FALSE(g.is_logic({0, 1}));
+  EXPECT_FALSE(g.is_io({2, 2}));
+  EXPECT_FALSE(g.in_array({6, 0}));
+}
+
+TEST(FpgaGrid, Capacity) {
+  FpgaGrid g(4, 3);
+  EXPECT_EQ(g.capacity({0, 0}), 0);  // corner
+  EXPECT_EQ(g.capacity({2, 2}), 1);  // logic
+  EXPECT_EQ(g.capacity({0, 2}), 3);  // io with io_rat 3
+}
+
+TEST(FpgaGrid, SlotRoundTrip) {
+  FpgaGrid g(5);
+  for (int y = 0; y < g.extent(); ++y)
+    for (int x = 0; x < g.extent(); ++x) {
+      Point p{x, y};
+      EXPECT_EQ(g.point_of(g.slot_at(p)), p);
+    }
+}
+
+TEST(FpgaGrid, MinGridLogicLimited) {
+  // 100 LUTs need a 10x10 array when I/O fits easily.
+  EXPECT_EQ(FpgaGrid::min_grid_for(100, 10), 10);
+  EXPECT_EQ(FpgaGrid::min_grid_for(101, 10), 11);
+}
+
+TEST(FpgaGrid, MinGridIoLimited) {
+  // Table I: dsip has 1370 LUTs but 426 I/Os force a 54x54 array at io_rat 2.
+  EXPECT_EQ(FpgaGrid::min_grid_for(1370, 426, 2), 54);
+  // des: 501 I/Os -> 63x63.
+  EXPECT_EQ(FpgaGrid::min_grid_for(1591, 501, 2), 63);
+}
+
+TEST(FpgaGrid, MinGridMatchesTableI) {
+  // Logic-limited entries of Table I.
+  EXPECT_EQ(FpgaGrid::min_grid_for(1064, 71, 2), 33);   // ex5p
+  EXPECT_EQ(FpgaGrid::min_grid_for(4598, 20, 2), 68);   // ex1010
+  EXPECT_EQ(FpgaGrid::min_grid_for(8383, 144, 2), 92);  // clma
+}
+
+TEST(FpgaGrid, DesignDensity) {
+  EXPECT_NEAR(FpgaGrid::design_density(1064, 33), 0.977, 0.001);  // ex5p
+  EXPECT_NEAR(FpgaGrid::design_density(1370, 54), 0.470, 0.001);  // dsip
+}
+
+TEST(DelayModel, LinearInDistance) {
+  LinearDelayModel dm;
+  dm.wire_delay_per_unit = 0.5;
+  EXPECT_DOUBLE_EQ(dm.wire_delay(0), 0.0);
+  EXPECT_DOUBLE_EQ(dm.wire_delay(10), 5.0);
+  EXPECT_DOUBLE_EQ(dm.wire_delay({0, 0}, {3, 4}), 3.5);
+}
+
+TEST(DelayModel, ElmoreSegment) {
+  ElmoreDelayModel m;
+  m.r_per_unit = 2.0;
+  m.c_per_unit = 1.0;
+  // d = c*L * (R + r*L/2): with R=0, L=2: 2 * (0 + 2) = 4 (quadratic).
+  EXPECT_DOUBLE_EQ(m.segment_delay(0.0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.segment_delay(1.0, 2), 6.0);
+}
+
+TEST(Wirelength, QCoefficients) {
+  EXPECT_DOUBLE_EQ(net_size_coefficient(2), 1.0);
+  EXPECT_DOUBLE_EQ(net_size_coefficient(3), 1.0);
+  EXPECT_NEAR(net_size_coefficient(4), 1.0828, 1e-4);
+  EXPECT_NEAR(net_size_coefficient(10), 1.4493, 1e-4);
+  EXPECT_NEAR(net_size_coefficient(50), 2.7933, 1e-4);
+  // Extrapolation beyond the table.
+  EXPECT_NEAR(net_size_coefficient(60), 2.7933 + 0.2616, 1e-4);
+}
+
+TEST(Wirelength, HpwlTwoTerminals) {
+  EXPECT_DOUBLE_EQ(estimate_wirelength({{0, 0}, {3, 4}}), 7.0);
+}
+
+TEST(Wirelength, HpwlLargeNetScaled) {
+  std::vector<Point> pts{{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  EXPECT_NEAR(estimate_wirelength(pts), 1.0828 * 20, 1e-6);
+}
+
+TEST(Wirelength, SinglePointIsZero) {
+  EXPECT_DOUBLE_EQ(estimate_wirelength({{5, 5}}), 0.0);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,158 @@
+// Parameterized coverage of the EngineOptions surface: every knob must keep
+// the core invariants (functional equivalence, placement legality, never a
+// worse final critical path than the input) while steering behavior in the
+// documented direction.
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.h"
+#include "netlist/sim.h"
+#include "place/annealer.h"
+#include "replicate/engine.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+struct Rig {
+  Netlist nl;
+  FpgaGrid grid;
+  LinearDelayModel dm;
+  Placement pl;
+  Netlist golden;
+
+  static Netlist make(std::uint64_t seed) {
+    CircuitSpec spec;
+    spec.num_logic = 120;
+    spec.num_inputs = 10;
+    spec.num_outputs = 10;
+    spec.registered_fraction = 0.25;
+    spec.depth = 7;
+    spec.cluster_size = 32;
+    spec.seed = seed;
+    return generate_circuit(spec);
+  }
+
+  explicit Rig(std::uint64_t seed = 21)
+      : nl(make(seed)),
+        grid(FpgaGrid::min_grid_for(nl.num_logic() + 10,
+                                    nl.num_input_pads() + nl.num_output_pads())),
+        pl([&] {
+          AnnealerOptions a;
+          a.inner_num = 0.5;
+          a.seed = seed;
+          return anneal_placement(nl, grid, dm, a);
+        }()),
+        golden(nl) {}
+
+  void check_invariants(const EngineResult& r) {
+    EXPECT_LE(r.final_critical, r.initial_critical + 1e-9);
+    EXPECT_TRUE(pl.legal()) << pl.check_legal();
+    EXPECT_TRUE(nl.validate().empty()) << nl.validate();
+    EXPECT_TRUE(functionally_equivalent(golden, nl, 48, 99));
+    EXPECT_GE(r.final_critical, r.lower_bound - 1e-6);
+  }
+};
+
+TEST(EngineOptions, ConservativeUnificationStillSound) {
+  Rig rig;
+  EngineOptions opt;
+  opt.aggressive_unification = false;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  rig.check_invariants(r);
+}
+
+TEST(EngineOptions, FfRelocationDisabled) {
+  Rig rig;
+  EngineOptions opt;
+  opt.enable_ff_relocation = false;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  rig.check_invariants(r);
+  for (const IterationStats& it : r.history) EXPECT_FALSE(it.ff_relocation);
+}
+
+TEST(EngineOptions, ZeroSubcriticalBudget) {
+  Rig rig;
+  EngineOptions opt;
+  opt.subcritical_budget = 0.0;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  rig.check_invariants(r);
+}
+
+TEST(EngineOptions, ExactParetoLists) {
+  Rig rig;
+  EngineOptions opt;
+  opt.max_labels = 0;  // exact DP
+  opt.max_iterations = 25;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  rig.check_invariants(r);
+}
+
+TEST(EngineOptions, TinyRegionMarginStillSound) {
+  Rig rig;
+  EngineOptions opt;
+  opt.region_margin = 0;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  rig.check_invariants(r);
+}
+
+TEST(EngineOptions, LargeImprovementStepsStillSound) {
+  Rig rig;
+  EngineOptions opt;
+  opt.improvement_step_fraction = 1.0;  // always chase the fastest
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  rig.check_invariants(r);
+}
+
+TEST(EngineOptions, HighReplicationCostSuppressesReplicas) {
+  Rig cheap(33);
+  EngineOptions copt;
+  copt.replication_cost = 0.5;
+  EngineResult rc = run_replication_engine(cheap.nl, cheap.pl, cheap.dm, copt);
+  cheap.check_invariants(rc);
+
+  Rig costly(33);
+  EngineOptions xopt;
+  xopt.replication_cost = 1e6;
+  EngineResult rx = run_replication_engine(costly.nl, costly.pl, costly.dm, xopt);
+  costly.check_invariants(rx);
+  EXPECT_LE(rx.total_replicated, rc.total_replicated);
+}
+
+TEST(EngineOptions, ZeroIterationsIsIdentity) {
+  Rig rig;
+  double before = TimingGraph(rig.nl, rig.pl, rig.dm).critical_delay();
+  EngineOptions opt;
+  opt.max_iterations = 0;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  EXPECT_DOUBLE_EQ(r.final_critical, before);
+  EXPECT_EQ(r.total_replicated, 0);
+  EXPECT_TRUE(functionally_equivalent(rig.golden, rig.nl, 16, 4));
+}
+
+TEST(EngineOptions, WirelengthTrackedInResult) {
+  Rig rig;
+  double wl_before = rig.pl.total_wirelength();
+  EngineOptions opt;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  EXPECT_NEAR(r.initial_wirelength, wl_before, 1e-9);
+  EXPECT_NEAR(r.final_wirelength, rig.pl.total_wirelength(), 1e-9);
+  rig.check_invariants(r);
+}
+
+class EngineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineSeedSweep, InvariantsAcrossSeeds) {
+  Rig rig(GetParam());
+  EngineOptions opt;
+  opt.variant = (GetParam() % 2) ? EmbedVariant::kLex3 : EmbedVariant::kRtEmbedding;
+  opt.max_iterations = 60;
+  EngineResult r = run_replication_engine(rig.nl, rig.pl, rig.dm, opt);
+  rig.check_invariants(r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSeedSweep,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107, 108));
+
+}  // namespace
+}  // namespace repro

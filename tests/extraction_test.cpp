@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "embed/embedder.h"
+#include "netlist/sim.h"
+#include "replicate/extraction.h"
+#include "replicate/replication_tree.h"
+#include "test_helpers.h"
+#include "timing/spt.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+/// Embeds the replication tree for po0's cone with the engine-style cost
+/// function and applies the chosen solution.
+struct ExtractionHarness {
+  TinyPlaced t;
+  Netlist golden;
+
+  ExtractionHarness() : golden(t.nl) {}
+
+  ExtractionStats run(double eps, bool pick_fastest_solution) {
+    TimingGraph tg(t.nl, *t.pl, t.dm);
+    Spt spt = extract_eps_spt(tg, tg.critical_sink(), eps);
+    ReplicationTree rt = build_replication_tree(tg, spt);
+    EmbeddingGraph graph =
+        EmbeddingGraph::make_grid({1, 1, 4, 4}, 1.0, t.dm.wire_delay_per_unit);
+    // Splice I/O terminals.
+    for (TreeNodeId n : rt.tree.post_order()) {
+      const FaninTreeNode& tn = rt.tree.node(n);
+      if (!tn.is_leaf() && n != rt.tree.root()) continue;
+      if (graph.vertex_at(tn.fixed_loc).valid()) continue;
+      Point q{std::clamp(tn.fixed_loc.x, 1, 4), std::clamp(tn.fixed_loc.y, 1, 4)};
+      EmbedVertexId pv = graph.add_vertex(tn.fixed_loc);
+      const int d = manhattan(tn.fixed_loc, q);
+      graph.add_bidi_edge(pv, graph.vertex_at(q), d, t.dm.wire_delay_per_unit * d);
+    }
+    auto pcost = [&](TreeNodeId i, EmbedVertexId j) {
+      Point p = graph.point(j);
+      if (i == rt.tree.root()) return p == t.pl->location(rt.root_info.cell) ? 0.0 : 1e9;
+      if (!t.pl->grid().is_logic(p)) return 1e9;
+      const FaninTreeNode& tn = rt.tree.node(i);
+      for (CellId occ : t.pl->cells_at(p))
+        if (t.nl.cell_alive(occ) && t.nl.equivalent(occ, tn.cell)) return 0.0;
+      return 4.0 + 2.0 * t.pl->occupancy(p);
+    };
+    FaninTreeEmbedder e(rt.tree, graph, pcost, EmbedOptions{});
+    EXPECT_TRUE(e.run());
+    int pick = pick_fastest_solution ? e.pick_fastest() : 0;
+    auto emb = e.extract(pick);
+    return apply_embedding(t.nl, *t.pl, rt, emb, graph);
+  }
+};
+
+TEST(Extraction, CheapestSolutionIsIdentityWhenPlacementIsGood) {
+  // With the equivalence discount, the cheapest solution puts every copy on
+  // top of its original: zero replication, nothing moves.
+  ExtractionHarness h;
+  ExtractionStats s = h.run(5.0, /*fastest=*/false);
+  EXPECT_EQ(s.replicated, 0);
+  EXPECT_EQ(s.relocated + s.reused, static_cast<int>(3u));
+  EXPECT_TRUE(h.t.nl.validate().empty()) << h.t.nl.validate();
+  EXPECT_TRUE(functionally_equivalent(h.golden, h.t.nl, 32, 4));
+}
+
+TEST(Extraction, PreservesFunctionForFastestSolution) {
+  ExtractionHarness h;
+  h.run(5.0, /*fastest=*/true);
+  EXPECT_TRUE(h.t.nl.validate().empty()) << h.t.nl.validate();
+  EXPECT_TRUE(functionally_equivalent(h.golden, h.t.nl, 64, 9));
+}
+
+TEST(Extraction, FastestSolutionImprovesOrMaintainsSinkArrival) {
+  ExtractionHarness h;
+  TimingGraph before(h.t.nl, *h.t.pl, h.t.dm);
+  double arr_before = before.arrival(before.sink_node(h.t.po0));
+  h.run(5.0, /*fastest=*/true);
+  TimingGraph after(h.t.nl, *h.t.pl, h.t.dm);
+  double arr_after = after.arrival(after.sink_node(h.t.po0));
+  EXPECT_LE(arr_after, arr_before + 1e-9);
+}
+
+TEST(Extraction, RelocatesFanoutOneInsteadOfReplicating) {
+  // g1 drives only g3 (fanout 1): any embedding that moves its copy must
+  // relocate the original, never replicate it.
+  ExtractionHarness h;
+  ExtractionStats s = h.run(5.0, /*fastest=*/true);
+  // g1 and g2 each have fanout 1, so replication can only have happened for
+  // g3 (fanout 2: r and po0).
+  EXPECT_LE(s.replicated, 1);
+  EXPECT_TRUE(h.t.nl.num_live_cells() <= h.golden.num_live_cells() + 1);
+}
+
+TEST(Extraction, ReplicationSplitsFanout) {
+  // Force replication: pull po0 and r far apart so the fast solution must
+  // copy g3 toward po0.
+  TinyPlaced t;
+  Netlist golden = t.nl;
+  t.pl->place(t.po0, {5, 1});
+  t.pl->place(t.r, {1, 4});
+  TimingGraph tg(t.nl, *t.pl, t.dm);
+  Spt spt = extract_eps_spt(tg, tg.critical_sink(), 0.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  EmbeddingGraph graph =
+      EmbeddingGraph::make_grid({1, 1, 4, 4}, 1.0, t.dm.wire_delay_per_unit);
+  for (TreeNodeId n : rt.tree.post_order()) {
+    const FaninTreeNode& tn = rt.tree.node(n);
+    if ((!tn.is_leaf() && n != rt.tree.root()) ||
+        graph.vertex_at(tn.fixed_loc).valid())
+      continue;
+    Point q{std::clamp(tn.fixed_loc.x, 1, 4), std::clamp(tn.fixed_loc.y, 1, 4)};
+    EmbedVertexId pv = graph.add_vertex(tn.fixed_loc);
+    const int d = manhattan(tn.fixed_loc, q);
+    graph.add_bidi_edge(pv, graph.vertex_at(q), d, t.dm.wire_delay_per_unit * d);
+  }
+  auto pcost = [&](TreeNodeId i, EmbedVertexId j) {
+    Point p = graph.point(j);
+    if (i == rt.tree.root())
+      return p == t.pl->location(rt.root_info.cell) ? 0.0 : 1e9;
+    if (!t.pl->grid().is_logic(p)) return 1e9;
+    const FaninTreeNode& tn = rt.tree.node(i);
+    for (CellId occ : t.pl->cells_at(p))
+      if (t.nl.cell_alive(occ) && t.nl.equivalent(occ, tn.cell)) return 0.0;
+    return 1.0;
+  };
+  FaninTreeEmbedder e(rt.tree, graph, pcost, EmbedOptions{});
+  ASSERT_TRUE(e.run());
+  auto emb = e.extract(e.pick_fastest());
+  ExtractionStats s = apply_embedding(t.nl, *t.pl, rt, emb, graph);
+
+  // If a replica of g3 was created, the original must keep feeding r.
+  if (s.replicated > 0) {
+    NetId g3_out = t.nl.cell(t.g3).output;
+    bool r_on_original = false;
+    for (const Sink& sk : t.nl.net(g3_out).sinks)
+      if (sk.cell == t.r) r_on_original = true;
+    EXPECT_TRUE(r_on_original);
+  }
+  EXPECT_TRUE(t.nl.validate().empty()) << t.nl.validate();
+  EXPECT_TRUE(functionally_equivalent(golden, t.nl, 64, 21));
+}
+
+// ---------------------------------------------------------------------------
+// Postprocess unification (Section V-C).
+
+TEST(Unification, DrainsRedundantReplica) {
+  TinyPlaced t;
+  Netlist golden = t.nl;
+  // Replicate g3 next to the original and give it po0's fanout.
+  CellId rep = t.nl.replicate_cell(t.g3);
+  t.pl->place(rep, {2, 3});
+  t.nl.reassign_input(t.po0, 0, t.nl.cell(rep).output);
+  // Conservative unification: po0 is closer to the original g3 (2,2)?
+  // po0 at (3,0): d(g3)=3, d(rep)=4 -> reassigning back to g3 improves.
+  UnificationStats s = postprocess_unification(t.nl, *t.pl, t.dm, false);
+  EXPECT_GE(s.fanouts_moved, 1);
+  EXPECT_GE(s.cells_deleted, 1);
+  EXPECT_FALSE(t.nl.cell_alive(rep));
+  EXPECT_TRUE(t.nl.validate().empty()) << t.nl.validate();
+  EXPECT_TRUE(functionally_equivalent(golden, t.nl, 32, 3));
+}
+
+TEST(Unification, ConservativeModeKeepsBetterReplica) {
+  TinyPlaced t;
+  // Replica placed right next to po0: strictly better for po0; conservative
+  // unification must NOT move po0 back to the slower original.
+  CellId rep = t.nl.replicate_cell(t.g3);
+  t.pl->place(rep, {3, 1});
+  t.nl.reassign_input(t.po0, 0, t.nl.cell(rep).output);
+  postprocess_unification(t.nl, *t.pl, t.dm, false);
+  EXPECT_TRUE(t.nl.cell_alive(rep));
+  EXPECT_EQ(t.nl.net(t.nl.cell(rep).output).sinks.size(), 1u);
+}
+
+TEST(Unification, AggressiveModeUnifiesWithinSlack) {
+  TinyPlaced t;
+  Netlist golden = t.nl;
+  // Same setup, but aggressive mode may drain the replica as long as the
+  // critical delay is not violated. po0 via the original g3 has path
+  // 2.5+2+1+3+0.5 = 9 = current critical, so the move is allowed.
+  CellId rep = t.nl.replicate_cell(t.g3);
+  t.pl->place(rep, {3, 1});
+  t.nl.reassign_input(t.po0, 0, t.nl.cell(rep).output);
+  UnificationStats s = postprocess_unification(t.nl, *t.pl, t.dm, true);
+  EXPECT_GE(s.cells_deleted, 1);
+  EXPECT_FALSE(t.nl.cell_alive(rep));
+  EXPECT_TRUE(functionally_equivalent(golden, t.nl, 32, 8));
+}
+
+TEST(Unification, NoopWithoutReplicas) {
+  TinyPlaced t;
+  UnificationStats s = postprocess_unification(t.nl, *t.pl, t.dm, true);
+  EXPECT_EQ(s.fanouts_moved, 0);
+  EXPECT_EQ(s.cells_deleted, 0);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "embed/embedding_graph.h"
+#include "embed/fanin_tree.h"
+
+namespace repro {
+namespace {
+
+TEST(FaninTree, PostOrderChildrenBeforeParents) {
+  FaninTree t;
+  TreeNodeId l1 = t.add_leaf("l1", {0, 0}, 0, true);
+  TreeNodeId l2 = t.add_leaf("l2", {1, 0}, 0, true);
+  TreeNodeId g1 = t.add_gate("g1", {l1, l2}, 1.0);
+  TreeNodeId l3 = t.add_leaf("l3", {2, 0}, 0, true);
+  TreeNodeId root = t.add_gate("root", {g1, l3}, 1.0);
+  t.set_root(root, {3, 0});
+
+  auto order = t.post_order();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), root);
+  auto pos = [&](TreeNodeId n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(l1), pos(g1));
+  EXPECT_LT(pos(l2), pos(g1));
+  EXPECT_LT(pos(g1), pos(root));
+  EXPECT_LT(pos(l3), pos(root));
+}
+
+TEST(FaninTree, LeavesEnumeration) {
+  FaninTree t;
+  TreeNodeId l1 = t.add_leaf("l1", {0, 0}, 0, true);
+  TreeNodeId l2 = t.add_leaf("l2", {1, 0}, 2.5, false);
+  TreeNodeId g = t.add_gate("g", {l1, l2}, 1.0);
+  t.set_root(t.add_gate("root", {g}, 1.0), {2, 2});
+  auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_TRUE(t.node(leaves[0]).is_leaf());
+  EXPECT_TRUE(t.node(leaves[1]).is_leaf());
+}
+
+TEST(FaninTree, SetRootFixesLocation) {
+  FaninTree t;
+  TreeNodeId l = t.add_leaf("l", {0, 0}, 0, true);
+  TreeNodeId root = t.add_gate("root", {l}, 1.0);
+  t.set_root(root, {5, 7});
+  EXPECT_EQ(t.node(t.root()).fixed_loc, (Point{5, 7}));
+}
+
+TEST(FaninTree, CriticalInputIgnoresTerminators) {
+  FaninTree t;
+  TreeNodeId near_in = t.add_leaf("near", {1, 1}, 0, true);
+  TreeNodeId term = t.add_leaf("term", {20, 20}, 99.0, false);
+  TreeNodeId g = t.add_gate("g", {near_in, term}, 1.0);
+  t.set_root(t.add_gate("root", {g}, 1.0), {0, 0});
+  EXPECT_EQ(t.critical_input(), near_in);
+}
+
+TEST(FaninTree, CriticalInputNoneWithoutRealInputs) {
+  FaninTree t;
+  TreeNodeId term = t.add_leaf("term", {3, 3}, 5.0, false);
+  t.set_root(t.add_gate("root", {term}, 1.0), {0, 0});
+  EXPECT_FALSE(t.critical_input().valid());
+}
+
+TEST(EmbeddingGraph, GridConstruction) {
+  EmbeddingGraph g = EmbeddingGraph::make_grid({0, 0, 2, 1}, 1.5, 0.5);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EmbedVertexId v = g.vertex_at({1, 0});
+  ASSERT_TRUE(v.valid());
+  // Interior-row vertex has 3 neighbors (left, right, up).
+  EXPECT_EQ(g.edges_from(v).size(), 3u);
+  for (const auto& e : g.edges_from(v)) {
+    EXPECT_DOUBLE_EQ(e.cost, 1.5);
+    EXPECT_DOUBLE_EQ(e.delay, 0.5);
+  }
+}
+
+TEST(EmbeddingGraph, BlockedVerticesAbsent) {
+  EmbeddingGraph g = EmbeddingGraph::make_grid(
+      {0, 0, 3, 3}, 1.0, 1.0, [](Point p) { return p.x == 1 && p.y == 1; });
+  EXPECT_FALSE(g.vertex_at({1, 1}).valid());
+  EXPECT_EQ(g.num_vertices(), 15u);
+  // Neighbors of the hole have one fewer edge.
+  EXPECT_EQ(g.edges_from(g.vertex_at({1, 0})).size(), 2u);
+}
+
+TEST(EmbeddingGraph, LineConstruction) {
+  EmbeddingGraph g = EmbeddingGraph::make_line(4, 2.0, 3.0);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.edges_from(g.vertex_at({0, 0})).size(), 1u);
+  EXPECT_EQ(g.edges_from(g.vertex_at({1, 0})).size(), 2u);
+}
+
+TEST(EmbeddingGraph, VertexAtMissReturnsInvalid) {
+  EmbeddingGraph g = EmbeddingGraph::make_line(3, 1, 1);
+  EXPECT_FALSE(g.vertex_at({7, 7}).valid());
+  EXPECT_FALSE(g.vertex_at({-1, 0}).valid());
+}
+
+TEST(EmbeddingGraph, ManualGraphWithAsymmetricEdges) {
+  // The embedder supports arbitrary directed graphs; verify the builder
+  // primitives behave.
+  EmbeddingGraph g;
+  EmbedVertexId a = g.add_vertex({0, 0});
+  EmbedVertexId b = g.add_vertex({4, 0});
+  g.add_edge(a, b, 1.0, 2.0);       // one-way
+  EXPECT_EQ(g.edges_from(a).size(), 1u);
+  EXPECT_EQ(g.edges_from(b).size(), 0u);
+  g.add_bidi_edge(a, b, 3.0, 4.0);  // now both ways
+  EXPECT_EQ(g.edges_from(b).size(), 1u);
+}
+
+}  // namespace
+}  // namespace repro

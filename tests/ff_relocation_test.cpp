@@ -1,0 +1,110 @@
+// Directed test of Section V-D: when the critical sink is a flip-flop whose
+// own location is the limiting factor, repeated non-improvement must trigger
+// simultaneous sink placement (relocatable root) and move the register,
+// balancing the D-side gain against the Q-side fanout penalty.
+
+#include <gtest/gtest.h>
+
+#include "netlist/sim.h"
+#include "place/placement.h"
+#include "replicate/engine.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+struct FfRig {
+  Netlist nl;
+  FpgaGrid grid{10, 2};
+  LinearDelayModel dm;
+  std::unique_ptr<Placement> pl;
+  CellId pi, g1, g2, r, gq, po;
+
+  FfRig() {
+    pi = nl.add_input_pad("pi");
+    g1 = nl.add_logic("g1", {nl.cell(pi).output}, 0b10, false);
+    g2 = nl.add_logic("g2", {nl.cell(g1).output}, 0b10, false);
+    r = nl.add_logic("r", {nl.cell(g2).output}, 0b10, true);
+    gq = nl.add_logic("gq", {nl.cell(r).output}, 0b10, false);
+    po = nl.add_output_pad("po");
+    nl.connect(nl.cell(gq).output, po, 0);
+
+    pl = std::make_unique<Placement>(nl, grid);
+    // The D cone lives on the left; the register is stranded on the far
+    // right next to its (short) Q-side consumer. The D path into r is long
+    // but perfectly monotone, so no internal relocation can improve it: the
+    // critical sink is r's own D pin and only moving r helps — the exact
+    // Section V-D situation.
+    pl->place(pi, {0, 5});
+    pl->place(g1, {1, 5});
+    pl->place(g2, {2, 5});
+    pl->place(r, {10, 5});
+    pl->place(gq, {9, 5});
+    pl->place(po, {11, 5});
+  }
+};
+
+TEST(FfRelocation, EngineMovesTheStrandedRegister) {
+  FfRig rig;
+  Netlist golden = rig.nl;
+  Point r_before = rig.pl->location(rig.r);
+
+  EngineOptions opt;
+  opt.enable_ff_relocation = true;
+  opt.max_iterations = 40;
+  EngineResult res = run_replication_engine(rig.nl, *rig.pl, rig.dm, opt);
+
+  EXPECT_LT(res.final_critical, res.initial_critical - 1e-9);
+  // The register must actually have moved left off its stranded column,
+  // toward the balance point between its D cone and its Q consumer.
+  Point r_after = rig.pl->location(rig.r);
+  EXPECT_LT(r_after.x, r_before.x);
+  bool used_ffr = false;
+  for (const IterationStats& it : res.history) used_ffr |= it.ff_relocation;
+  EXPECT_TRUE(used_ffr);
+  EXPECT_TRUE(functionally_equivalent(golden, rig.nl, 48, 5));
+  EXPECT_TRUE(rig.pl->legal()) << rig.pl->check_legal();
+}
+
+TEST(FfRelocation, DisabledKeepsTheRegisterPinned) {
+  FfRig rig;
+  EngineOptions opt;
+  opt.enable_ff_relocation = false;
+  opt.max_iterations = 40;
+  run_replication_engine(rig.nl, *rig.pl, rig.dm, opt);
+  EXPECT_EQ(rig.pl->location(rig.r), (Point{10, 5}));
+}
+
+TEST(FfRelocation, EnabledBeatsDisabled) {
+  FfRig with;
+  EngineOptions on;
+  on.enable_ff_relocation = true;
+  on.max_iterations = 40;
+  EngineResult r_on = run_replication_engine(with.nl, *with.pl, with.dm, on);
+
+  FfRig without;
+  EngineOptions off;
+  off.enable_ff_relocation = false;
+  off.max_iterations = 40;
+  EngineResult r_off = run_replication_engine(without.nl, *without.pl, without.dm, off);
+
+  EXPECT_LT(r_on.final_critical, r_off.final_critical - 1e-9);
+}
+
+TEST(FfRelocation, QSidePenaltyRespected) {
+  // Section V-D balances the D-side gain against the Q-side fanout penalty:
+  // r must not be dragged all the way to its D cone (which would make the
+  // Q path to gq at x=9 the new critical path).
+  FfRig rig;
+  EngineOptions opt;
+  opt.enable_ff_relocation = true;
+  opt.max_iterations = 40;
+  EngineResult res = run_replication_engine(rig.nl, *rig.pl, rig.dm, opt);
+  Point r_after = rig.pl->location(rig.r);
+  TimingGraph tg(rig.nl, *rig.pl, rig.dm);
+  EXPECT_LE(tg.critical_delay(), res.initial_critical + 1e-9);
+  EXPECT_GE(r_after.x, 3);
+}
+
+}  // namespace
+}  // namespace repro

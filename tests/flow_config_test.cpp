@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "flow/experiment.h"
+
+namespace repro {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old) saved_ = old;
+    had_ = old != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_)
+      setenv(name_, saved_.c_str(), 1);
+    else
+      unsetenv(name_);
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(FlowConfig, DefaultsWithoutEnv) {
+  EnvGuard g1("REPRO_SCALE");
+  EnvGuard g2("REPRO_QUICK");
+  unsetenv("REPRO_SCALE");
+  unsetenv("REPRO_QUICK");
+  FlowConfig cfg = config_from_env();
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.15);
+  EXPECT_TRUE(cfg.route_lowstress);
+}
+
+TEST(FlowConfig, ScaleOverride) {
+  EnvGuard g1("REPRO_SCALE");
+  setenv("REPRO_SCALE", "0.5", 1);
+  FlowConfig cfg = config_from_env();
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.5);
+}
+
+TEST(FlowConfig, QuickModeShrinksWork) {
+  EnvGuard g1("REPRO_SCALE");
+  EnvGuard g2("REPRO_QUICK");
+  unsetenv("REPRO_SCALE");
+  setenv("REPRO_QUICK", "1", 1);
+  FlowConfig cfg = config_from_env();
+  EXPECT_LE(cfg.scale, 0.1);
+  EXPECT_LT(cfg.annealer.inner_num, 1.0);
+}
+
+TEST(FlowConfig, QuickModeRespectsSmallerExplicitScale) {
+  EnvGuard g1("REPRO_SCALE");
+  EnvGuard g2("REPRO_QUICK");
+  setenv("REPRO_SCALE", "0.05", 1);
+  setenv("REPRO_QUICK", "1", 1);
+  FlowConfig cfg = config_from_env();
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.05);
+}
+
+}  // namespace
+}  // namespace repro

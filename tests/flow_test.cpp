@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/experiment.h"
+#include "flow/table.h"
+
+namespace repro {
+namespace {
+
+TEST(Flow, PrepareCircuitProducesLegalPlacement) {
+  FlowConfig cfg;
+  cfg.scale = 0.04;
+  cfg.annealer.inner_num = 0.3;
+  PlacedCircuit pc = prepare_circuit(mcnc_suite()[0], cfg);
+  EXPECT_EQ(pc.name, "ex5p");
+  EXPECT_TRUE(pc.pl->legal()) << pc.pl->check_legal();
+  EXPECT_TRUE(pc.nl->validate().empty());
+  EXPECT_GT(pc.anneal_seconds, 0.0);
+}
+
+TEST(Flow, GridIsMinimumSquare) {
+  FlowConfig cfg;
+  cfg.scale = 0.04;
+  cfg.annealer.inner_num = 0.3;
+  PlacedCircuit pc = prepare_circuit(mcnc_suite()[0], cfg);
+  const int n = pc.grid->n();
+  EXPECT_GE(static_cast<std::size_t>(n) * n, pc.nl->num_logic());
+  if (n > 1)
+    EXPECT_LT(static_cast<std::size_t>(n - 1) * (n - 1), pc.nl->num_logic());
+}
+
+TEST(Flow, EvaluateRoutedProducesTableIColumns) {
+  FlowConfig cfg;
+  cfg.scale = 0.04;
+  cfg.annealer.inner_num = 0.3;
+  PlacedCircuit pc = prepare_circuit(mcnc_suite()[1], cfg);  // tseng
+  CircuitMetrics m = evaluate_routed(pc.name, *pc.nl, *pc.pl, cfg);
+  EXPECT_EQ(m.circuit, "tseng");
+  EXPECT_GT(m.crit_winf, 0.0);
+  EXPECT_GE(m.crit_wls, m.crit_winf - 1e-9);  // low stress never faster
+  EXPECT_GT(m.wirelength, 0);
+  EXPECT_GE(m.wmin, 1);
+  EXPECT_GT(m.density, 0.0);
+  EXPECT_LE(m.density, 1.0);
+  EXPECT_EQ(m.blocks, m.luts + m.ios);
+}
+
+TEST(Flow, LowStressSkippable) {
+  FlowConfig cfg;
+  cfg.scale = 0.04;
+  cfg.annealer.inner_num = 0.3;
+  cfg.route_lowstress = false;
+  PlacedCircuit pc = prepare_circuit(mcnc_suite()[0], cfg);
+  CircuitMetrics m = evaluate_routed(pc.name, *pc.nl, *pc.pl, cfg);
+  EXPECT_DOUBLE_EQ(m.crit_wls, m.crit_winf);
+  EXPECT_EQ(m.wmin, 0);
+}
+
+TEST(ConsoleTable, AlignsColumns) {
+  ConsoleTable t({"circuit", "value"});
+  t.add_row({"ex5p", "1.00"});
+  t.add_separator();
+  t.add_row({"longer-name", "0.5"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("circuit"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ConsoleTable, HandlesShortRows) {
+  ConsoleTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

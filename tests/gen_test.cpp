@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/fpga_grid.h"
+#include "gen/circuit_gen.h"
+#include "netlist/sim.h"
+
+namespace repro {
+namespace {
+
+CircuitSpec base_spec() {
+  CircuitSpec spec;
+  spec.num_logic = 150;
+  spec.num_inputs = 12;
+  spec.num_outputs = 10;
+  spec.registered_fraction = 0.3;
+  spec.depth = 8;
+  spec.seed = 17;
+  return spec;
+}
+
+TEST(Generator, ProducesRequestedCounts) {
+  CircuitSpec spec = base_spec();
+  Netlist nl = generate_circuit(spec);
+  EXPECT_EQ(nl.num_logic(), static_cast<std::size_t>(spec.num_logic));
+  EXPECT_EQ(nl.num_input_pads(), static_cast<std::size_t>(spec.num_inputs));
+  EXPECT_EQ(nl.num_output_pads(), static_cast<std::size_t>(spec.num_outputs));
+}
+
+TEST(Generator, ValidNetlist) {
+  Netlist nl = generate_circuit(base_spec());
+  EXPECT_TRUE(nl.validate().empty()) << nl.validate();
+}
+
+TEST(Generator, Deterministic) {
+  Netlist a = generate_circuit(base_spec());
+  Netlist b = generate_circuit(base_spec());
+  ASSERT_EQ(a.cell_capacity(), b.cell_capacity());
+  for (std::size_t i = 0; i < a.cell_capacity(); ++i) {
+    CellId id(static_cast<CellId::value_type>(i));
+    EXPECT_EQ(a.cell(id).function, b.cell(id).function);
+    EXPECT_EQ(a.cell(id).inputs, b.cell(id).inputs);
+  }
+  EXPECT_TRUE(functionally_equivalent(a, b, 8, 1));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  CircuitSpec s1 = base_spec();
+  CircuitSpec s2 = base_spec();
+  s2.seed = 18;
+  Netlist a = generate_circuit(s1);
+  Netlist b = generate_circuit(s2);
+  EXPECT_FALSE(functionally_equivalent(a, b, 8, 1));
+}
+
+TEST(Generator, RegisteredFractionApproximate) {
+  Netlist nl = generate_circuit(base_spec());
+  double frac = static_cast<double>(nl.num_registered()) /
+                static_cast<double>(nl.num_logic());
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(Generator, CombinationalWhenFractionZero) {
+  CircuitSpec spec = base_spec();
+  spec.registered_fraction = 0.0;
+  Netlist nl = generate_circuit(spec);
+  EXPECT_EQ(nl.num_registered(), 0u);
+}
+
+TEST(Generator, MostOutputsAreUsed) {
+  Netlist nl = generate_circuit(base_spec());
+  int dangling = 0;
+  for (CellId c : nl.live_cells()) {
+    const Cell& cell = nl.cell(c);
+    if (cell.kind == CellKind::kLogic && nl.net(cell.output).sinks.empty())
+      ++dangling;
+  }
+  // The generator attaches dangling outputs; a tiny residue is allowed.
+  EXPECT_LE(dangling, base_spec().num_logic / 20);
+}
+
+TEST(Generator, HasReconvergence) {
+  // Reconvergence = some net with fanout >= 2 (paths that split and rejoin
+  // later are guaranteed in a random DAG with fanout reuse).
+  Netlist nl = generate_circuit(base_spec());
+  int multi_fanout = 0;
+  for (NetId n : nl.live_nets())
+    if (nl.net(n).sinks.size() >= 2) ++multi_fanout;
+  EXPECT_GT(multi_fanout, 10);
+}
+
+TEST(Generator, SimulatesWithoutCombinationalLoops) {
+  Netlist nl = generate_circuit(base_spec());
+  Simulator sim(nl);
+  std::unordered_map<std::string, std::uint64_t> stim;
+  for (CellId c : nl.live_cells())
+    if (nl.cell(c).kind == CellKind::kInputPad) stim[nl.cell(c).name] = 0x5a5a;
+  EXPECT_NO_THROW({
+    for (int cyc = 0; cyc < 4; ++cyc) sim.step(stim);
+  });
+}
+
+TEST(McncSuite, TwentyCircuitsInPaperOrder) {
+  const auto& suite = mcnc_suite();
+  ASSERT_EQ(suite.size(), 20u);
+  EXPECT_STREQ(suite.front().name, "ex5p");
+  EXPECT_STREQ(suite.back().name, "clma");
+  EXPECT_EQ(suite.back().luts, 8383);
+}
+
+TEST(McncSuite, TableISizesRecovered) {
+  // min_grid_for must reproduce every published FPGA size at io_rat 2.
+  for (const McncCircuit& c : mcnc_suite()) {
+    EXPECT_EQ(FpgaGrid::min_grid_for(c.luts, c.ios, 2), c.fpga_size) << c.name;
+  }
+}
+
+TEST(McncSuite, SpecScalesBlocks) {
+  const McncCircuit& clma = mcnc_suite().back();
+  CircuitSpec full = spec_for(clma, 1.0, 1);
+  CircuitSpec quarter = spec_for(clma, 0.25, 1);
+  EXPECT_EQ(full.num_logic, 8383);
+  EXPECT_NEAR(quarter.num_logic, 8383 / 4, 2);
+  EXPECT_GT(full.depth, quarter.depth - 3);  // depth shrinks only mildly
+}
+
+TEST(McncSuite, SequentialFlagsProduceRegisters) {
+  const auto& suite = mcnc_suite();
+  // tseng is sequential, ex5p is not.
+  Netlist seq = generate_circuit(spec_for(suite[1], 0.05, 3));
+  Netlist comb = generate_circuit(spec_for(suite[0], 0.05, 3));
+  EXPECT_GT(seq.num_registered(), 0u);
+  EXPECT_EQ(comb.num_registered(), 0u);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "timing/monotone.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+TEST(LocalMonotone, StraightLineIsMonotone) {
+  EXPECT_FALSE(locally_nonmonotone({0, 0}, {2, 0}, {4, 0}));
+  EXPECT_FALSE(locally_nonmonotone({0, 0}, {2, 2}, {4, 4}));
+}
+
+TEST(LocalMonotone, StaircaseIsMonotone) {
+  // Any staircase within the bounding box is monotone under Manhattan.
+  EXPECT_FALSE(locally_nonmonotone({0, 0}, {3, 1}, {4, 4}));
+}
+
+TEST(LocalMonotone, DetourDetected) {
+  EXPECT_TRUE(locally_nonmonotone({0, 0}, {5, 0}, {2, 0}));   // overshoot
+  EXPECT_TRUE(locally_nonmonotone({0, 0}, {0, 3}, {4, 0}));   // sidestep
+  EXPECT_TRUE(locally_nonmonotone({0, 0}, {-1, 0}, {4, 0}));  // backtrack
+}
+
+TEST(LocalMonotone, PaperFig3Limitation) {
+  // Fig. 3's structural limitation: every consecutive triple is locally
+  // monotone, yet the whole path detours. A U-shaped path shows it: L-turns
+  // are monotone under the Manhattan metric, but the two turns add up.
+  Point s{0, 0}, a{3, 0}, b{3, 3}, tt{0, 3};
+  EXPECT_FALSE(locally_nonmonotone(s, a, b));
+  EXPECT_FALSE(locally_nonmonotone(a, b, tt));
+  // The full path detours: d(s,t) = 3 while the path walks 9.
+  EXPECT_LT(manhattan(s, tt), manhattan(s, a) + manhattan(a, b) + manhattan(b, tt));
+}
+
+TEST(DetourRatio, TinyCircuitCriticalPathMonotone) {
+  TinyPlaced t;
+  TimingGraph tg(t.nl, *t.pl, t.dm);
+  auto path = tg.critical_path();
+  // pi0(0,1) -> g1(1,1) -> g3(2,2) -> po0(3,0): length 1+2+3 = 6; direct 4.
+  EXPECT_NEAR(path_detour_ratio(tg, path), 6.0 / 4.0, 1e-12);
+}
+
+TEST(DetourRatio, DegeneratePathIsOne) {
+  TinyPlaced t;
+  TimingGraph tg(t.nl, *t.pl, t.dm);
+  EXPECT_DOUBLE_EQ(path_detour_ratio(tg, {}), 1.0);
+  EXPECT_DOUBLE_EQ(path_detour_ratio(tg, {tg.out_node(t.g1)}), 1.0);
+}
+
+TEST(MonotoneBound, TinyCircuitHandValues) {
+  TinyPlaced t;
+  TimingGraph tg(t.nl, *t.pl, t.dm);
+  // po0: slowest source bound is via pi1: 0.5 + d((0,3),(3,0))=6 + 2 LUTs
+  // + pad 0.5 = 9.0 (that path is already monotone).
+  EXPECT_DOUBLE_EQ(monotone_lower_bound_for_sink(tg, tg.sink_node(t.po0)), 9.0);
+  // r.D via pi0/pi1: 0.5 + 4 + 2*1 + 1 = 7.5.
+  EXPECT_DOUBLE_EQ(monotone_lower_bound_for_sink(tg, tg.sink_node(t.r)), 7.5);
+  // po1 via r.Q: 0.25 + 2 + 0 LUTs + 0.5 = 2.75.
+  EXPECT_DOUBLE_EQ(monotone_lower_bound_for_sink(tg, tg.sink_node(t.po1)), 2.75);
+  EXPECT_DOUBLE_EQ(monotone_lower_bound(tg), 9.0);
+}
+
+TEST(MonotoneBound, NeverExceedsActualDelay) {
+  TinyPlaced t;
+  TimingGraph tg(t.nl, *t.pl, t.dm);
+  for (TimingNodeId s : tg.sinks())
+    EXPECT_LE(monotone_lower_bound_for_sink(tg, s), tg.arrival(s) + 1e-9);
+}
+
+TEST(MonotoneBound, DetectsNonMonotonePotential) {
+  // Put g3 far out of the way: the bound stays (straight-line) while the
+  // actual delay grows, leaving optimization headroom.
+  TinyPlaced t;
+  TimingGraph tg(t.nl, *t.pl, t.dm);
+  double bound_before = monotone_lower_bound(tg);
+  t.pl->place(t.g3, {1, 4});
+  tg.run_sta();
+  EXPECT_GT(tg.critical_delay(), bound_before);
+  // The bound is location-independent for the movable internals (it depends
+  // on the fixed sources/sinks only), so it is unchanged.
+  EXPECT_DOUBLE_EQ(monotone_lower_bound(tg), bound_before);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+
+namespace repro {
+namespace {
+
+/// a, b -> AND x -> (y = NOT x) -> po ; x also feeds po2.
+struct SmallCircuit {
+  Netlist nl;
+  CellId a, b, x, y, po, po2;
+
+  SmallCircuit() {
+    a = nl.add_input_pad("a");
+    b = nl.add_input_pad("b");
+    x = nl.add_logic("x", {nl.cell(a).output, nl.cell(b).output}, 0b1000, false);
+    y = nl.add_logic("y", {nl.cell(x).output}, 0b01, false);
+    po = nl.add_output_pad("po");
+    nl.connect(nl.cell(y).output, po, 0);
+    po2 = nl.add_output_pad("po2");
+    nl.connect(nl.cell(x).output, po2, 0);
+  }
+};
+
+TEST(Netlist, ConstructionCounts) {
+  SmallCircuit c;
+  EXPECT_EQ(c.nl.num_live_cells(), 6u);
+  EXPECT_EQ(c.nl.num_logic(), 2u);
+  EXPECT_EQ(c.nl.num_input_pads(), 2u);
+  EXPECT_EQ(c.nl.num_output_pads(), 2u);
+  EXPECT_EQ(c.nl.num_registered(), 0u);
+  EXPECT_TRUE(c.nl.validate().empty()) << c.nl.validate();
+}
+
+TEST(Netlist, SinkBackLinks) {
+  SmallCircuit c;
+  const Net& xout = c.nl.net(c.nl.cell(c.x).output);
+  ASSERT_EQ(xout.sinks.size(), 2u);  // y pin 0 and po2 pin 0
+  EXPECT_EQ(xout.driver, c.x);
+}
+
+TEST(Netlist, ReplicateCreatesEquivalentCell) {
+  SmallCircuit c;
+  CellId r = c.nl.replicate_cell(c.x);
+  EXPECT_TRUE(c.nl.equivalent(r, c.x));
+  const Cell& rc = c.nl.cell(r);
+  EXPECT_EQ(rc.function, c.nl.cell(c.x).function);
+  EXPECT_EQ(rc.inputs, c.nl.cell(c.x).inputs);
+  EXPECT_TRUE(c.nl.net(rc.output).sinks.empty());
+  EXPECT_TRUE(c.nl.validate().empty()) << c.nl.validate();
+}
+
+TEST(Netlist, ReplicaAppearsInEqClass) {
+  SmallCircuit c;
+  CellId r = c.nl.replicate_cell(c.x);
+  auto members = c.nl.eq_members(c.nl.cell(c.x).eq_class);
+  EXPECT_EQ(members.size(), 2u);
+  EXPECT_TRUE((members[0] == c.x && members[1] == r) ||
+              (members[0] == r && members[1] == c.x));
+}
+
+TEST(Netlist, ReassignInputMovesSink) {
+  SmallCircuit c;
+  CellId r = c.nl.replicate_cell(c.x);
+  c.nl.reassign_input(c.y, 0, c.nl.cell(r).output);
+  EXPECT_EQ(c.nl.cell(c.y).inputs[0], c.nl.cell(r).output);
+  EXPECT_EQ(c.nl.net(c.nl.cell(r).output).sinks.size(), 1u);
+  EXPECT_EQ(c.nl.net(c.nl.cell(c.x).output).sinks.size(), 1u);  // only po2
+  EXPECT_TRUE(c.nl.validate().empty()) << c.nl.validate();
+}
+
+TEST(Netlist, ReassignInputToSameNetIsNoop) {
+  SmallCircuit c;
+  NetId before = c.nl.cell(c.y).inputs[0];
+  c.nl.reassign_input(c.y, 0, before);
+  EXPECT_EQ(c.nl.cell(c.y).inputs[0], before);
+  EXPECT_TRUE(c.nl.validate().empty());
+}
+
+TEST(Netlist, StealFanoutMovesAllSinks) {
+  SmallCircuit c;
+  CellId r = c.nl.replicate_cell(c.x);
+  c.nl.steal_fanout(c.x, r);
+  EXPECT_TRUE(c.nl.net(c.nl.cell(c.x).output).sinks.empty());
+  EXPECT_EQ(c.nl.net(c.nl.cell(r).output).sinks.size(), 2u);
+  EXPECT_TRUE(c.nl.validate().empty()) << c.nl.validate();
+}
+
+TEST(Netlist, RemoveIfRedundantLeavesUsedCells) {
+  SmallCircuit c;
+  EXPECT_EQ(c.nl.remove_if_redundant(c.x), 0);
+  EXPECT_TRUE(c.nl.cell_alive(c.x));
+}
+
+TEST(Netlist, RemoveIfRedundantDeletesFanoutFree) {
+  SmallCircuit c;
+  CellId r = c.nl.replicate_cell(c.x);  // no sinks
+  std::vector<CellId> deleted;
+  EXPECT_EQ(c.nl.remove_if_redundant(r, &deleted), 1);
+  EXPECT_FALSE(c.nl.cell_alive(r));
+  ASSERT_EQ(deleted.size(), 1u);
+  EXPECT_EQ(deleted[0], r);
+  EXPECT_TRUE(c.nl.validate().empty()) << c.nl.validate();
+}
+
+TEST(Netlist, RemoveIfRedundantRecursesThroughChain) {
+  // Chain: a -> g1 -> g2 -> (no sink). Deleting g2 must also delete g1.
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId g1 = nl.add_logic("g1", {nl.cell(a).output}, 0b10, false);
+  CellId g2 = nl.add_logic("g2", {nl.cell(g1).output}, 0b10, false);
+  EXPECT_EQ(nl.remove_if_redundant(g2), 2);
+  EXPECT_FALSE(nl.cell_alive(g1));
+  EXPECT_FALSE(nl.cell_alive(g2));
+  EXPECT_TRUE(nl.cell_alive(a));  // pads are never deleted
+  EXPECT_TRUE(nl.validate().empty()) << nl.validate();
+}
+
+TEST(Netlist, RecursionStopsAtSharedFanin) {
+  // a -> g1 -> {g2, po}; deleting g2 must keep g1 (po still uses it).
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId g1 = nl.add_logic("g1", {nl.cell(a).output}, 0b10, false);
+  CellId g2 = nl.add_logic("g2", {nl.cell(g1).output}, 0b10, false);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g1).output, po, 0);
+  EXPECT_EQ(nl.remove_if_redundant(g2), 1);
+  EXPECT_TRUE(nl.cell_alive(g1));
+}
+
+TEST(Netlist, UnifyMovesFanoutAndDeletes) {
+  SmallCircuit c;
+  CellId r = c.nl.replicate_cell(c.x);
+  // Give the replica a sink, then unify it back onto x.
+  c.nl.reassign_input(c.y, 0, c.nl.cell(r).output);
+  int deleted = c.nl.unify(r, c.x);
+  EXPECT_EQ(deleted, 1);
+  EXPECT_FALSE(c.nl.cell_alive(r));
+  EXPECT_EQ(c.nl.cell(c.y).inputs[0], c.nl.cell(c.x).output);
+  EXPECT_TRUE(c.nl.validate().empty()) << c.nl.validate();
+}
+
+TEST(Netlist, GrowInputAddsPin) {
+  SmallCircuit c;
+  CellId extra = c.nl.add_input_pad("extra");
+  c.nl.grow_input(c.y, c.nl.cell(extra).output, 0b0110);
+  EXPECT_EQ(c.nl.cell(c.y).inputs.size(), 2u);
+  EXPECT_EQ(c.nl.cell(c.y).function, 0b0110u);
+  EXPECT_TRUE(c.nl.validate().empty()) << c.nl.validate();
+}
+
+TEST(Netlist, LiveCellsSkipsDead) {
+  SmallCircuit c;
+  CellId r = c.nl.replicate_cell(c.x);
+  c.nl.remove_if_redundant(r);
+  auto live = c.nl.live_cells();
+  EXPECT_EQ(live.size(), 6u);
+  for (CellId id : live) EXPECT_NE(id, r);
+}
+
+TEST(Netlist, EquivalenceIsClassBased) {
+  SmallCircuit c;
+  EXPECT_FALSE(c.nl.equivalent(c.x, c.y));
+  CellId r1 = c.nl.replicate_cell(c.x);
+  CellId r2 = c.nl.replicate_cell(r1);
+  EXPECT_TRUE(c.nl.equivalent(r2, c.x));
+  EXPECT_TRUE(c.nl.equivalent(r1, r2));
+}
+
+TEST(Netlist, RegisteredFlagTracked) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId f = nl.add_logic("f", {nl.cell(a).output}, 0b10, true);
+  EXPECT_TRUE(nl.cell(f).registered);
+  EXPECT_EQ(nl.num_registered(), 1u);
+}
+
+TEST(Netlist, ValidateCatchesDanglingPin) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  (void)a;
+  CellId po = nl.add_output_pad("po");
+  (void)po;  // pin 0 left unconnected
+  EXPECT_FALSE(nl.validate().empty());
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,299 @@
+// Directed tests reproducing the paper's illustrative figures, so each
+// pictured behavior is pinned by an executable check:
+//
+//   Fig. 1/2   forced nonmonotone paths straightened by one replication
+//   Fig. 3     the local-monotonicity limitation (LR stuck, engine not)
+//   Fig. 8     replication-tree construction with reconvergence terminators
+//   Fig. 9     eps-SPT excludes cells whose slowest paths are too fast
+//   Fig. 13    postprocess unification after relocation
+
+#include <gtest/gtest.h>
+
+#include "netlist/sim.h"
+#include "place/placement.h"
+#include "replicate/engine.h"
+#include "replicate/extraction.h"
+#include "replicate/local_replication.h"
+#include "replicate/replication_tree.h"
+#include "timing/monotone.h"
+#include "timing/spt.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fig. 1 / Fig. 2
+
+struct Fig1Circuit {
+  Netlist nl;
+  FpgaGrid grid{8, 2};
+  LinearDelayModel dm;
+  CellId a, e, c, gb, gd, b, d;
+  std::unique_ptr<Placement> pl;
+
+  Fig1Circuit() {
+    a = nl.add_input_pad("a");
+    e = nl.add_input_pad("e");
+    c = nl.add_logic("c", {nl.cell(a).output, nl.cell(e).output}, 0b0110, false);
+    gb = nl.add_logic("gb", {nl.cell(c).output}, 0b10, false);
+    gd = nl.add_logic("gd", {nl.cell(c).output}, 0b10, false);
+    b = nl.add_output_pad("b");
+    d = nl.add_output_pad("d");
+    nl.connect(nl.cell(gb).output, b, 0);
+    nl.connect(nl.cell(gd).output, d, 0);
+    pl = std::make_unique<Placement>(nl, grid);
+    pl->place(a, {0, 3});
+    pl->place(b, {0, 6});
+    pl->place(e, {9, 3});
+    pl->place(d, {9, 6});
+    pl->place(gb, {1, 6});
+    pl->place(gd, {8, 6});
+    pl->place(c, {2, 4});
+  }
+};
+
+TEST(Fig1PathStraightening, CentralCellForcesDetour) {
+  Fig1Circuit f;
+  TimingGraph tg(f.nl, *f.pl, f.dm);
+  // Wherever c sits, one of the four input-to-output paths detours: with c
+  // on the left, the e -> ... -> b path walks far over its direct distance.
+  EXPECT_GT(path_detour_ratio(tg, tg.critical_path()), 1.5);
+}
+
+TEST(Fig1PathStraightening, OneReplicationRestoresMonotonicity) {
+  Fig1Circuit f;
+  Netlist golden = f.nl;
+  EngineOptions opt;
+  opt.max_iterations = 20;
+  EngineResult r = run_replication_engine(f.nl, *f.pl, f.dm, opt);
+  EXPECT_GE(r.total_replicated, 1);
+  TimingGraph tg(f.nl, *f.pl, f.dm);
+  EXPECT_LT(tg.critical_delay(), r.initial_critical);
+  EXPECT_NEAR(path_detour_ratio(tg, tg.critical_path()), 1.0, 0.35);
+  EXPECT_TRUE(functionally_equivalent(golden, f.nl, 64, 12));
+  // Fig. 2's point: total wirelength stays almost the same.
+  EXPECT_LT(f.pl->total_wirelength(), 1.5 * 24.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3: a U-shaped critical path defeats local monotonicity but not the
+// tree embedder.
+
+struct Fig3Circuit {
+  Netlist nl;
+  FpgaGrid grid{8, 2};
+  LinearDelayModel dm;
+  std::unique_ptr<Placement> pl;
+  CellId s, ca, cb, t;
+
+  Fig3Circuit() {
+    s = nl.add_input_pad("s");
+    ca = nl.add_logic("a", {nl.cell(s).output}, 0b10, false);
+    cb = nl.add_logic("b", {nl.cell(ca).output}, 0b10, false);
+    CellId c2 = nl.add_logic("c2", {nl.cell(cb).output}, 0b10, false);
+    t = nl.add_output_pad("t");
+    nl.connect(nl.cell(c2).output, t, 0);
+    pl = std::make_unique<Placement>(nl, grid);
+    // U shape: out to the right, down, and back left — every pair of
+    // consecutive hops is an L-turn (monotone), the whole walk is not.
+    pl->place(s, {0, 2});
+    pl->place(ca, {6, 2});
+    pl->place(cb, {6, 6});
+    pl->place(c2, {1, 6});
+    pl->place(t, {0, 6});
+  }
+};
+
+TEST(Fig3LocalMonotonicityLimit, AllTriplesMonotoneYetPathDetours) {
+  Fig3Circuit f;
+  TimingGraph tg(f.nl, *f.pl, f.dm);
+  auto path = tg.critical_path();
+  // The full path detours...
+  EXPECT_GT(path_detour_ratio(tg, path), 1.5);
+  // ...yet every interior triple is locally monotone (L-turns), so local
+  // replication has no candidate on it.
+  for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+    Point p1 = f.pl->location(tg.node(path[i]).cell);
+    Point p2 = f.pl->location(tg.node(path[i + 1]).cell);
+    Point p3 = f.pl->location(tg.node(path[i + 2]).cell);
+    EXPECT_FALSE(locally_nonmonotone(p1, p2, p3))
+        << "triple " << i << " unexpectedly nonmonotone";
+  }
+}
+
+TEST(Fig3LocalMonotonicityLimit, EngineStraightensWhatLRCannot) {
+  Fig3Circuit lr_case;
+  LocalReplicationOptions lr_opt;
+  LocalReplicationResult lr =
+      run_local_replication(lr_case.nl, *lr_case.pl, lr_case.dm, lr_opt);
+  // The paper's Fig. 3 point: no locally nonmonotone candidate -> no gain.
+  EXPECT_NEAR(lr.final_critical, lr.initial_critical, 1e-9);
+
+  Fig3Circuit en_case;
+  EngineOptions opt;
+  opt.max_iterations = 20;
+  EngineResult r = run_replication_engine(en_case.nl, *en_case.pl, en_case.dm, opt);
+  EXPECT_LT(r.final_critical, r.initial_critical - 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8: replication-tree construction.
+
+struct Fig8Circuit {
+  Netlist nl;
+  FpgaGrid grid{6, 2};
+  LinearDelayModel dm;
+  std::unique_ptr<Placement> pl;
+  CellId p1, p2, c, b, a, d, f, po;
+
+  Fig8Circuit() {
+    p1 = nl.add_input_pad("p1");
+    p2 = nl.add_input_pad("p2");
+    c = nl.add_logic("c", {nl.cell(p1).output}, 0b10, false);
+    b = nl.add_logic("b", {nl.cell(p2).output}, 0b10, false);
+    a = nl.add_logic("a", {nl.cell(c).output}, 0b10, false);
+    d = nl.add_logic("d",
+                     {nl.cell(a).output, nl.cell(b).output, nl.cell(c).output},
+                     0b01101001, false);
+    f = nl.add_logic("f", {nl.cell(d).output, nl.cell(c).output}, 0b0110, true);
+    po = nl.add_output_pad("po");
+    nl.connect(nl.cell(f).output, po, 0);
+    pl = std::make_unique<Placement>(nl, grid);
+    pl->place(p1, {0, 2});
+    pl->place(p2, {0, 4});
+    pl->place(c, {1, 2});
+    pl->place(b, {1, 4});
+    pl->place(a, {2, 2});
+    pl->place(d, {3, 3});
+    pl->place(f, {4, 3});
+    pl->place(po, {7, 3});
+  }
+};
+
+TEST(Fig8ReplicationTree, ConstructionMatchesPaper) {
+  Fig8Circuit fig;
+  TimingGraph tg(fig.nl, *fig.pl, fig.dm);
+  // Root the tree at f's D input with a wide eps so the whole cone is taken.
+  Spt spt = extract_eps_spt(tg, tg.sink_node(fig.f), 100.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+
+  // The paper copies {f(root), d, a, b, c}: four internal copies + root.
+  EXPECT_EQ(rt.root_info.cell, fig.f);
+  EXPECT_EQ(rt.num_internal(), 4u);
+
+  const ReplicationTree::InternalInfo* d_info = nullptr;
+  const ReplicationTree::InternalInfo* a_info = nullptr;
+  for (const auto& info : rt.internals) {
+    if (info.cell == fig.d) d_info = &info;
+    if (info.cell == fig.a) a_info = &info;
+  }
+  ASSERT_NE(d_info, nullptr);
+  ASSERT_NE(a_info, nullptr);
+
+  // d^R: pins 0 (a) and 1 (b) come from copies; pin 2 connects to the
+  // ORIGINAL c — the Leaf-DAG reconvergence terminator of Fig. 8.
+  EXPECT_TRUE(d_info->pin_is_internal[0]);
+  EXPECT_TRUE(d_info->pin_is_internal[1]);
+  EXPECT_FALSE(d_info->pin_is_internal[2]);
+  const FaninTreeNode& c_leaf = rt.tree.node(d_info->pin_child[2]);
+  EXPECT_EQ(c_leaf.cell, fig.c);
+  EXPECT_FALSE(c_leaf.is_real_input);
+  EXPECT_DOUBLE_EQ(c_leaf.leaf_arrival, tg.arrival(tg.out_node(fig.c)));
+
+  // a^R receives its input from c^R (the tree edge (c, a)).
+  EXPECT_TRUE(a_info->pin_is_internal[0]);
+
+  // f (the root) takes pin 0 from d^R and keeps pin 1 on the original c.
+  EXPECT_TRUE(rt.root_info.pin_is_internal[0]);
+  EXPECT_FALSE(rt.root_info.pin_is_internal[1]);
+}
+
+TEST(Fig8ReplicationTree, AppliedEmbeddingStaysEquivalent) {
+  Fig8Circuit fig;
+  Netlist golden = fig.nl;
+  EngineOptions opt;
+  opt.max_iterations = 10;
+  run_replication_engine(fig.nl, *fig.pl, fig.dm, opt);
+  EXPECT_TRUE(fig.nl.validate().empty()) << fig.nl.validate();
+  EXPECT_TRUE(functionally_equivalent(golden, fig.nl, 64, 88));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9: eps-SPT membership.
+
+TEST(Fig9EpsSpt, FastSideBranchesExcluded) {
+  // m is the critical sink; j and g have fast paths into the cone and must
+  // stay outside the eps-SPT for small eps (they are the paper's dashed
+  // nodes).
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId j = nl.add_input_pad("j");
+  CellId e = nl.add_logic("e", {nl.cell(a).output}, 0b10, false);
+  CellId g = nl.add_logic("g", {nl.cell(j).output}, 0b10, false);
+  CellId k = nl.add_logic("k", {nl.cell(e).output, nl.cell(g).output}, 0b0110,
+                          false);
+  CellId m = nl.add_output_pad("m");
+  nl.connect(nl.cell(k).output, m, 0);
+
+  FpgaGrid grid(8, 2);
+  Placement pl(nl, grid);
+  pl.place(a, {0, 4});
+  pl.place(e, {4, 8});  // slow branch: detoured
+  pl.place(j, {7, 4});
+  pl.place(g, {7, 5});  // fast branch: right next to k
+  pl.place(k, {8, 4});
+  pl.place(m, {9, 4});
+  LinearDelayModel dm;
+  TimingGraph tg(nl, pl, dm);
+
+  Spt tight = extract_eps_spt(tg, tg.sink_node(m), 0.0);
+  EXPECT_TRUE(tight.contains(tg.out_node(e)));
+  EXPECT_FALSE(tight.contains(tg.out_node(g)));
+  EXPECT_FALSE(tight.contains(tg.out_node(j)));
+
+  Spt wide = extract_eps_spt(tg, tg.sink_node(m), 1000.0);
+  EXPECT_TRUE(wide.contains(tg.out_node(g)));
+  EXPECT_TRUE(wide.contains(tg.out_node(j)));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13: unification after relocation.
+
+TEST(Fig13Unification, RelocatedCellMergesWithReplica) {
+  // Cell x and its replica x$r1 both alive; x relocated next to the replica;
+  // unification reassigns fanouts and deletes the redundant copy.
+  Netlist nl;
+  CellId pi = nl.add_input_pad("pi");
+  CellId x = nl.add_logic("x", {nl.cell(pi).output}, 0b10, false);
+  CellId u1 = nl.add_logic("u1", {nl.cell(x).output}, 0b10, false);
+  CellId u2 = nl.add_logic("u2", {nl.cell(x).output}, 0b10, false);
+  CellId po1 = nl.add_output_pad("po1");
+  CellId po2 = nl.add_output_pad("po2");
+  nl.connect(nl.cell(u1).output, po1, 0);
+  nl.connect(nl.cell(u2).output, po2, 0);
+  Netlist golden = nl;
+
+  CellId rep = nl.replicate_cell(x);
+  nl.reassign_input(u2, 0, nl.cell(rep).output);
+
+  FpgaGrid grid(6, 2);
+  Placement pl(nl, grid);
+  pl.place(pi, {0, 3});
+  pl.place(x, {2, 3});    // "relocated to the proximity of a^R"
+  pl.place(rep, {2, 4});
+  pl.place(u1, {3, 3});
+  pl.place(u2, {3, 4});
+  pl.place(po1, {7, 3});
+  pl.place(po2, {7, 4});
+
+  LinearDelayModel dm;
+  UnificationStats s = postprocess_unification(nl, pl, dm, /*aggressive=*/true);
+  EXPECT_GE(s.fanouts_moved, 1);
+  EXPECT_EQ(s.cells_deleted, 1);
+  EXPECT_EQ(nl.cell_alive(x) + nl.cell_alive(rep), 1);  // exactly one remains
+  EXPECT_TRUE(functionally_equivalent(golden, nl, 32, 13));
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "place/place_io.h"
+#include "test_helpers.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+TEST(PlaceIo, RoundTrip) {
+  TinyPlaced t;
+  std::ostringstream out;
+  write_placement(*t.pl, "tiny", out);
+
+  Placement fresh(t.nl, *t.grid);
+  std::istringstream in(out.str());
+  read_placement(fresh, in);
+  for (CellId c : t.nl.live_cells())
+    EXPECT_EQ(fresh.location(c), t.pl->location(c)) << t.nl.cell(c).name;
+  EXPECT_TRUE(fresh.legal()) << fresh.check_legal();
+}
+
+TEST(PlaceIo, HeaderAndCommentsIgnored) {
+  TinyPlaced t;
+  std::istringstream in(
+      "Netlist file: x  Architecture: 4 x 4 (io_rat 2)\n"
+      "# a comment line\n"
+      "pi0 0 1 input\n"
+      "pi1 0 3 input\n"
+      "g1 1 1 logic\n"
+      "g2 1 3 logic\n"
+      "g3 2 2 logic\n"
+      "r 3 2 logic\n"
+      "po0 3 0 output\n"
+      "po1 5 2 output\n");
+  Placement fresh(t.nl, *t.grid);
+  read_placement(fresh, in);
+  EXPECT_EQ(fresh.location(t.g3), (Point{2, 2}));
+}
+
+TEST(PlaceIo, KindColumnOptional) {
+  TinyPlaced t;
+  std::istringstream in(
+      "pi0 0 1\npi1 0 3\ng1 1 1\ng2 1 3\ng3 2 2\nr 3 2\npo0 3 0\npo1 5 2\n");
+  Placement fresh(t.nl, *t.grid);
+  read_placement(fresh, in);
+  EXPECT_TRUE(fresh.legal()) << fresh.check_legal();
+}
+
+TEST(PlaceIo, UnknownCellRejected) {
+  TinyPlaced t;
+  std::istringstream in("nosuch 1 1 logic\n");
+  Placement fresh(t.nl, *t.grid);
+  EXPECT_THROW(read_placement(fresh, in), std::runtime_error);
+}
+
+TEST(PlaceIo, IncompatibleLocationRejected) {
+  TinyPlaced t;
+  std::istringstream in("g1 0 1 logic\n");  // logic cell on the I/O ring
+  Placement fresh(t.nl, *t.grid);
+  EXPECT_THROW(read_placement(fresh, in), std::runtime_error);
+}
+
+TEST(PlaceIo, MissingCellsRejected) {
+  TinyPlaced t;
+  std::istringstream in("g1 1 1 logic\n");
+  Placement fresh(t.nl, *t.grid);
+  EXPECT_THROW(read_placement(fresh, in), std::runtime_error);
+}
+
+TEST(PlaceIo, MalformedRowRejected) {
+  TinyPlaced t;
+  std::istringstream in("g1 1\n");
+  Placement fresh(t.nl, *t.grid);
+  EXPECT_THROW(read_placement(fresh, in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace repro

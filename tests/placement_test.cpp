@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.h"
+#include "place/placement.h"
+#include "test_helpers.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+TEST(Placement, PlaceAndQuery) {
+  TinyPlaced t;
+  EXPECT_TRUE(t.pl->placed(t.g1));
+  EXPECT_EQ(t.pl->location(t.g1), (Point{1, 1}));
+  EXPECT_EQ(t.pl->occupancy({1, 1}), 1);
+}
+
+TEST(Placement, MoveUpdatesOccupancy) {
+  TinyPlaced t;
+  t.pl->place(t.g1, {2, 1});
+  EXPECT_EQ(t.pl->occupancy({1, 1}), 0);
+  EXPECT_EQ(t.pl->occupancy({2, 1}), 1);
+  EXPECT_EQ(t.pl->location(t.g1), (Point{2, 1}));
+}
+
+TEST(Placement, Unplace) {
+  TinyPlaced t;
+  t.pl->unplace(t.g1);
+  EXPECT_FALSE(t.pl->placed(t.g1));
+  EXPECT_EQ(t.pl->occupancy({1, 1}), 0);
+}
+
+TEST(Placement, LegalInitially) {
+  TinyPlaced t;
+  EXPECT_TRUE(t.pl->legal()) << t.pl->check_legal();
+}
+
+TEST(Placement, OverlapDetected) {
+  TinyPlaced t;
+  t.pl->place(t.g1, {2, 2});  // on top of g3
+  EXPECT_FALSE(t.pl->legal());
+  auto over = t.pl->overfull_locations();
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_EQ(over[0], (Point{2, 2}));
+  EXPECT_EQ(t.pl->overuse({2, 2}), 1);
+}
+
+TEST(Placement, IoCapacityTwo) {
+  TinyPlaced t;
+  // Two pads on one I/O location is legal with io_rat = 2.
+  t.pl->place(t.po0, {5, 2});
+  EXPECT_TRUE(t.pl->legal()) << t.pl->check_legal();
+  EXPECT_EQ(t.pl->occupancy({5, 2}), 2);
+}
+
+TEST(Placement, IncompatibleLocationIllegal) {
+  TinyPlaced t;
+  t.pl->place(t.g1, {0, 2});  // logic cell on the I/O ring
+  EXPECT_FALSE(t.pl->legal());
+}
+
+TEST(Placement, UnplacedCellIllegal) {
+  TinyPlaced t;
+  t.pl->unplace(t.g2);
+  EXPECT_FALSE(t.pl->legal());
+}
+
+TEST(Placement, NetTerminalsDriverFirst) {
+  TinyPlaced t;
+  auto pts = t.pl->net_terminals(t.nl.cell(t.g3).output);
+  ASSERT_EQ(pts.size(), 3u);  // driver g3 + sinks r, po0
+  EXPECT_EQ(pts[0], (Point{2, 2}));
+}
+
+TEST(Placement, NetBboxAndWirelength) {
+  TinyPlaced t;
+  NetId n = t.nl.cell(t.g3).output;  // g3(2,2) -> r(3,2), po0(3,0)
+  Rect bb = t.pl->net_bbox(n);
+  EXPECT_EQ(bb.xmin, 2);
+  EXPECT_EQ(bb.xmax, 3);
+  EXPECT_EQ(bb.ymin, 0);
+  EXPECT_EQ(bb.ymax, 2);
+  EXPECT_DOUBLE_EQ(t.pl->net_wirelength(n), 3.0);  // hpwl 3, q(3)=1
+}
+
+TEST(Placement, TotalWirelengthPositive) {
+  TinyPlaced t;
+  EXPECT_GT(t.pl->total_wirelength(), 0.0);
+}
+
+TEST(Placement, FreeLogicLocations) {
+  TinyPlaced t;
+  auto free = t.pl->free_logic_locations();
+  // 16 logic slots, 4 logic cells placed.
+  EXPECT_EQ(free.size(), 12u);
+}
+
+TEST(Placement, GrowsForReplicas) {
+  TinyPlaced t;
+  CellId rep = t.nl.replicate_cell(t.g3);
+  t.pl->place(rep, {1, 2});
+  EXPECT_EQ(t.pl->location(rep), (Point{1, 2}));
+  EXPECT_TRUE(t.pl->legal()) << t.pl->check_legal();
+}
+
+TEST(Placement, WithNetlistKeepsLocations) {
+  TinyPlaced t;
+  Netlist copy = t.nl;
+  Placement pl2 = t.pl->with_netlist(copy);
+  EXPECT_EQ(pl2.location(t.g3), t.pl->location(t.g3));
+  EXPECT_TRUE(pl2.legal()) << pl2.check_legal();
+  EXPECT_EQ(&pl2.netlist(), &copy);
+}
+
+TEST(Placement, CompatibleKinds) {
+  TinyPlaced t;
+  EXPECT_TRUE(t.pl->compatible(t.g1, {2, 2}));
+  EXPECT_FALSE(t.pl->compatible(t.g1, {0, 2}));
+  EXPECT_TRUE(t.pl->compatible(t.po0, {0, 2}));
+  EXPECT_FALSE(t.pl->compatible(t.po0, {2, 2}));
+}
+
+}  // namespace
+}  // namespace repro

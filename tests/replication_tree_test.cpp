@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "replicate/replication_tree.h"
+#include "test_helpers.h"
+#include "timing/spt.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+class ReplicationTreeFixture : public ::testing::Test {
+ protected:
+  TinyPlaced t;
+  TimingGraph tg{t.nl, *t.pl, t.dm};
+};
+
+TEST_F(ReplicationTreeFixture, StructureForCriticalSink) {
+  // Critical sink po0: eps-SPT with generous eps covers g3, g1, g2, pi0, pi1.
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 5.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+
+  // Internals: copies of g1, g2, g3 (the combinational members).
+  EXPECT_EQ(rt.num_internal(), 3u);
+  EXPECT_EQ(rt.root_info.cell, t.po0);
+  // Root has one pin, fed by the internal copy of g3.
+  ASSERT_EQ(rt.root_info.pin_child.size(), 1u);
+  EXPECT_TRUE(rt.root_info.pin_is_internal[0]);
+}
+
+TEST_F(ReplicationTreeFixture, InternalsListedChildrenFirst) {
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 5.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  // g3's info must come after g1's and g2's.
+  int pos_g1 = -1, pos_g2 = -1, pos_g3 = -1;
+  for (int i = 0; i < static_cast<int>(rt.internals.size()); ++i) {
+    if (rt.internals[i].cell == t.g1) pos_g1 = i;
+    if (rt.internals[i].cell == t.g2) pos_g2 = i;
+    if (rt.internals[i].cell == t.g3) pos_g3 = i;
+  }
+  ASSERT_GE(pos_g1, 0);
+  ASSERT_GE(pos_g2, 0);
+  ASSERT_GE(pos_g3, 0);
+  EXPECT_GT(pos_g3, pos_g1);
+  EXPECT_GT(pos_g3, pos_g2);
+}
+
+TEST_F(ReplicationTreeFixture, LeavesCarryArrivalsAndKind) {
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 5.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  int real_inputs = 0;
+  for (TreeNodeId n : rt.tree.leaves()) {
+    const FaninTreeNode& leaf = rt.tree.node(n);
+    if (leaf.is_real_input) ++real_inputs;
+    // All leaves are placed at their cells' locations.
+    EXPECT_EQ(leaf.fixed_loc, t.pl->location(leaf.cell));
+  }
+  EXPECT_EQ(real_inputs, 2);  // pi0 and pi1
+}
+
+TEST_F(ReplicationTreeFixture, LeafArrivalMatchesSta) {
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 5.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  for (TreeNodeId n : rt.tree.leaves()) {
+    const FaninTreeNode& leaf = rt.tree.node(n);
+    EXPECT_DOUBLE_EQ(leaf.leaf_arrival, tg.arrival(tg.out_node(leaf.cell)));
+  }
+}
+
+TEST_F(ReplicationTreeFixture, GateDelaysMatchIntrinsics) {
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 5.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  for (const auto& info : rt.internals) {
+    EXPECT_DOUBLE_EQ(rt.tree.node(info.node).gate_delay, t.dm.logic_delay);
+  }
+  // Root is an output pad: pad delay.
+  EXPECT_DOUBLE_EQ(rt.tree.node(rt.tree.root()).gate_delay, t.dm.io_delay);
+}
+
+TEST_F(ReplicationTreeFixture, ReconvergenceTerminatorForFlipFlopSink) {
+  // The r.D sink: fanin cone is g3 (and up). With eps = 0 the tree rooted at
+  // r.D contains g3; g3's fanins g1/g2 are either members or terminators.
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.r), 0.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  EXPECT_EQ(rt.root_info.cell, t.r);
+  EXPECT_GE(rt.num_internal(), 1u);
+  // Functional invariant: pin counts of every internal match its cell.
+  for (const auto& info : rt.internals) {
+    EXPECT_EQ(info.pin_child.size(), t.nl.cell(info.cell).inputs.size());
+    EXPECT_EQ(info.pin_is_internal.size(), t.nl.cell(info.cell).inputs.size());
+  }
+}
+
+TEST_F(ReplicationTreeFixture, ExternalPinsBecomeTerminatorLeaves) {
+  // Narrow tree: eps = 0 after skewing arrival so only the g1 branch is in
+  // the SPT; g3's pin 1 (from g2) must then be an external leaf.
+  t.pl->place(t.pi1, {0, 2});
+  t.pl->place(t.g2, {1, 2});
+  tg.run_sta();
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 0.0);
+  ASSERT_FALSE(spt.contains(tg.out_node(t.g2)));
+  ReplicationTree rt = build_replication_tree(tg, spt);
+
+  const ReplicationTree::InternalInfo* g3_info = nullptr;
+  for (const auto& info : rt.internals)
+    if (info.cell == t.g3) g3_info = &info;
+  ASSERT_NE(g3_info, nullptr);
+  EXPECT_TRUE(g3_info->pin_is_internal[0]);   // g1 branch in tree
+  EXPECT_FALSE(g3_info->pin_is_internal[1]);  // g2 is a terminator leaf
+  const FaninTreeNode& term = rt.tree.node(g3_info->pin_child[1]);
+  EXPECT_TRUE(term.is_leaf());
+  EXPECT_FALSE(term.is_real_input);
+  EXPECT_EQ(term.cell, t.g2);
+  EXPECT_DOUBLE_EQ(term.leaf_arrival, tg.arrival(tg.out_node(t.g2)));
+}
+
+TEST_F(ReplicationTreeFixture, TreePostOrderEndsAtRoot) {
+  Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 5.0);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  auto order = rt.tree.post_order();
+  EXPECT_EQ(order.back(), rt.tree.root());
+  EXPECT_EQ(order.size(), rt.tree.size());
+}
+
+}  // namespace
+}  // namespace repro

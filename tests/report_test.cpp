@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.h"
+#include "timing/report.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  TinyPlaced t;
+  TimingGraph tg{t.nl, *t.pl, t.dm};
+};
+
+TEST_F(ReportFixture, TopPathsOrderedBySlack) {
+  auto paths = top_paths(tg, 3);
+  ASSERT_EQ(paths.size(), 3u);  // po0, r.D, po1
+  EXPECT_EQ(tg.node(paths[0].endpoint).cell, t.po0);
+  EXPECT_NEAR(paths[0].slack, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(paths[0].arrival, 9.0);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i].slack, paths[i - 1].slack - 1e-12);
+}
+
+TEST_F(ReportFixture, TopPathsRespectsK) {
+  EXPECT_EQ(top_paths(tg, 1).size(), 1u);
+  EXPECT_EQ(top_paths(tg, 100).size(), tg.sinks().size());
+}
+
+TEST_F(ReportFixture, PathNodesEndToEnd) {
+  auto paths = top_paths(tg, 1);
+  const auto& nodes = paths[0].nodes;
+  ASSERT_GE(nodes.size(), 2u);
+  EXPECT_EQ(tg.node(nodes.front()).kind, TimingNodeKind::kSource);
+  EXPECT_EQ(nodes.back(), paths[0].endpoint);
+}
+
+TEST_F(ReportFixture, DetourRatioMatchesHelper) {
+  auto paths = top_paths(tg, 1);
+  // pi0(0,1) -> g1(1,1) -> g3(2,2) -> po0(3,0): 6 walked vs 4 direct.
+  EXPECT_NEAR(paths[0].detour_ratio, 1.5, 1e-12);
+}
+
+TEST_F(ReportFixture, SlackHistogramCountsEveryEndpoint) {
+  auto hist = slack_histogram(tg, 10);
+  std::size_t total = 0;
+  for (std::size_t h : hist) total += h;
+  EXPECT_EQ(total, tg.sinks().size());
+  // po0 has zero slack -> first bin populated.
+  EXPECT_GE(hist[0], 1u);
+  // po1 slack 6.25 of 9.0 -> bin 6 (69%).
+  EXPECT_GE(hist[6], 1u);
+}
+
+TEST_F(ReportFixture, HistogramEdgeCases) {
+  EXPECT_TRUE(slack_histogram(tg, 0).empty());
+  auto one = slack_histogram(tg, 1);
+  EXPECT_EQ(one[0], tg.sinks().size());
+}
+
+TEST_F(ReportFixture, TextReportMentionsKeyFacts) {
+  std::string rep = timing_report(tg, 2);
+  EXPECT_NE(rep.find("critical delay: 9"), std::string::npos);
+  EXPECT_NE(rep.find("monotone lower bound"), std::string::npos);
+  EXPECT_NE(rep.find("po0"), std::string::npos);
+  EXPECT_NE(rep.find("slack histogram"), std::string::npos);
+  EXPECT_NE(rep.find("wire"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

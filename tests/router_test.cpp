@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.h"
+#include "place/annealer.h"
+#include "route/router.h"
+#include "test_helpers.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+TEST(Router, InfiniteResourcesRouteEverything) {
+  TinyPlaced t;
+  RouterOptions opt;
+  opt.channel_width = 0;
+  RoutingResult r = route(t.nl, *t.pl, opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.total_wirelength, 0);
+  EXPECT_GE(r.max_channel_occupancy, 1);
+}
+
+TEST(Router, ConnectionLengthsAtLeastManhattan) {
+  TinyPlaced t;
+  RouterOptions opt;
+  RoutingResult r = route(t.nl, *t.pl, opt);
+  for (NetId n : t.nl.live_nets()) {
+    const Net& net = t.nl.net(n);
+    Point d = t.pl->location(net.driver);
+    for (const Sink& s : net.sinks) {
+      int len = r.length_of(s.cell, s.pin, -1);
+      ASSERT_GE(len, 0) << "connection missing from routing";
+      EXPECT_GE(len, manhattan(d, t.pl->location(s.cell)));
+    }
+  }
+}
+
+TEST(Router, InfiniteRoutingIsShortestPath) {
+  // With no congestion every connection should match Manhattan distance
+  // exactly when the net has a single sink.
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId g = nl.add_logic("g", {nl.cell(a).output}, 0b10, false);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g).output, po, 0);
+  FpgaGrid grid(4, 2);
+  Placement pl(nl, grid);
+  pl.place(a, {0, 2});
+  pl.place(g, {2, 3});
+  pl.place(po, {5, 1});
+  RoutingResult r = route(nl, pl, RouterOptions{});
+  EXPECT_EQ(r.length_of(g, 0, -1), manhattan({0, 2}, {2, 3}));
+  EXPECT_EQ(r.length_of(po, 0, -1), manhattan({2, 3}, {5, 1}));
+}
+
+TEST(Router, SteinerSharingShortensMultiFanout) {
+  // Driver with two sinks on the same row: the shared trunk must be counted
+  // once (wirelength < sum of the two Manhattan distances).
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId g1 = nl.add_logic("g1", {nl.cell(a).output}, 0b10, false);
+  CellId g2 = nl.add_logic("g2", {nl.cell(a).output}, 0b10, false);
+  CellId po1 = nl.add_output_pad("po1");
+  CellId po2 = nl.add_output_pad("po2");
+  nl.connect(nl.cell(g1).output, po1, 0);
+  nl.connect(nl.cell(g2).output, po2, 0);
+  FpgaGrid grid(6, 2);
+  Placement pl(nl, grid);
+  pl.place(a, {0, 1});
+  pl.place(g1, {5, 1});
+  pl.place(g2, {6, 1});
+  pl.place(po1, {7, 1});
+  pl.place(po2, {7, 2});
+  RoutingResult r = route(nl, pl, RouterOptions{});
+  // Net a: sinks at distance 5 and 6 along one line; shared tree uses 6.
+  // Total wirelength must be below the unshared sum for this net.
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.total_wirelength, 6 + 2 + 2);  // a-tree + two output hops
+}
+
+TEST(Router, CapacityOneForcesDetours) {
+  // Two parallel nets through a narrow region with W=1: one must detour,
+  // but routing must still succeed.
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId b = nl.add_input_pad("b");
+  CellId ga = nl.add_logic("ga", {nl.cell(a).output}, 0b10, false);
+  CellId gb = nl.add_logic("gb", {nl.cell(b).output}, 0b10, false);
+  CellId poa = nl.add_output_pad("poa");
+  CellId pob = nl.add_output_pad("pob");
+  nl.connect(nl.cell(ga).output, poa, 0);
+  nl.connect(nl.cell(gb).output, pob, 0);
+  FpgaGrid grid(4, 2);
+  Placement pl(nl, grid);
+  pl.place(a, {0, 2});
+  pl.place(b, {0, 2});  // same pad location (io_rat 2)
+  pl.place(ga, {1, 2});
+  pl.place(gb, {2, 2});
+  pl.place(poa, {5, 2});
+  pl.place(pob, {5, 2});
+  RouterOptions opt;
+  opt.channel_width = 1;
+  RoutingResult r = route(nl, pl, opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.max_channel_occupancy, 1);
+}
+
+TEST(Router, MinChannelWidthMonotone) {
+  TinyPlaced t;
+  int wmin = find_min_channel_width(t.nl, *t.pl);
+  ASSERT_GE(wmin, 1);
+  // Routing at wmin succeeds; at wmin-1 it must fail (if wmin > 1).
+  RouterOptions at;
+  at.channel_width = wmin;
+  EXPECT_TRUE(route(t.nl, *t.pl, at).success);
+  if (wmin > 1) {
+    RouterOptions below;
+    below.channel_width = wmin - 1;
+    EXPECT_FALSE(route(t.nl, *t.pl, below).success);
+  }
+}
+
+TEST(Router, RoutedDelayAtLeastPlacedEstimate) {
+  TinyPlaced t;
+  TimingGraph tg(t.nl, *t.pl, t.dm);
+  double placed = tg.critical_delay();
+  RoutingResult inf = route(t.nl, *t.pl, RouterOptions{});
+  double routed = routed_critical_delay(t.nl, *t.pl, t.dm, inf);
+  EXPECT_GE(routed, placed - 1e-9);
+}
+
+TEST(Router, LowStressNoWorseStructure) {
+  // W_ls >= W_inf critical path (congestion can only lengthen wires); both
+  // on an annealed medium circuit — the Table I relationship.
+  CircuitSpec spec;
+  spec.num_logic = 120;
+  spec.num_inputs = 10;
+  spec.num_outputs = 10;
+  spec.depth = 7;
+  spec.seed = 5;
+  Netlist nl = generate_circuit(spec);
+  FpgaGrid grid(FpgaGrid::min_grid_for(nl.num_logic(),
+                                       nl.num_input_pads() + nl.num_output_pads()));
+  LinearDelayModel dm;
+  AnnealerOptions aopt;
+  aopt.inner_num = 0.5;
+  Placement pl = anneal_placement(nl, grid, dm, aopt);
+
+  RoutingResult inf = route(nl, pl, RouterOptions{});
+  double crit_inf = routed_critical_delay(nl, pl, dm, inf);
+  int wmin = find_min_channel_width(nl, pl);
+  RouterOptions ls;
+  ls.channel_width = static_cast<int>(std::ceil(1.2 * wmin));
+  RoutingResult rls = route(nl, pl, ls);
+  EXPECT_TRUE(rls.success);
+  double crit_ls = routed_critical_delay(nl, pl, dm, rls);
+  EXPECT_GE(crit_ls, crit_inf - 1e-9);
+  EXPECT_LE(crit_ls, crit_inf * 1.5);  // low-stress, not pathological
+}
+
+TEST(Router, DeterministicAcrossRuns) {
+  TinyPlaced t;
+  RoutingResult a = route(t.nl, *t.pl, RouterOptions{});
+  RoutingResult b = route(t.nl, *t.pl, RouterOptions{});
+  EXPECT_EQ(a.total_wirelength, b.total_wirelength);
+  EXPECT_EQ(a.connection_length, b.connection_length);
+}
+
+}  // namespace
+}  // namespace repro

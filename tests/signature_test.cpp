@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "embed/signature.h"
+
+namespace repro {
+namespace {
+
+TEST(DelayVec, EmptyBehaviour) {
+  DelayVec d;
+  EXPECT_EQ(d.n, 0);
+  EXPECT_EQ(d.primary(), -std::numeric_limits<double>::infinity());
+  d.shift(5.0);  // no entries: no-op
+  EXPECT_EQ(d.n, 0);
+}
+
+TEST(DelayVec, SingleAndPairFactories) {
+  DelayVec s = DelayVec::single(4.5);
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.primary(), 4.5);
+  DelayVec p = DelayVec::pair(9.0, 3.0);
+  EXPECT_EQ(p.n, 2);
+  EXPECT_DOUBLE_EQ(p.v[0], 9.0);
+  EXPECT_DOUBLE_EQ(p.v[1], 3.0);
+}
+
+TEST(DelayVec, MergeWithEmptyIsIdentityTruncated) {
+  DelayVec empty;
+  DelayVec p = DelayVec::pair(7.0, 2.0);
+  DelayVec m1 = empty.merged_with(p, 3);
+  EXPECT_EQ(m1.n, 2);
+  EXPECT_DOUBLE_EQ(m1.v[0], 7.0);
+  DelayVec m2 = p.merged_with(empty, 1);
+  EXPECT_EQ(m2.n, 1);
+  EXPECT_DOUBLE_EQ(m2.v[0], 7.0);
+}
+
+TEST(DelayVec, MergePreservesDuplicates) {
+  // Two distinct paths with identical delays must both be tracked (the
+  // paper's multiset-removal formulation).
+  DelayVec a = DelayVec::single(5.0);
+  DelayVec b = DelayVec::single(5.0);
+  DelayVec m = a.merged_with(b, 3);
+  EXPECT_EQ(m.n, 2);
+  EXPECT_DOUBLE_EQ(m.v[0], 5.0);
+  EXPECT_DOUBLE_EQ(m.v[1], 5.0);
+}
+
+TEST(DelayVec, MergeAtFullCapacity) {
+  DelayVec a;
+  a.n = 3;
+  a.v[0] = 9;
+  a.v[1] = 7;
+  a.v[2] = 5;
+  DelayVec b;
+  b.n = 3;
+  b.v[0] = 8;
+  b.v[1] = 6;
+  b.v[2] = 4;
+  DelayVec m = a.merged_with(b, DelayVec::kCapacity);
+  ASSERT_EQ(m.n, 6);
+  const double expect[] = {9, 8, 7, 6, 5, 4};
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(m.v[i], expect[i]);
+}
+
+TEST(DelayVec, LexCompareTransitiveSamples) {
+  DelayVec a = DelayVec::pair(5, 1);
+  DelayVec b = DelayVec::pair(5, 2);
+  DelayVec c = DelayVec::pair(6, 0);
+  EXPECT_LT(a.lex_compare(b), 0);
+  EXPECT_LT(b.lex_compare(c), 0);
+  EXPECT_LT(a.lex_compare(c), 0);
+  EXPECT_GT(c.lex_compare(a), 0);
+  EXPECT_TRUE(a.lex_less_equal(a));
+  EXPECT_TRUE(a.lex_equal(a));
+}
+
+TEST(Provenance, DefaultsAreInitial) {
+  Provenance p;
+  EXPECT_EQ(p.kind, Provenance::Kind::kInitial);
+  EXPECT_EQ(p.spill_index, -1);
+  EXPECT_EQ(p.num_children, 0);
+}
+
+TEST(Label, DefaultsAreLive) {
+  Label l;
+  EXPECT_EQ(l.dead, 0);
+  EXPECT_EQ(l.branching, 0);
+  EXPECT_EQ(l.stem_len, 0);
+  EXPECT_EQ(l.mc_weight, 0);
+}
+
+}  // namespace
+}  // namespace repro

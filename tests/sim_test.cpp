@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "netlist/sim.h"
+
+namespace repro {
+namespace {
+
+TEST(Simulator, AndGateTruth) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId b = nl.add_input_pad("b");
+  CellId g = nl.add_logic("g", {nl.cell(a).output, nl.cell(b).output}, 0b1000, false);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g).output, po, 0);
+
+  Simulator sim(nl);
+  auto out = sim.step({{"a", 0b1100}, {"b", 0b1010}});
+  EXPECT_EQ(out["po"], 0b1000u);
+}
+
+TEST(Simulator, XorGateTruth) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId b = nl.add_input_pad("b");
+  CellId g = nl.add_logic("g", {nl.cell(a).output, nl.cell(b).output}, 0b0110, false);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g).output, po, 0);
+
+  Simulator sim(nl);
+  auto out = sim.step({{"a", 0b1100}, {"b", 0b1010}});
+  EXPECT_EQ(out["po"], 0b0110u);
+}
+
+TEST(Simulator, NotChain) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId n1 = nl.add_logic("n1", {nl.cell(a).output}, 0b01, false);
+  CellId n2 = nl.add_logic("n2", {nl.cell(n1).output}, 0b01, false);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(n2).output, po, 0);
+
+  Simulator sim(nl);
+  auto out = sim.step({{"a", 0xDEADBEEFDEADBEEFull}});
+  EXPECT_EQ(out["po"], 0xDEADBEEFDEADBEEFull);
+}
+
+TEST(Simulator, RegisterDelaysByOneCycle) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId r = nl.add_logic("r", {nl.cell(a).output}, 0b10, true);  // D = a
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(r).output, po, 0);
+
+  Simulator sim(nl);
+  auto o1 = sim.step({{"a", 0xFFull}});
+  EXPECT_EQ(o1["po"], 0u);  // reset state
+  auto o2 = sim.step({{"a", 0x0ull}});
+  EXPECT_EQ(o2["po"], 0xFFull);  // captured last cycle
+  auto o3 = sim.step({{"a", 0x0ull}});
+  EXPECT_EQ(o3["po"], 0u);
+}
+
+TEST(Simulator, SequentialFeedbackToggles) {
+  // T-flip-flop: r.D = NOT r.Q ; po = r.Q.
+  Netlist nl;
+  CellId r = nl.add_logic("r", {NetId::invalid()}, 0b01, true);
+  nl.connect(nl.cell(r).output, r, 0);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(r).output, po, 0);
+
+  Simulator sim(nl);
+  EXPECT_EQ(sim.step({})["po"], 0u);
+  EXPECT_EQ(sim.step({})["po"], ~0ull);
+  EXPECT_EQ(sim.step({})["po"], 0u);
+  EXPECT_EQ(sim.step({})["po"], ~0ull);
+}
+
+TEST(Simulator, ResetClearsState) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId r = nl.add_logic("r", {nl.cell(a).output}, 0b10, true);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(r).output, po, 0);
+
+  Simulator sim(nl);
+  sim.step({{"a", ~0ull}});
+  sim.reset();
+  EXPECT_EQ(sim.step({{"a", 0ull}})["po"], 0u);
+}
+
+TEST(Simulator, CombinationalLoopThrows) {
+  Netlist nl;
+  CellId g1 = nl.add_logic("g1", {NetId::invalid()}, 0b10, false);
+  CellId g2 = nl.add_logic("g2", {nl.cell(g1).output}, 0b10, false);
+  nl.connect(nl.cell(g2).output, g1, 0);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g1).output, po, 0);
+
+  Simulator sim(nl);
+  EXPECT_THROW(sim.step({}), std::runtime_error);
+}
+
+TEST(Equivalence, IdenticalNetlistsAreEquivalent) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId b = nl.add_input_pad("b");
+  CellId g = nl.add_logic("g", {nl.cell(a).output, nl.cell(b).output}, 0b0111, false);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g).output, po, 0);
+
+  Netlist copy = nl;
+  EXPECT_TRUE(functionally_equivalent(nl, copy, 16, 99));
+}
+
+TEST(Equivalence, ReplicationPreservesFunction) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId b = nl.add_input_pad("b");
+  CellId g = nl.add_logic("g", {nl.cell(a).output, nl.cell(b).output}, 0b0110, false);
+  CellId po1 = nl.add_output_pad("po1");
+  CellId po2 = nl.add_output_pad("po2");
+  nl.connect(nl.cell(g).output, po1, 0);
+  nl.connect(nl.cell(g).output, po2, 0);
+
+  Netlist golden = nl;
+  CellId r = nl.replicate_cell(g);
+  nl.reassign_input(po2, 0, nl.cell(r).output);
+  EXPECT_TRUE(functionally_equivalent(golden, nl, 16, 5));
+}
+
+TEST(Equivalence, DetectsFunctionChange) {
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId g = nl.add_logic("g", {nl.cell(a).output}, 0b10, false);  // identity
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g).output, po, 0);
+
+  Netlist other;
+  CellId a2 = other.add_input_pad("a");
+  CellId g2 = other.add_logic("g", {other.cell(a2).output}, 0b01, false);  // NOT
+  CellId po2 = other.add_output_pad("po");
+  other.connect(other.cell(g2).output, po2, 0);
+
+  std::string why;
+  EXPECT_FALSE(functionally_equivalent(nl, other, 4, 5, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Equivalence, DetectsIoMismatch) {
+  Netlist nl;
+  nl.add_input_pad("a");
+  Netlist other;
+  other.add_input_pad("a");
+  other.add_input_pad("b");
+  std::string why;
+  EXPECT_FALSE(functionally_equivalent(nl, other, 1, 1, &why));
+}
+
+TEST(Equivalence, SequentialReplicationPreservesFunction) {
+  // Registered cell replicated: both copies hold identical state streams.
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId r = nl.add_logic("r", {nl.cell(a).output}, 0b01, true);  // D = !a
+  CellId g = nl.add_logic("g", {nl.cell(r).output}, 0b10, false);
+  CellId po1 = nl.add_output_pad("po1");
+  CellId po2 = nl.add_output_pad("po2");
+  nl.connect(nl.cell(g).output, po1, 0);
+  nl.connect(nl.cell(r).output, po2, 0);
+
+  Netlist golden = nl;
+  CellId rr = nl.replicate_cell(r);
+  nl.reassign_input(po2, 0, nl.cell(rr).output);
+  EXPECT_TRUE(functionally_equivalent(golden, nl, 32, 77));
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/svg_report.h"
+#include "test_helpers.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+TEST(SvgReport, ProducesWellFormedDocument) {
+  TinyPlaced t;
+  std::ostringstream out;
+  write_placement_svg(*t.pl, t.dm, out);
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per live cell plus background/outline.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos;
+       ++pos)
+    ++rects;
+  EXPECT_GE(rects, t.nl.num_live_cells());
+  // Critical path polyline present.
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgReport, MarksReplicas) {
+  TinyPlaced t;
+  CellId rep = t.nl.replicate_cell(t.g3);
+  t.nl.reassign_input(t.po0, 0, t.nl.cell(rep).output);
+  t.pl->place(rep, {2, 3});
+  std::ostringstream out;
+  write_placement_svg(*t.pl, t.dm, out);
+  // Replicated cells get the blue outline.
+  EXPECT_NE(out.str().find("#0050d0"), std::string::npos);
+}
+
+TEST(SvgReport, TitlesCarryCellNames) {
+  TinyPlaced t;
+  std::ostringstream out;
+  write_placement_svg(*t.pl, t.dm, out);
+  EXPECT_NE(out.str().find("<title>g3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

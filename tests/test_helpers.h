@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+
+#include "arch/delay_model.h"
+#include "arch/fpga_grid.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+
+namespace repro::testing {
+
+/// Hand-built placed circuit used across the timing/SPT/replication tests:
+///
+///   pi0 --> g1 --> g3 --> po0
+///   pi1 --> g2 -/     \-> r (registered) --> po1
+///           g2 ----------> g3 (second pin)   [reconvergence at g3? no:
+///                                             g1,g2 both feed g3]
+///
+/// Layout on a 4x4 logic array chosen so that distances are easy to reason
+/// about in tests.
+struct TinyPlaced {
+  Netlist nl;
+  std::unique_ptr<FpgaGrid> grid;
+  std::unique_ptr<Placement> pl;
+  LinearDelayModel dm;
+
+  CellId pi0, pi1, g1, g2, g3, r, po0, po1;
+
+  TinyPlaced() {
+    pi0 = nl.add_input_pad("pi0");
+    pi1 = nl.add_input_pad("pi1");
+    g1 = nl.add_logic("g1", {nl.cell(pi0).output}, 0b10, false);
+    g2 = nl.add_logic("g2", {nl.cell(pi1).output}, 0b10, false);
+    g3 = nl.add_logic("g3", {nl.cell(g1).output, nl.cell(g2).output}, 0b0110,
+                      false);
+    r = nl.add_logic("r", {nl.cell(g3).output}, 0b10, true);
+    po0 = nl.add_output_pad("po0");
+    nl.connect(nl.cell(g3).output, po0, 0);
+    po1 = nl.add_output_pad("po1");
+    nl.connect(nl.cell(r).output, po1, 0);
+
+    grid = std::make_unique<FpgaGrid>(4, 2);
+    pl = std::make_unique<Placement>(nl, *grid);
+    pl->place(pi0, {0, 1});
+    pl->place(pi1, {0, 3});
+    pl->place(g1, {1, 1});
+    pl->place(g2, {1, 3});
+    pl->place(g3, {2, 2});
+    pl->place(r, {3, 2});
+    pl->place(po0, {3, 0});
+    pl->place(po1, {5, 2});
+
+    dm.wire_delay_per_unit = 1.0;
+    dm.logic_delay = 1.0;
+    dm.io_delay = 0.5;
+    dm.ff_delay = 0.25;
+  }
+};
+
+}  // namespace repro::testing

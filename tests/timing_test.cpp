@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.h"
+#include "place/placement.h"
+#include "test_helpers.h"
+#include "timing/timing_graph.h"
+
+namespace repro {
+namespace {
+
+using testing::TinyPlaced;
+
+// Hand-computed reference values for TinyPlaced (wire 1.0/unit, LUT 1.0,
+// pad 0.5, FF clk-to-q 0.25):
+//   arr(g1) = 0.5 + 1 + 1 = 2.5            arr(g2) = 2.5
+//   arr(g3) = 2.5 + 2 + 1 = 5.5
+//   arr(r.D) = 5.5 + 1 + 1 = 7.5           arr(po0) = 5.5 + 3 + 0.5 = 9.0
+//   arr(po1) = 0.25 + 2 + 0.5 = 2.75
+class TimingFixture : public ::testing::Test {
+ protected:
+  TinyPlaced t;
+  TimingGraph tg{t.nl, *t.pl, t.dm};
+};
+
+TEST_F(TimingFixture, NodeStructure) {
+  // 2 PIs + 3 comb + registered (2 nodes) + 2 POs = 9 nodes.
+  EXPECT_EQ(tg.num_nodes(), 9u);
+  EXPECT_TRUE(tg.out_node(t.g3).valid());
+  EXPECT_FALSE(tg.sink_node(t.g3).valid());
+  EXPECT_TRUE(tg.sink_node(t.r).valid());
+  EXPECT_TRUE(tg.out_node(t.r).valid());
+  EXPECT_FALSE(tg.out_node(t.po0).valid());
+  EXPECT_EQ(tg.sinks().size(), 3u);  // r.D, po0, po1
+}
+
+TEST_F(TimingFixture, SourceArrivals) {
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.out_node(t.pi0)), 0.5);
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.out_node(t.r)), 0.25);
+}
+
+TEST_F(TimingFixture, CombArrivals) {
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.out_node(t.g1)), 2.5);
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.out_node(t.g2)), 2.5);
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.out_node(t.g3)), 5.5);
+}
+
+TEST_F(TimingFixture, SinkArrivals) {
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.sink_node(t.r)), 7.5);
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.sink_node(t.po0)), 9.0);
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.sink_node(t.po1)), 2.75);
+}
+
+TEST_F(TimingFixture, CriticalDelayAndSink) {
+  EXPECT_DOUBLE_EQ(tg.critical_delay(), 9.0);
+  EXPECT_EQ(tg.node(tg.critical_sink()).cell, t.po0);
+}
+
+TEST_F(TimingFixture, Downstream) {
+  EXPECT_DOUBLE_EQ(tg.downstream(tg.out_node(t.g3)), 3.5);  // to po0
+  EXPECT_DOUBLE_EQ(tg.downstream(tg.out_node(t.g1)), 6.5);
+  EXPECT_DOUBLE_EQ(tg.downstream(tg.sink_node(t.po0)), 0.0);
+}
+
+TEST_F(TimingFixture, SlackAndRequired) {
+  // po0 is critical: zero slack along its path.
+  EXPECT_NEAR(tg.slack(tg.sink_node(t.po0)), 0.0, 1e-12);
+  EXPECT_NEAR(tg.slack(tg.out_node(t.g3)), 0.0, 1e-12);
+  // po1 has plenty of slack.
+  EXPECT_NEAR(tg.slack(tg.sink_node(t.po1)), 9.0 - 2.75, 1e-12);
+}
+
+TEST_F(TimingFixture, SlowestPathThrough) {
+  EXPECT_DOUBLE_EQ(tg.slowest_path_through(tg.out_node(t.g3)), 9.0);
+  EXPECT_DOUBLE_EQ(tg.slowest_path_through_cell(t.g3), 9.0);
+  // r participates in two paths; the slow side is its D arrival (7.5).
+  EXPECT_DOUBLE_EQ(tg.slowest_path_through_cell(t.r), 7.5);
+}
+
+TEST_F(TimingFixture, EdgeCriticality) {
+  // Find the g3 -> po0 edge; it lies on the critical path.
+  bool checked = false;
+  for (std::size_t e = 0; e < tg.num_edges(); ++e) {
+    if (tg.edge(e).from == tg.out_node(t.g3) &&
+        tg.edge(e).to == tg.sink_node(t.po0)) {
+      EXPECT_NEAR(tg.edge_criticality(e), 1.0, 1e-12);
+      EXPECT_NEAR(tg.edge_slack(e), 0.0, 1e-12);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(TimingFixture, CriticalPathEndpoints) {
+  auto path = tg.critical_path();
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_EQ(tg.node(path.front()).kind, TimingNodeKind::kSource);
+  EXPECT_EQ(tg.node(path.back()).cell, t.po0);
+  // Path arrivals must be nondecreasing.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_LE(tg.arrival(path[i]), tg.arrival(path[i + 1]) + 1e-12);
+}
+
+TEST_F(TimingFixture, StaRespondsToMoves) {
+  t.pl->place(t.g3, {3, 1});  // closer to po0
+  tg.run_sta();
+  // arr(g3) = 2.5 + max(d(g1,(3,1))=2, d(g2,(3,1))=4) + 1 = 7.5
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.out_node(t.g3)), 7.5);
+  // po0: 7.5 + d((3,1),(3,0))=1 + 0.5 = 9.0
+  EXPECT_DOUBLE_EQ(tg.arrival(tg.sink_node(t.po0)), 9.0);
+}
+
+TEST_F(TimingFixture, WireLengthOverride) {
+  // Pretend routing doubled every wire.
+  tg.set_wire_length_override([](CellId, int, int len) { return 2 * len; });
+  tg.run_sta();
+  // po0 path: 0.5 + (2*1+1) + (2*2+1) + (2*3+0.5) = 15.0
+  EXPECT_DOUBLE_EQ(tg.critical_delay(), 15.0);
+  tg.set_wire_length_override(nullptr);
+  tg.run_sta();
+  EXPECT_DOUBLE_EQ(tg.critical_delay(), 9.0);
+}
+
+TEST(TimingGraph, CycleDetection) {
+  Netlist nl;
+  CellId g1 = nl.add_logic("g1", {NetId::invalid()}, 0b10, false);
+  CellId g2 = nl.add_logic("g2", {nl.cell(g1).output}, 0b10, false);
+  nl.connect(nl.cell(g2).output, g1, 0);
+  FpgaGrid grid(2);
+  Placement pl(nl, grid);
+  pl.place(g1, {1, 1});
+  pl.place(g2, {2, 1});
+  LinearDelayModel dm;
+  EXPECT_THROW(TimingGraph(nl, pl, dm), std::runtime_error);
+}
+
+TEST(TimingGraph, RegisteredCellBreaksCycle) {
+  Netlist nl;
+  CellId r = nl.add_logic("r", {NetId::invalid()}, 0b01, true);
+  nl.connect(nl.cell(r).output, r, 0);  // T flip-flop self-loop
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(r).output, po, 0);
+  FpgaGrid grid(2);
+  Placement pl(nl, grid);
+  pl.place(r, {1, 1});
+  pl.place(po, {0, 1});
+  LinearDelayModel dm;
+  TimingGraph tg(nl, pl, dm);
+  EXPECT_GT(tg.critical_delay(), 0.0);
+}
+
+TEST(TimingGraph, GeneratedCircuitIsAcyclicAndFinite) {
+  CircuitSpec spec;
+  spec.num_logic = 200;
+  spec.num_inputs = 10;
+  spec.num_outputs = 10;
+  spec.registered_fraction = 0.3;
+  spec.seed = 42;
+  Netlist nl = generate_circuit(spec);
+  FpgaGrid grid(FpgaGrid::min_grid_for(nl.num_logic(),
+                                       nl.num_input_pads() + nl.num_output_pads()));
+  Placement pl(nl, grid);
+  // Deterministic diagonal-ish placement.
+  std::size_t li = 0;
+  std::size_t ii = 0;
+  auto logic = grid.logic_locations();
+  auto io = grid.io_locations();
+  for (CellId c : nl.live_cells()) {
+    if (nl.cell(c).kind == CellKind::kLogic)
+      pl.place(c, logic[li++ % logic.size()]);
+    else
+      pl.place(c, io[ii++ % io.size()]);
+  }
+  LinearDelayModel dm;
+  TimingGraph tg(nl, pl, dm);
+  EXPECT_GT(tg.critical_delay(), 0.0);
+  EXPECT_LT(tg.critical_delay(), 1e4);
+}
+
+}  // namespace
+}  // namespace repro

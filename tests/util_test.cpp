@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/geometry.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace repro {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  CellId c;
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(c, CellId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  CellId c(42);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(c.index(), 42u);
+}
+
+TEST(Ids, DistinctTagTypesDoNotMix) {
+  static_assert(!std::is_same_v<CellId, NetId>);
+  static_assert(!std::is_convertible_v<CellId, NetId>);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(CellId(1), CellId(2));
+  EXPECT_LT(CellId::invalid(), CellId(0));
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<CellId> s;
+  s.insert(CellId(1));
+  s.insert(CellId(1));
+  s.insert(CellId(2));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Geometry, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({5, 5}, {5, 5}), 0);
+  EXPECT_EQ(manhattan({-2, 1}, {2, -1}), 6);
+}
+
+TEST(Geometry, RectEmptyAndInclude) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.half_perimeter(), 0);
+  r.include({3, 4});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.width(), 1);
+  EXPECT_EQ(r.height(), 1);
+  r.include({1, 7});
+  EXPECT_EQ(r.xmin, 1);
+  EXPECT_EQ(r.xmax, 3);
+  EXPECT_EQ(r.ymin, 4);
+  EXPECT_EQ(r.ymax, 7);
+  EXPECT_EQ(r.half_perimeter(), 2 + 3);
+}
+
+TEST(Geometry, RectContains) {
+  Rect r{1, 1, 4, 4};
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_TRUE(r.contains({4, 4}));
+  EXPECT_FALSE(r.contains({0, 2}));
+  EXPECT_FALSE(r.contains({5, 2}));
+}
+
+TEST(Geometry, RectInflateClips) {
+  Rect r{2, 2, 3, 3};
+  Rect g = r.inflated(5, 6, 4);
+  EXPECT_EQ(g.xmin, 0);
+  EXPECT_EQ(g.ymin, 0);
+  EXPECT_EQ(g.xmax, 6);
+  EXPECT_EQ(g.ymax, 4);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusive) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    int v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng(3);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_weighted(w), 1u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, AccumulatorBasics) {
+  StatAccumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Stats, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 8.0}), 5.0);
+  EXPECT_NEAR(geomean_of({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(Stats, Fmt) {
+  EXPECT_EQ(fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace repro

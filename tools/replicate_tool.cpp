@@ -1,0 +1,240 @@
+// Command-line driver for the placement-coupled replication flow.
+//
+// Input is either a technology-mapped BLIF netlist (--blif) or a generated
+// MCNC-like circuit (--circuit NAME). The tool anneals a timing-driven
+// placement (or loads one with --place), optionally runs one of the
+// replication variants, optionally routes, and can write the resulting
+// netlist/placement/SVG.
+//
+//   replicate_tool --circuit apex2 --variant lex3 --route
+//   replicate_tool --blif design.blif --variant rt \
+//                  --out-blif out.blif --out-place out.place --svg out.svg
+//
+// Exit code 0 on success, 1 on an internal failure (equivalence/legality), 2
+// on bad usage.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "flow/experiment.h"
+#include "flow/svg_report.h"
+#include "netlist/blif.h"
+#include "netlist/sim.h"
+#include "place/place_io.h"
+#include "replicate/engine.h"
+#include "replicate/local_replication.h"
+#include "timing/timing_graph.h"
+#include "util/log.h"
+
+using namespace repro;
+
+namespace {
+
+struct Args {
+  std::string blif;
+  std::string circuit = "apex2";
+  double scale = 0.25;
+  std::uint64_t seed = 7;
+  std::string variant = "lex3";
+  std::string place_in;
+  std::string out_blif;
+  std::string out_place;
+  std::string svg;
+  bool do_route = false;
+  bool verbose = false;
+};
+
+int usage() {
+  std::printf(
+      "usage: replicate_tool [options]\n"
+      "  --blif FILE        read a technology-mapped BLIF netlist\n"
+      "  --circuit NAME     generate an MCNC-like circuit (default apex2)\n"
+      "  --scale S          generator scale vs Table I sizes (default 0.25)\n"
+      "  --seed N           generator/annealer seed (default 7)\n"
+      "  --place FILE       load an initial placement instead of annealing\n"
+      "  --variant V        rt|lex2|lex3|lex4|lex5|mc|local|none (default lex3)\n"
+      "  --route            evaluate routed W_inf / W_ls critical paths\n"
+      "  --out-blif FILE    write the optimized netlist\n"
+      "  --out-place FILE   write the final placement\n"
+      "  --svg FILE         write a placement/criticality SVG\n"
+      "  --verbose          engine debug logging\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(arg, "--blif")) {
+      if (!(v = need(arg))) return false;
+      a.blif = v;
+    } else if (!std::strcmp(arg, "--circuit")) {
+      if (!(v = need(arg))) return false;
+      a.circuit = v;
+    } else if (!std::strcmp(arg, "--scale")) {
+      if (!(v = need(arg))) return false;
+      a.scale = std::atof(v);
+    } else if (!std::strcmp(arg, "--seed")) {
+      if (!(v = need(arg))) return false;
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--place")) {
+      if (!(v = need(arg))) return false;
+      a.place_in = v;
+    } else if (!std::strcmp(arg, "--variant")) {
+      if (!(v = need(arg))) return false;
+      a.variant = v;
+    } else if (!std::strcmp(arg, "--route")) {
+      a.do_route = true;
+    } else if (!std::strcmp(arg, "--out-blif")) {
+      if (!(v = need(arg))) return false;
+      a.out_blif = v;
+    } else if (!std::strcmp(arg, "--out-place")) {
+      if (!(v = need(arg))) return false;
+      a.out_place = v;
+    } else if (!std::strcmp(arg, "--svg")) {
+      if (!(v = need(arg))) return false;
+      a.svg = v;
+    } else if (!std::strcmp(arg, "--verbose")) {
+      a.verbose = true;
+    } else {
+      std::printf("unknown option '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  if (args.verbose) set_log_level(LogLevel::kDebug);
+
+  FlowConfig cfg = config_from_env();
+  cfg.scale = args.scale;
+  cfg.seed = args.seed;
+
+  // ---- obtain a netlist -----------------------------------------------------
+  std::unique_ptr<Netlist> nl;
+  std::string name;
+  if (!args.blif.empty()) {
+    try {
+      BlifResult r = read_blif_file(args.blif);
+      nl = std::make_unique<Netlist>(std::move(r.netlist));
+      name = r.model_name.empty() ? args.blif : r.model_name;
+    } catch (const std::exception& e) {
+      std::printf("error reading %s: %s\n", args.blif.c_str(), e.what());
+      return 2;
+    }
+  } else {
+    const McncCircuit* c = nullptr;
+    for (const McncCircuit& m : mcnc_suite())
+      if (args.circuit == m.name) c = &m;
+    if (!c) {
+      std::printf("unknown circuit '%s'\n", args.circuit.c_str());
+      return usage();
+    }
+    nl = std::make_unique<Netlist>(generate_circuit(spec_for(*c, cfg.scale, cfg.seed)));
+    name = c->name;
+  }
+  Netlist golden = *nl;
+  std::printf("%s: %zu LUTs (%zu registered), %zu inputs, %zu outputs\n",
+              name.c_str(), nl->num_logic(), nl->num_registered(),
+              nl->num_input_pads(), nl->num_output_pads());
+
+  // ---- place ----------------------------------------------------------------
+  const int n = FpgaGrid::min_grid_for(nl->num_logic(),
+                                       nl->num_input_pads() + nl->num_output_pads());
+  FpgaGrid grid(n);
+  std::unique_ptr<Placement> pl;
+  if (!args.place_in.empty()) {
+    pl = std::make_unique<Placement>(*nl, grid);
+    try {
+      read_placement_file(*pl, args.place_in);
+    } catch (const std::exception& e) {
+      std::printf("error reading %s: %s\n", args.place_in.c_str(), e.what());
+      return 2;
+    }
+  } else {
+    AnnealerOptions aopt = cfg.annealer;
+    aopt.seed = cfg.seed;
+    pl = std::make_unique<Placement>(anneal_placement(*nl, grid, cfg.delay, aopt));
+  }
+  {
+    TimingGraph tg(*nl, *pl, cfg.delay);
+    std::printf("placed on %dx%d; critical path estimate %.2f ns\n", n, n,
+                tg.critical_delay());
+  }
+
+  // ---- optimize ---------------------------------------------------------------
+  if (args.variant == "local") {
+    LocalReplicationOptions opt;
+    opt.seed = cfg.seed;
+    LocalReplicationResult r = run_local_replication(*nl, *pl, cfg.delay, opt);
+    std::printf("local replication: %.2f -> %.2f ns (%d replicas)\n",
+                r.initial_critical, r.final_critical, r.replications);
+  } else if (args.variant != "none") {
+    EngineOptions opt;
+    if (args.variant == "rt") opt.variant = EmbedVariant::kRtEmbedding;
+    else if (args.variant == "lex2") opt.variant = EmbedVariant::kLex2;
+    else if (args.variant == "lex3") opt.variant = EmbedVariant::kLex3;
+    else if (args.variant == "lex4") opt.variant = EmbedVariant::kLex4;
+    else if (args.variant == "lex5") opt.variant = EmbedVariant::kLex5;
+    else if (args.variant == "mc") opt.variant = EmbedVariant::kLexMc;
+    else return usage();
+    EngineResult r = run_replication_engine(*nl, *pl, cfg.delay, opt);
+    std::printf("%s: %.2f -> %.2f ns over %zu iterations "
+                "(%d replicated, %d unified)%s\n",
+                variant_name(opt.variant), r.initial_critical, r.final_critical,
+                r.history.size(), r.total_replicated, r.total_unified,
+                r.ran_out_of_slots ? " [slots exhausted]" : "");
+  }
+
+  // ---- verify -----------------------------------------------------------------
+  std::string why;
+  if (!functionally_equivalent(golden, *nl, 64, 0xC0FFEE, &why)) {
+    std::printf("INTERNAL ERROR: optimized netlist not equivalent: %s\n",
+                why.c_str());
+    return 1;
+  }
+  if (!pl->legal()) {
+    std::printf("INTERNAL ERROR: placement illegal: %s\n",
+                pl->check_legal().c_str());
+    return 1;
+  }
+
+  // ---- route / outputs ----------------------------------------------------------
+  if (args.do_route) {
+    CircuitMetrics m = evaluate_routed(name, *nl, *pl, cfg);
+    std::printf("routed: W_inf %.2f ns | W_ls %.2f ns (Wmin %d) | wirelength %lld\n",
+                m.crit_winf, m.crit_wls, m.wmin,
+                static_cast<long long>(m.wirelength));
+  }
+  try {
+    if (!args.out_blif.empty()) {
+      write_blif_file(*nl, name, args.out_blif);
+      std::printf("wrote %s\n", args.out_blif.c_str());
+    }
+    if (!args.out_place.empty()) {
+      write_placement_file(*pl, name, args.out_place);
+      std::printf("wrote %s\n", args.out_place.c_str());
+    }
+    if (!args.svg.empty()) {
+      write_placement_svg_file(*pl, cfg.delay, args.svg);
+      std::printf("wrote %s\n", args.svg.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::printf("error writing outputs: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
