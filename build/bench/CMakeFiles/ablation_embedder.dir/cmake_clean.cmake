@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_embedder.dir/ablation_embedder.cpp.o"
+  "CMakeFiles/ablation_embedder.dir/ablation_embedder.cpp.o.d"
+  "ablation_embedder"
+  "ablation_embedder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_embedder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

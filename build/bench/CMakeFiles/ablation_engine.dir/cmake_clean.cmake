@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_engine.dir/ablation_engine.cpp.o"
+  "CMakeFiles/ablation_engine.dir/ablation_engine.cpp.o.d"
+  "ablation_engine"
+  "ablation_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

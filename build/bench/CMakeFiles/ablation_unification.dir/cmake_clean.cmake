@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unification.dir/ablation_unification.cpp.o"
+  "CMakeFiles/ablation_unification.dir/ablation_unification.cpp.o.d"
+  "ablation_unification"
+  "ablation_unification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_replication_stats.dir/fig14_replication_stats.cpp.o"
+  "CMakeFiles/fig14_replication_stats.dir/fig14_replication_stats.cpp.o.d"
+  "fig14_replication_stats"
+  "fig14_replication_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_replication_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_embedder.dir/microbench_embedder.cpp.o"
+  "CMakeFiles/microbench_embedder.dir/microbench_embedder.cpp.o.d"
+  "microbench_embedder"
+  "microbench_embedder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_embedder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_baseline.dir/table1_baseline.cpp.o"
+  "CMakeFiles/table1_baseline.dir/table1_baseline.cpp.o.d"
+  "table1_baseline"
+  "table1_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_lex_variants.cpp" "bench/CMakeFiles/table3_lex_variants.dir/table3_lex_variants.cpp.o" "gcc" "bench/CMakeFiles/table3_lex_variants.dir/table3_lex_variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/repro_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/repro_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/repro_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/replicate/CMakeFiles/repro_replicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/repro_place_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/repro_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/repro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/repro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/repro_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/repro_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_lex_variants.dir/table3_lex_variants.cpp.o"
+  "CMakeFiles/table3_lex_variants.dir/table3_lex_variants.cpp.o.d"
+  "table3_lex_variants"
+  "table3_lex_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_lex_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

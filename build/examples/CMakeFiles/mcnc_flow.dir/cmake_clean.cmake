@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcnc_flow.dir/mcnc_flow.cpp.o"
+  "CMakeFiles/mcnc_flow.dir/mcnc_flow.cpp.o.d"
+  "mcnc_flow"
+  "mcnc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcnc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

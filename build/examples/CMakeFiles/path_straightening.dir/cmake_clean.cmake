@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_straightening.dir/path_straightening.cpp.o"
+  "CMakeFiles/path_straightening.dir/path_straightening.cpp.o.d"
+  "path_straightening"
+  "path_straightening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_straightening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconvergence_lex3.dir/reconvergence_lex3.cpp.o"
+  "CMakeFiles/reconvergence_lex3.dir/reconvergence_lex3.cpp.o.d"
+  "reconvergence_lex3"
+  "reconvergence_lex3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconvergence_lex3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

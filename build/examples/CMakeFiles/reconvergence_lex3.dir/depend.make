@@ -1,0 +1,2 @@
+# Empty dependencies file for reconvergence_lex3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/fpga_grid.cpp" "src/arch/CMakeFiles/repro_arch.dir/fpga_grid.cpp.o" "gcc" "src/arch/CMakeFiles/repro_arch.dir/fpga_grid.cpp.o.d"
+  "/root/repo/src/arch/wirelength.cpp" "src/arch/CMakeFiles/repro_arch.dir/wirelength.cpp.o" "gcc" "src/arch/CMakeFiles/repro_arch.dir/wirelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_arch.dir/fpga_grid.cpp.o"
+  "CMakeFiles/repro_arch.dir/fpga_grid.cpp.o.d"
+  "CMakeFiles/repro_arch.dir/wirelength.cpp.o"
+  "CMakeFiles/repro_arch.dir/wirelength.cpp.o.d"
+  "librepro_arch.a"
+  "librepro_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

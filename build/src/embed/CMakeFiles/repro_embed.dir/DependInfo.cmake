@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/embed_elmore.cpp" "src/embed/CMakeFiles/repro_embed.dir/embed_elmore.cpp.o" "gcc" "src/embed/CMakeFiles/repro_embed.dir/embed_elmore.cpp.o.d"
+  "/root/repo/src/embed/embedder.cpp" "src/embed/CMakeFiles/repro_embed.dir/embedder.cpp.o" "gcc" "src/embed/CMakeFiles/repro_embed.dir/embedder.cpp.o.d"
+  "/root/repo/src/embed/embedding_graph.cpp" "src/embed/CMakeFiles/repro_embed.dir/embedding_graph.cpp.o" "gcc" "src/embed/CMakeFiles/repro_embed.dir/embedding_graph.cpp.o.d"
+  "/root/repo/src/embed/fanin_tree.cpp" "src/embed/CMakeFiles/repro_embed.dir/fanin_tree.cpp.o" "gcc" "src/embed/CMakeFiles/repro_embed.dir/fanin_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/repro_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

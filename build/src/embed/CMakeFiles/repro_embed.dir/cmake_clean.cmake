@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_embed.dir/embed_elmore.cpp.o"
+  "CMakeFiles/repro_embed.dir/embed_elmore.cpp.o.d"
+  "CMakeFiles/repro_embed.dir/embedder.cpp.o"
+  "CMakeFiles/repro_embed.dir/embedder.cpp.o.d"
+  "CMakeFiles/repro_embed.dir/embedding_graph.cpp.o"
+  "CMakeFiles/repro_embed.dir/embedding_graph.cpp.o.d"
+  "CMakeFiles/repro_embed.dir/fanin_tree.cpp.o"
+  "CMakeFiles/repro_embed.dir/fanin_tree.cpp.o.d"
+  "librepro_embed.a"
+  "librepro_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

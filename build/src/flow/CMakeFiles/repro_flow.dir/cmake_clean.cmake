@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_flow.dir/experiment.cpp.o"
+  "CMakeFiles/repro_flow.dir/experiment.cpp.o.d"
+  "CMakeFiles/repro_flow.dir/svg_report.cpp.o"
+  "CMakeFiles/repro_flow.dir/svg_report.cpp.o.d"
+  "CMakeFiles/repro_flow.dir/table.cpp.o"
+  "CMakeFiles/repro_flow.dir/table.cpp.o.d"
+  "librepro_flow.a"
+  "librepro_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gen.dir/circuit_gen.cpp.o"
+  "CMakeFiles/repro_gen.dir/circuit_gen.cpp.o.d"
+  "librepro_gen.a"
+  "librepro_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

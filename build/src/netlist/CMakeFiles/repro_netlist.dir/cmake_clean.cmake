@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_netlist.dir/blif.cpp.o"
+  "CMakeFiles/repro_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/repro_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/repro_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/repro_netlist.dir/sim.cpp.o"
+  "CMakeFiles/repro_netlist.dir/sim.cpp.o.d"
+  "librepro_netlist.a"
+  "librepro_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

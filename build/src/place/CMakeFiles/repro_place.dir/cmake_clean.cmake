@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_place.dir/place_io.cpp.o"
+  "CMakeFiles/repro_place.dir/place_io.cpp.o.d"
+  "CMakeFiles/repro_place.dir/placement.cpp.o"
+  "CMakeFiles/repro_place.dir/placement.cpp.o.d"
+  "librepro_place.a"
+  "librepro_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

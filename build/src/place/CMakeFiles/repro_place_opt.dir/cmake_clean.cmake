@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_place_opt.dir/annealer.cpp.o"
+  "CMakeFiles/repro_place_opt.dir/annealer.cpp.o.d"
+  "CMakeFiles/repro_place_opt.dir/legalizer.cpp.o"
+  "CMakeFiles/repro_place_opt.dir/legalizer.cpp.o.d"
+  "librepro_place_opt.a"
+  "librepro_place_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_place_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

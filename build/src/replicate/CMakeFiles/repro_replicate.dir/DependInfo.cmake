@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replicate/engine.cpp" "src/replicate/CMakeFiles/repro_replicate.dir/engine.cpp.o" "gcc" "src/replicate/CMakeFiles/repro_replicate.dir/engine.cpp.o.d"
+  "/root/repo/src/replicate/extraction.cpp" "src/replicate/CMakeFiles/repro_replicate.dir/extraction.cpp.o" "gcc" "src/replicate/CMakeFiles/repro_replicate.dir/extraction.cpp.o.d"
+  "/root/repo/src/replicate/local_replication.cpp" "src/replicate/CMakeFiles/repro_replicate.dir/local_replication.cpp.o" "gcc" "src/replicate/CMakeFiles/repro_replicate.dir/local_replication.cpp.o.d"
+  "/root/repo/src/replicate/replication_tree.cpp" "src/replicate/CMakeFiles/repro_replicate.dir/replication_tree.cpp.o" "gcc" "src/replicate/CMakeFiles/repro_replicate.dir/replication_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/repro_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/repro_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/repro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/repro_place_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/repro_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/repro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_replicate.dir/engine.cpp.o"
+  "CMakeFiles/repro_replicate.dir/engine.cpp.o.d"
+  "CMakeFiles/repro_replicate.dir/extraction.cpp.o"
+  "CMakeFiles/repro_replicate.dir/extraction.cpp.o.d"
+  "CMakeFiles/repro_replicate.dir/local_replication.cpp.o"
+  "CMakeFiles/repro_replicate.dir/local_replication.cpp.o.d"
+  "CMakeFiles/repro_replicate.dir/replication_tree.cpp.o"
+  "CMakeFiles/repro_replicate.dir/replication_tree.cpp.o.d"
+  "librepro_replicate.a"
+  "librepro_replicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_replicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

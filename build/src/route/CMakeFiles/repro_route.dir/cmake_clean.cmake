@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_route.dir/router.cpp.o"
+  "CMakeFiles/repro_route.dir/router.cpp.o.d"
+  "librepro_route.a"
+  "librepro_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_timing.dir/monotone.cpp.o"
+  "CMakeFiles/repro_timing.dir/monotone.cpp.o.d"
+  "CMakeFiles/repro_timing.dir/report.cpp.o"
+  "CMakeFiles/repro_timing.dir/report.cpp.o.d"
+  "CMakeFiles/repro_timing.dir/spt.cpp.o"
+  "CMakeFiles/repro_timing.dir/spt.cpp.o.d"
+  "CMakeFiles/repro_timing.dir/timing_graph.cpp.o"
+  "CMakeFiles/repro_timing.dir/timing_graph.cpp.o.d"
+  "librepro_timing.a"
+  "librepro_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

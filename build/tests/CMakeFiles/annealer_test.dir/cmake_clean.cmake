@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annealer_test.dir/annealer_test.cpp.o"
+  "CMakeFiles/annealer_test.dir/annealer_test.cpp.o.d"
+  "annealer_test"
+  "annealer_test.pdb"
+  "annealer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annealer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmore_test.dir/elmore_test.cpp.o"
+  "CMakeFiles/elmore_test.dir/elmore_test.cpp.o.d"
+  "elmore_test"
+  "elmore_test.pdb"
+  "elmore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedder_property_test.dir/embedder_property_test.cpp.o"
+  "CMakeFiles/embedder_property_test.dir/embedder_property_test.cpp.o.d"
+  "embedder_property_test"
+  "embedder_property_test.pdb"
+  "embedder_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedder_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

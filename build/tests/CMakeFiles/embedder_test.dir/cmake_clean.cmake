@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedder_test.dir/embedder_test.cpp.o"
+  "CMakeFiles/embedder_test.dir/embedder_test.cpp.o.d"
+  "embedder_test"
+  "embedder_test.pdb"
+  "embedder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

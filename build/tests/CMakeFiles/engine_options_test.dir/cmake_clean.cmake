@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_options_test.dir/engine_options_test.cpp.o"
+  "CMakeFiles/engine_options_test.dir/engine_options_test.cpp.o.d"
+  "engine_options_test"
+  "engine_options_test.pdb"
+  "engine_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

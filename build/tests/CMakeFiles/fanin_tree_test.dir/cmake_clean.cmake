@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanin_tree_test.dir/fanin_tree_test.cpp.o"
+  "CMakeFiles/fanin_tree_test.dir/fanin_tree_test.cpp.o.d"
+  "fanin_tree_test"
+  "fanin_tree_test.pdb"
+  "fanin_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanin_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

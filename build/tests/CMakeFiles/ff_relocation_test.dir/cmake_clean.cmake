@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_relocation_test.dir/ff_relocation_test.cpp.o"
+  "CMakeFiles/ff_relocation_test.dir/ff_relocation_test.cpp.o.d"
+  "ff_relocation_test"
+  "ff_relocation_test.pdb"
+  "ff_relocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_relocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

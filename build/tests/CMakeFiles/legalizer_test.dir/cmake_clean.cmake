@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legalizer_test.dir/legalizer_test.cpp.o"
+  "CMakeFiles/legalizer_test.dir/legalizer_test.cpp.o.d"
+  "legalizer_test"
+  "legalizer_test.pdb"
+  "legalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_replication_test.dir/local_replication_test.cpp.o"
+  "CMakeFiles/local_replication_test.dir/local_replication_test.cpp.o.d"
+  "local_replication_test"
+  "local_replication_test.pdb"
+  "local_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

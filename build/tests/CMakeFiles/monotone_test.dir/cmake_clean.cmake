@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotone_test.dir/monotone_test.cpp.o"
+  "CMakeFiles/monotone_test.dir/monotone_test.cpp.o.d"
+  "monotone_test"
+  "monotone_test.pdb"
+  "monotone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

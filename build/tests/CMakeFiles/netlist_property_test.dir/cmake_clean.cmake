@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_property_test.dir/netlist_property_test.cpp.o"
+  "CMakeFiles/netlist_property_test.dir/netlist_property_test.cpp.o.d"
+  "netlist_property_test"
+  "netlist_property_test.pdb"
+  "netlist_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

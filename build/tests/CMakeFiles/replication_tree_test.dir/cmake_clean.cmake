@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_tree_test.dir/replication_tree_test.cpp.o"
+  "CMakeFiles/replication_tree_test.dir/replication_tree_test.cpp.o.d"
+  "replication_tree_test"
+  "replication_tree_test.pdb"
+  "replication_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

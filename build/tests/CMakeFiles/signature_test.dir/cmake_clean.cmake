@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_test.dir/signature_test.cpp.o"
+  "CMakeFiles/signature_test.dir/signature_test.cpp.o.d"
+  "signature_test"
+  "signature_test.pdb"
+  "signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

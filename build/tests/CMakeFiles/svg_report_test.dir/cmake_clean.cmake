@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_report_test.dir/svg_report_test.cpp.o"
+  "CMakeFiles/svg_report_test.dir/svg_report_test.cpp.o.d"
+  "svg_report_test"
+  "svg_report_test.pdb"
+  "svg_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

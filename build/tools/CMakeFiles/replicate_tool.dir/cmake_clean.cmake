@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicate_tool.dir/replicate_tool.cpp.o"
+  "CMakeFiles/replicate_tool.dir/replicate_tool.cpp.o.d"
+  "replicate_tool"
+  "replicate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_generate_outputs "/root/repo/build/tools/replicate_tool" "--circuit" "tseng" "--scale" "0.05" "--seed" "3" "--variant" "lex3" "--route" "--out-blif" "tool_test.blif" "--out-place" "tool_test.place" "--svg" "tool_test.svg")
+set_tests_properties(tool_generate_outputs PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_blif_roundtrip "/root/repo/build/tools/replicate_tool" "--blif" "tool_test.blif" "--variant" "none")
+set_tests_properties(tool_blif_roundtrip PROPERTIES  DEPENDS "tool_generate_outputs" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
