@@ -1,0 +1,210 @@
+// Microbenchmark: incremental TimingEngine updates vs from-scratch
+// TimingGraph rebuilds, across circuit sizes, for the two delta shapes the
+// optimization loops generate:
+//
+//   * placement delta — one cell moved (the annealer/legalizer case);
+//   * netlist delta   — one replication (replica + rewired fanouts + possible
+//     redundant-removal), the replication-engine case.
+//
+// For every measurement the incremental critical delay is checked against the
+// rebuilt graph, so the speedup reported is for *equivalent* answers. Emits
+// BENCH_incremental_sta.json next to the working directory.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/circuit_gen.h"
+#include "place/annealer.h"
+#include "timing/timing_engine.h"
+#include "timing/timing_graph.h"
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct Fixture {
+  Netlist nl;
+  FpgaGrid grid;
+  LinearDelayModel dm;
+  Placement pl;
+
+  static Netlist make(int num_logic, std::uint64_t seed) {
+    CircuitSpec spec;
+    spec.num_logic = num_logic;
+    spec.num_inputs = 16;
+    spec.num_outputs = 16;
+    spec.registered_fraction = 0.25;
+    spec.depth = 9;
+    spec.seed = seed;
+    return generate_circuit(spec);
+  }
+
+  Fixture(int num_logic, std::uint64_t seed)
+      : nl(make(num_logic, seed)),
+        grid(FpgaGrid::min_grid_for(nl.num_logic() + 64,
+                                    nl.num_input_pads() + nl.num_output_pads())),
+        pl([&] {
+          Rng rng(seed * 31 + 5);
+          return random_placement(nl, grid, rng);
+        }()) {}
+};
+
+struct SizeResult {
+  int num_logic = 0;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double rebuild_move_us = 0;      // full TimingGraph per single-cell move
+  double incremental_move_us = 0;  // on_cell_moved + update()
+  double move_speedup = 0;
+  double rebuild_splice_us = 0;      // full TimingGraph per replication
+  double incremental_splice_us = 0;  // on_cells_rewired + update()
+  double splice_speedup = 0;
+};
+
+/// Measures single-cell-move re-timing, both ways, over `reps` random moves.
+void bench_moves(Fixture& f, SizeResult& out, int reps) {
+  Rng rng(99);
+  std::vector<CellId> logic;
+  for (CellId c : f.nl.live_cells())
+    if (f.nl.cell(c).kind == CellKind::kLogic) logic.push_back(c);
+  const auto& slots = f.grid.logic_locations();
+
+  TimingEngine eng(f.nl, f.pl, f.dm);
+  double t_inc = 0;
+  double t_full = 0;
+  for (int i = 0; i < reps; ++i) {
+    CellId c = logic[rng.next_below(logic.size())];
+    f.pl.place(c, slots[rng.next_below(slots.size())]);
+
+    double t0 = now_seconds();
+    eng.on_cell_moved(c);
+    eng.update();
+    t_inc += now_seconds() - t0;
+
+    t0 = now_seconds();
+    TimingGraph fresh(f.nl, f.pl, f.dm);
+    t_full += now_seconds() - t0;
+
+    if (std::abs(fresh.critical_delay() - eng.graph().critical_delay()) > 1e-9) {
+      std::fprintf(stderr, "MISMATCH move: %f vs %f\n", fresh.critical_delay(),
+                   eng.graph().critical_delay());
+      std::exit(1);
+    }
+  }
+  out.rebuild_move_us = 1e6 * t_full / reps;
+  out.incremental_move_us = 1e6 * t_inc / reps;
+  out.move_speedup = t_full / t_inc;
+}
+
+/// Measures netlist-splice re-timing: replicate a fanout>=2 cell, move half
+/// its fanouts to the replica, drain redundant originals.
+void bench_splices(Fixture& f, SizeResult& out, int reps) {
+  Rng rng(123);
+  const auto& slots = f.grid.logic_locations();
+  TimingEngine eng(f.nl, f.pl, f.dm);
+  double t_inc = 0;
+  double t_full = 0;
+  int done = 0;
+  for (int i = 0; i < reps; ++i) {
+    std::vector<CellId> cands;
+    for (CellId c : f.nl.live_cells())
+      if (f.nl.cell(c).kind == CellKind::kLogic &&
+          f.nl.net(f.nl.cell(c).output).sinks.size() >= 2)
+        cands.push_back(c);
+    if (cands.empty()) break;
+    CellId orig = cands[rng.next_below(cands.size())];
+    CellId rep = f.nl.replicate_cell(orig);
+    f.pl.place(rep, slots[rng.next_below(slots.size())]);
+    std::vector<CellId> rewired{rep};
+    std::vector<Sink> sinks = f.nl.net(f.nl.cell(orig).output).sinks;
+    for (std::size_t k = 0; k < sinks.size(); ++k) {
+      if (k % 2) continue;
+      f.nl.reassign_input(sinks[k].cell, sinks[k].pin, f.nl.cell(rep).output);
+      rewired.push_back(sinks[k].cell);
+    }
+    std::vector<CellId> deleted;
+    f.nl.remove_if_redundant(orig, &deleted);
+    for (CellId d : deleted) {
+      f.pl.unplace(d);
+      rewired.push_back(d);
+    }
+
+    double t0 = now_seconds();
+    eng.on_cells_rewired(rewired);
+    eng.update();
+    t_inc += now_seconds() - t0;
+
+    t0 = now_seconds();
+    TimingGraph fresh(f.nl, f.pl, f.dm);
+    t_full += now_seconds() - t0;
+    ++done;
+
+    if (std::abs(fresh.critical_delay() - eng.graph().critical_delay()) > 1e-9) {
+      std::fprintf(stderr, "MISMATCH splice: %f vs %f\n", fresh.critical_delay(),
+                   eng.graph().critical_delay());
+      std::exit(1);
+    }
+  }
+  out.rebuild_splice_us = 1e6 * t_full / done;
+  out.incremental_splice_us = 1e6 * t_inc / done;
+  out.splice_speedup = t_full / t_inc;
+}
+
+}  // namespace
+}  // namespace repro
+
+int main() {
+  using namespace repro;
+  const int sizes[] = {200, 800, 3200};
+  std::vector<SizeResult> results;
+  for (int num_logic : sizes) {
+    Fixture f(num_logic, 17);
+    SizeResult r;
+    r.num_logic = num_logic;
+    {
+      TimingGraph tg(f.nl, f.pl, f.dm);
+      r.nodes = tg.num_nodes();
+      r.edges = tg.num_edges();
+    }
+    const int reps = num_logic >= 3200 ? 60 : 200;
+    bench_moves(f, r, reps);
+    bench_splices(f, r, reps / 2);
+    std::printf(
+        "n=%5d  move: full %8.1fus  incr %7.2fus  (%6.1fx)   "
+        "splice: full %8.1fus  incr %7.2fus  (%6.1fx)\n",
+        r.num_logic, r.rebuild_move_us, r.incremental_move_us, r.move_speedup,
+        r.rebuild_splice_us, r.incremental_splice_us, r.splice_speedup);
+    results.push_back(r);
+  }
+
+  FILE* out = std::fopen("BENCH_incremental_sta.json", "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open BENCH_incremental_sta.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"incremental_sta\",\n  \"sizes\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"num_logic\": %d, \"timing_nodes\": %zu, "
+                 "\"timing_edges\": %zu,\n"
+                 "     \"move_full_rebuild_us\": %.2f, \"move_incremental_us\": "
+                 "%.3f, \"move_speedup\": %.1f,\n"
+                 "     \"splice_full_rebuild_us\": %.2f, "
+                 "\"splice_incremental_us\": %.3f, \"splice_speedup\": %.1f}%s\n",
+                 r.num_logic, r.nodes, r.edges, r.rebuild_move_us,
+                 r.incremental_move_us, r.move_speedup, r.rebuild_splice_us,
+                 r.incremental_splice_us, r.splice_speedup,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 
@@ -62,15 +63,18 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
   // routing schedule, criticalities are then refreshed from the ROUTED
   // delays and the nets re-routed, so connections stretched through shared
   // trees in the first pass get direct routes in the next.
-  TimingGraph tg(nl, pl, cfg.delay);
+  TimingEngine eng(nl, pl, cfg.delay);
   std::unordered_map<std::int64_t, double> crit;
   auto refresh_crit = [&]() {
+    const TimingGraph& tg = eng.graph();
     for (std::size_t e = 0; e < tg.num_edges(); ++e) {
+      if (!tg.edge_live(e)) continue;
       const TimingEdge& ed = tg.edge(e);
       const std::int64_t key =
           (static_cast<std::int64_t>(tg.node(ed.to).cell.value()) << 8) |
           static_cast<std::int64_t>(ed.pin);
-      crit[key] = tg.edge_criticality(e);
+      crit[key] =
+          criticality_weight(tg.edge_criticality(e), cfg.router_crit_exponent);
     }
   };
   refresh_crit();
@@ -80,12 +84,11 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
     return it == crit.end() ? 0.0 : it->second;
   };
   auto retime_from = [&](const RoutingResult& routing) {
-    tg.set_wire_length_override([&routing](CellId sink, int pin, int fallback) {
+    eng.retime_with_wire_lengths([&routing](CellId sink, int pin, int fallback) {
       return routing.length_of(sink, pin, fallback);
     });
-    tg.run_sta();
     refresh_crit();
-    tg.set_wire_length_override(nullptr);
+    eng.retime_with_wire_lengths(nullptr);
   };
 
   // Infinite-resource routing: the placement-evaluation metric of Table I.
@@ -94,7 +97,7 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
   RoutingResult r_inf = route(nl, pl, inf, crit_fn);
   retime_from(r_inf);
   r_inf = route(nl, pl, inf, crit_fn);
-  m.crit_winf = routed_critical_delay(nl, pl, cfg.delay, r_inf);
+  m.crit_winf = routed_critical_delay(eng, r_inf);
   m.wirelength = r_inf.total_wirelength;
 
   if (cfg.route_lowstress) {
@@ -104,7 +107,7 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
     RoutingResult r_ls = route(nl, pl, ls, crit_fn);
     retime_from(r_ls);
     r_ls = route(nl, pl, ls, crit_fn);
-    m.crit_wls = routed_critical_delay(nl, pl, cfg.delay, r_ls);
+    m.crit_wls = routed_critical_delay(eng, r_ls);
     m.wirelength = r_ls.total_wirelength;
   } else {
     m.crit_wls = m.crit_winf;

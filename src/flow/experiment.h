@@ -23,6 +23,9 @@ struct FlowConfig {
   AnnealerOptions annealer;
   LinearDelayModel delay;
   RouterOptions router;
+  /// Exponent applied to connection criticalities fed to the timing-driven
+  /// router (criticality_weight); 1.0 = raw criticalities (VPR default).
+  double router_crit_exponent = 1.0;
   /// Compute the low-stress numbers (W_min search + 1.2 W_min routing).
   bool route_lowstress = true;
   std::uint64_t seed = 7;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 #include "util/stats.h"
@@ -40,31 +41,33 @@ namespace {
 /// Incremental cost bookkeeping for the annealer.
 class AnnealState {
  public:
-  AnnealState(const Netlist& nl, Placement& pl, TimingGraph& tg, const AnnealerOptions& opt)
-      : nl_(nl), pl_(pl), tg_(tg), opt_(opt) {
+  AnnealState(const Netlist& nl, Placement& pl, TimingEngine& eng,
+              const AnnealerOptions& opt)
+      : nl_(nl), pl_(pl), eng_(eng), tg_(eng.graph()), opt_(opt) {
     net_wl_.resize(nl.net_capacity(), 0.0);
     for (NetId n : nl.live_nets()) {
       net_wl_[n.index()] = pl.net_wirelength(n);
       wiring_cost_ += net_wl_[n.index()];
     }
-    edge_delay_.resize(tg.num_edges(), 0.0);
-    edge_weight_.resize(tg.num_edges(), 0.0);
+    edge_delay_.resize(tg_.num_edges(), 0.0);
+    edge_weight_.resize(tg_.num_edges(), 0.0);
     cell_edges_.resize(nl.cell_capacity());
-    for (std::size_t e = 0; e < tg.num_edges(); ++e) {
-      const TimingEdge& ed = tg.edge(e);
-      cell_edges_[tg.node(ed.from).cell.index()].push_back(e);
-      cell_edges_[tg.node(ed.to).cell.index()].push_back(e);
+    for (std::size_t e = 0; e < tg_.num_edges(); ++e) {
+      const TimingEdge& ed = tg_.edge(e);
+      cell_edges_[tg_.node(ed.from).cell.index()].push_back(e);
+      cell_edges_[tg_.node(ed.to).cell.index()].push_back(e);
     }
     refresh_criticalities(1.0);
   }
 
-  /// Re-runs STA and recomputes criticality weights with the given exponent.
+  /// Incrementally re-times the accumulated accepted moves and recomputes
+  /// criticality weights with the given exponent.
   void refresh_criticalities(double crit_exponent) {
-    tg_.run_sta();
+    eng_.update();
     timing_cost_ = 0;
     for (std::size_t e = 0; e < tg_.num_edges(); ++e) {
       edge_delay_[e] = tg_.edge(e).delay;
-      edge_weight_[e] = std::pow(tg_.edge_criticality(e), crit_exponent);
+      edge_weight_[e] = criticality_weight(tg_.edge_criticality(e), crit_exponent);
       timing_cost_ += edge_delay_[e] * edge_weight_[e];
     }
     wiring_norm_ = std::max(wiring_cost_, 1e-9);
@@ -109,10 +112,12 @@ class AnnealState {
     return opt_.lambda * dt / timing_norm_ + (1 - opt_.lambda) * dw / wiring_norm_;
   }
 
-  /// Commits the cached deltas after an accepted move.
+  /// Commits the cached deltas after an accepted move and queues the moved
+  /// cells for the next incremental re-time.
   void commit(const std::vector<NetId>& touched_nets, const std::vector<double>& new_wl,
               const std::vector<std::size_t>& touched_edges,
-              const std::vector<double>& new_delay) {
+              const std::vector<double>& new_delay,
+              const std::vector<CellId>& touched_cells) {
     for (std::size_t i = 0; i < touched_nets.size(); ++i) {
       wiring_cost_ += new_wl[i] - net_wl_[touched_nets[i].index()];
       net_wl_[touched_nets[i].index()] = new_wl[i];
@@ -122,12 +127,14 @@ class AnnealState {
                       edge_weight_[touched_edges[i]];
       edge_delay_[touched_edges[i]] = new_delay[i];
     }
+    eng_.on_cells_moved(touched_cells);
   }
 
  private:
   const Netlist& nl_;
   Placement& pl_;
-  TimingGraph& tg_;
+  TimingEngine& eng_;
+  const TimingGraph& tg_;
   const AnnealerOptions& opt_;
   std::vector<double> net_wl_;
   std::vector<double> edge_delay_;
@@ -155,8 +162,10 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
                            const LinearDelayModel& dm, const AnnealerOptions& opt) {
   Rng rng(opt.seed);
   Placement pl = random_placement(nl, grid, rng);
-  TimingGraph tg(nl, pl, dm);
-  AnnealState state(nl, pl, tg, opt);
+  // One graph build for the whole anneal; per-temperature refreshes re-time
+  // only the cones disturbed by the moves accepted since the last refresh.
+  TimingEngine eng(nl, pl, dm);
+  AnnealState state(nl, pl, eng, opt);
 
   std::vector<CellId> movable = nl.live_cells();
   if (movable.empty()) return pl;
@@ -231,7 +240,7 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
     if (!propose(a, b, af, bf)) continue;
     double delta = state.evaluate_delta(touched_nets, touched_cells, new_wl, new_delay,
                                         touched_edges);
-    state.commit(touched_nets, new_wl, touched_edges, new_delay);
+    state.commit(touched_nets, new_wl, touched_edges, new_delay, touched_cells);
     probe.add(delta);
   }
   double temperature = 20.0 * std::max(probe.stddev(), 1e-6);
@@ -251,7 +260,7 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
                                           new_delay, touched_edges);
       bool accept = delta < 0 || rng.next_double() < std::exp(-delta / temperature);
       if (accept) {
-        state.commit(touched_nets, new_wl, touched_edges, new_delay);
+        state.commit(touched_nets, new_wl, touched_edges, new_delay, touched_cells);
         ++accepted;
       } else {
         revert(a, b, af, bf);

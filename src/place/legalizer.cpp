@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 
@@ -208,7 +209,7 @@ std::optional<std::pair<std::vector<RippleStep>, double>> best_path_to(
 
 /// Overfull I/O locations (only possible transiently) are fixed by moving the
 /// extra pad to the nearest free I/O location directly.
-bool fix_io_overflow(Placement& pl, Point p) {
+bool fix_io_overflow(Placement& pl, Point p, TimingEngine* eng) {
   const FpgaGrid& grid = pl.grid();
   Point best{-1, -1};
   int best_d = INT_MAX;
@@ -219,7 +220,9 @@ bool fix_io_overflow(Placement& pl, Point p) {
     }
   }
   if (best.x < 0) return false;
-  pl.place(pl.cells_at(p).back(), best);
+  CellId moved = pl.cells_at(p).back();
+  pl.place(moved, best);
+  if (eng) eng->on_cell_moved(moved);
   return true;
 }
 
@@ -227,10 +230,17 @@ bool fix_io_overflow(Placement& pl, Point p) {
 
 LegalizerResult legalize_timing_driven(Netlist& nl, Placement& pl,
                                        const LinearDelayModel& dm,
-                                       const LegalizerOptions& opt) {
+                                       const LegalizerOptions& opt,
+                                       TimingEngine* eng) {
   LegalizerResult res;
-  std::optional<TimingGraph> tg;
-  tg.emplace(nl, pl, dm);
+  // With a shared engine the graph is patched incrementally; standalone runs
+  // keep the original private-graph behavior.
+  std::optional<TimingGraph> local_tg;
+  if (eng)
+    eng->update();
+  else
+    local_tg.emplace(nl, pl, dm);
+  const TimingGraph& tg = eng ? eng->graph() : *local_tg;
 
   for (int pass = 0; pass < opt.max_passes; ++pass) {
     // Scan for the first overlap (paper: "we pick the first one we encounter
@@ -249,7 +259,7 @@ LegalizerResult legalize_timing_driven(Netlist& nl, Placement& pl,
     }
 
     if (pl.grid().is_io(congested)) {
-      if (!fix_io_overflow(pl, congested)) {
+      if (!fix_io_overflow(pl, congested, eng)) {
         res.failure = "no free I/O location for overfull pad site";
         return res;
       }
@@ -266,7 +276,7 @@ LegalizerResult legalize_timing_driven(Netlist& nl, Placement& pl,
     double best_gain = kNegInf;
     std::vector<RippleStep> best_steps;
     for (Point t : targets) {
-      auto r = best_path_to(nl, pl, *tg, congested, t, opt);
+      auto r = best_path_to(nl, pl, tg, congested, t, opt);
       if (r && r->second > best_gain) {
         best_gain = r->second;
         best_steps = std::move(r->first);
@@ -291,19 +301,37 @@ LegalizerResult legalize_timing_driven(Netlist& nl, Placement& pl,
         }
       }
       if (equivalent_resident.valid()) {
+        // The unified cell's fanouts move to the resident: those receivers
+        // are the netlist delta the engine must splice.
+        std::vector<CellId> rewired;
+        if (eng)
+          for (const Sink& s : nl.net(nl.cell(it->cell).output).sinks)
+            rewired.push_back(s.cell);
         std::vector<CellId> deleted;
         nl.unify(it->cell, equivalent_resident, &deleted);
         for (CellId d : deleted) pl.unplace(d);
         res.unifications += static_cast<int>(deleted.size());
         unified = true;  // paper: stop the current pass after a unification
-        tg.emplace(nl, pl, dm);
+        if (eng) {
+          eng->on_cells_rewired(rewired);
+          eng->on_cells_rewired(deleted);
+          eng->update();
+        } else {
+          local_tg.emplace(nl, pl, dm);
+        }
         break;
       }
       pl.place(it->cell, it->to);
+      if (eng) eng->on_cell_moved(it->cell);
       ++res.ripple_moves;
     }
     ++res.overlaps_resolved;
-    if (!unified) tg->run_sta();
+    if (!unified) {
+      if (eng)
+        eng->update();
+      else
+        local_tg->run_sta();
+    }
   }
   res.success = pl.overfull_locations().empty();
   return res;

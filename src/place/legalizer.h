@@ -8,6 +8,8 @@
 
 namespace repro {
 
+class TimingEngine;
+
 /// Options for the timing-driven ripple-move legalizer (Section V-A).
 struct LegalizerOptions {
   /// Composite cost weight: C = alpha * C_T + (1 - alpha) * C_W.
@@ -42,8 +44,14 @@ struct LegalizerResult {
 ///
 /// May mutate the netlist (unification deletes redundant cells). Fails only
 /// if no free slot exists for a remaining overlap.
+///
+/// With `eng` the legalizer runs against the shared incremental timing
+/// engine: ripple moves and unifications are reported as deltas and re-timed
+/// via dirty-cone updates instead of from-scratch TimingGraph rebuilds.
+/// Without it, a private TimingGraph is built (standalone use).
 LegalizerResult legalize_timing_driven(Netlist& nl, Placement& pl,
                                        const LinearDelayModel& dm,
-                                       const LegalizerOptions& opt = {});
+                                       const LegalizerOptions& opt = {},
+                                       TimingEngine* eng = nullptr);
 
 }  // namespace repro

@@ -10,6 +10,7 @@
 #include "replicate/replication_tree.h"
 #include "timing/monotone.h"
 #include "timing/spt.h"
+#include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 
@@ -82,10 +83,15 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
   res.initial_wirelength = pl.total_wirelength();
   res.initial_blocks = nl.num_live_cells();
 
+  // ONE timing engine for the whole run: every iteration below re-times via
+  // incremental deltas (splice + dirty-cone STA) instead of constructing a
+  // fresh TimingGraph.
+  TimingEngine eng(nl, pl, dm);
+
   Snapshot best;
   double lower_bound = 0;
   {
-    TimingGraph tg(nl, pl, dm);
+    const TimingGraph& tg = eng.graph();
     res.initial_critical = tg.critical_delay();
     lower_bound = monotone_lower_bound(tg);
     best.take(nl, pl, res.initial_critical);
@@ -113,7 +119,7 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
 
   int stagnant_iterations = 0;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
-    TimingGraph tg(nl, pl, dm);
+    const TimingGraph& tg = eng.updated();
     const double crit = tg.critical_delay();
     if (crit < best.crit - 1e-9) {
       best.take(nl, pl, crit);
@@ -352,11 +358,12 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
                 << " picked_cost=" << embedder.tradeoff()[pick].cost
                 << " curve=" << embedder.tradeoff().size();
     iteration_start.take(nl, pl, crit);
+    eng.commit();  // rollback point must match the snapshot just taken
     auto embedding = embedder.extract(pick);
-    ExtractionStats ex = apply_embedding(nl, pl, rt, embedding, graph);
+    ExtractionStats ex = apply_embedding(nl, pl, rt, embedding, graph, &eng);
     UnificationStats un =
-        postprocess_unification(nl, pl, dm, opt.aggressive_unification);
-    LegalizerResult leg = legalize_timing_driven(nl, pl, dm, opt.legalizer);
+        postprocess_unification(nl, pl, dm, opt.aggressive_unification, &eng);
+    LegalizerResult leg = legalize_timing_driven(nl, pl, dm, opt.legalizer, &eng);
 
     if (!leg.success) {
       // Out of free slots (Section VII-B): roll this iteration back and
@@ -364,6 +371,7 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
       // and unification on the next attempts.
       nl = *iteration_start.nl;
       pl = iteration_start.pl->with_netlist(nl);
+      eng.rollback();
       res.ran_out_of_slots = true;
       repl_cost_mult = std::min(repl_cost_mult * 2.0, 64.0);
       res.history.push_back(is);
@@ -377,10 +385,11 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
       // Mild intermediate degradation is tolerated (the paper accepts it,
       // Section V-D), but a clearly worse result is rolled back so errors
       // do not compound across iterations.
-      TimingGraph tg_after(nl, pl, dm);
+      const TimingGraph& tg_after = eng.updated();
       if (tg_after.critical_delay() > crit * 1.02 + 1e-9) {
         nl = *iteration_start.nl;
         pl = iteration_start.pl->with_netlist(nl);
+        eng.rollback();
         res.history.push_back(is);
         continue;
       }
@@ -394,8 +403,7 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
 
     if (ff_relocation) {
       // The register moved; the monotone bound must be refreshed.
-      TimingGraph tg2(nl, pl, dm);
-      lower_bound = monotone_lower_bound(tg2);
+      lower_bound = monotone_lower_bound(eng.updated());
       res.lower_bound = std::min(res.lower_bound, lower_bound);
     }
     assert(nl.validate().empty());
@@ -403,12 +411,14 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
 
   // Keep the best configuration encountered (Section V-D).
   {
-    TimingGraph tg(nl, pl, dm);
-    if (tg.critical_delay() > best.crit + 1e-9) {
+    const double crit_now = eng.updated().critical_delay();
+    if (crit_now > best.crit + 1e-9) {
       nl = *best.nl;
       pl = best.pl->with_netlist(nl);
+      // Wholesale replacement, no delta information: rebuild in place.
+      eng.resync();
     }
-    res.final_critical = std::min(best.crit, tg.critical_delay());
+    res.final_critical = std::min(best.crit, crit_now);
   }
   res.final_wirelength = pl.total_wirelength();
   res.final_blocks = nl.num_live_cells();

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
+#include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 
@@ -21,8 +23,14 @@ CellId equivalent_cell_at(const Netlist& nl, const Placement& pl, Point p, CellI
 ExtractionStats apply_embedding(
     Netlist& nl, Placement& pl, const ReplicationTree& rt,
     const std::unordered_map<TreeNodeId, EmbedVertexId>& embedding,
-    const EmbeddingGraph& graph) {
+    const EmbeddingGraph& graph, TimingEngine* eng) {
   ExtractionStats stats;
+  auto note_moved = [&](CellId c) {
+    if (eng) eng->on_cell_moved(c);
+  };
+  auto note_rewired = [&](CellId c) {
+    if (eng) eng->on_cell_rewired(c);
+  };
 
   // Tree-parent connection of each internal node: (parent cell, pin). Used
   // for the relocate-instead-of-replicate test.
@@ -73,10 +81,12 @@ ExtractionStats apply_embedding(
       if (relocate) {
         cell_to_use = info.cell;
         pl.place(info.cell, target);
+        note_moved(info.cell);
         ++stats.relocated;
       } else {
         cell_to_use = nl.replicate_cell(info.cell);
         pl.place(cell_to_use, target);
+        note_rewired(cell_to_use);
         ++stats.replicated;
       }
     }
@@ -87,6 +97,7 @@ ExtractionStats apply_embedding(
       CellId child = realized.at(info.pin_child[pin]);
       nl.reassign_input(cell_to_use, static_cast<int>(pin),
                         nl.cell(child).output);
+      note_rewired(cell_to_use);
     }
     realized[info.node] = cell_to_use;
   }
@@ -98,12 +109,16 @@ ExtractionStats apply_embedding(
     auto it = embedding.find(rt.tree.root());
     if (it != embedding.end()) {
       Point root_target = graph.point(it->second);
-      if (root_target != pl.location(info.cell)) pl.place(info.cell, root_target);
+      if (root_target != pl.location(info.cell)) {
+        pl.place(info.cell, root_target);
+        note_moved(info.cell);
+      }
     }
     for (std::size_t pin = 0; pin < info.pin_child.size(); ++pin) {
       if (!info.pin_is_internal[pin]) continue;
       CellId child = realized.at(info.pin_child[pin]);
       nl.reassign_input(info.cell, static_cast<int>(pin), nl.cell(child).output);
+      note_rewired(info.cell);
     }
   }
 
@@ -112,16 +127,28 @@ ExtractionStats apply_embedding(
     if (!nl.cell_alive(info.cell)) continue;
     std::vector<CellId> deleted;
     nl.remove_if_redundant(info.cell, &deleted);
-    for (CellId d : deleted) pl.unplace(d);
+    for (CellId d : deleted) {
+      pl.unplace(d);
+      note_rewired(d);
+    }
     stats.deleted += static_cast<int>(deleted.size());
   }
   return stats;
 }
 
 UnificationStats postprocess_unification(Netlist& nl, Placement& pl,
-                                         const LinearDelayModel& dm, bool aggressive) {
+                                         const LinearDelayModel& dm, bool aggressive,
+                                         TimingEngine* eng) {
   UnificationStats stats;
-  TimingGraph tg(nl, pl, dm);
+  // One STA up front; arrival/downstream reads below are intentionally stale
+  // while the pass mutates the netlist (exactly the original semantics of
+  // building a graph once at function entry).
+  std::optional<TimingGraph> local_tg;
+  if (eng)
+    eng->update();
+  else
+    local_tg.emplace(nl, pl, dm);
+  const TimingGraph& tg = eng ? eng->graph() : *local_tg;
   const double crit = tg.critical_delay();
   const double tol = 1e-9;
 
@@ -196,6 +223,7 @@ UnificationStats postprocess_unification(Netlist& nl, Placement& pl,
         }
         if (chosen.valid()) {
           nl.reassign_input(s.cell, s.pin, nl.cell(chosen).output);
+          if (eng) eng->on_cell_rewired(s.cell);
           ++stats.fanouts_moved;
         }
       }
@@ -205,7 +233,10 @@ UnificationStats postprocess_unification(Netlist& nl, Placement& pl,
       if (!nl.cell_alive(e)) continue;
       std::vector<CellId> deleted;
       nl.remove_if_redundant(e, &deleted);
-      for (CellId d : deleted) pl.unplace(d);
+      for (CellId d : deleted) {
+        pl.unplace(d);
+        if (eng) eng->on_cell_rewired(d);
+      }
       stats.cells_deleted += static_cast<int>(deleted.size());
     }
   }

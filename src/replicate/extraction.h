@@ -10,6 +10,8 @@
 
 namespace repro {
 
+class TimingEngine;
+
 struct ExtractionStats {
   int replicated = 0;  ///< new cells created
   int relocated = 0;   ///< originals moved instead of copied (fanout-1 case)
@@ -38,10 +40,13 @@ struct ExtractionStats {
 /// FaninTreeEmbedder::extract). If the root vertex differs from the root
 /// cell's current location the root cell is moved (FF relocation,
 /// Section V-D).
+/// With `eng`, every structural change (replicas, rewired receivers, deleted
+/// originals) and relocation is reported to the shared incremental timing
+/// engine so the caller's next update() splices instead of rebuilding.
 ExtractionStats apply_embedding(
     Netlist& nl, Placement& pl, const ReplicationTree& rt,
     const std::unordered_map<TreeNodeId, EmbedVertexId>& embedding,
-    const EmbeddingGraph& graph);
+    const EmbeddingGraph& graph, TimingEngine* eng = nullptr);
 
 struct UnificationStats {
   int fanouts_moved = 0;
@@ -55,6 +60,7 @@ struct UnificationStats {
 /// current critical delay (the paper's high-density tuning); otherwise only
 /// reassignments that do not increase the estimated sink arrival are taken.
 UnificationStats postprocess_unification(Netlist& nl, Placement& pl,
-                                         const LinearDelayModel& dm, bool aggressive);
+                                         const LinearDelayModel& dm, bool aggressive,
+                                         TimingEngine* eng = nullptr);
 
 }  // namespace repro

@@ -7,6 +7,7 @@
 
 #include "place/legalizer.h"
 #include "timing/monotone.h"
+#include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -54,22 +55,24 @@ LocalReplicationResult run_local_replication(Netlist& nl, Placement& pl,
   auto snapshot_nl = std::make_unique<Netlist>(nl);
   auto snapshot_pl = std::make_unique<Placement>(pl.with_netlist(*snapshot_nl));
 
-  {
-    TimingGraph tg0(nl, pl, dm);
-    res.initial_critical = tg0.critical_delay();
-  }
+  // One persistent engine; commit() mirrors every best-snapshot so the final
+  // restore can rollback() instead of rebuilding.
+  TimingEngine eng(nl, pl, dm);
+  res.initial_critical = eng.graph().critical_delay();
+  eng.commit();
   double best_crit = res.initial_critical;
   int nonimproving = 0;
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     ++res.iterations;
-    TimingGraph tg(nl, pl, dm);
+    const TimingGraph& tg = eng.updated();
     const double crit = tg.critical_delay();
     if (crit < best_crit - 1e-9) {
       best_crit = crit;
       nonimproving = 0;
       snapshot_nl = std::make_unique<Netlist>(nl);
       snapshot_pl = std::make_unique<Placement>(pl.with_netlist(*snapshot_nl));
+      eng.commit();
     } else {
       if (++nonimproving > opt.max_nonimproving) break;
     }
@@ -111,11 +114,13 @@ LocalReplicationResult run_local_replication(Netlist& nl, Placement& pl,
     if (sinks.size() <= 1) {
       // Single fanout: replication is pointless — relocate instead.
       pl.place(cand.v2, target);
+      eng.on_cell_moved(cand.v2);
     } else {
       // Replicate and partition fanouts by proximity; the critical
       // connection always goes to the duplicate (placed to straighten it).
       CellId rep = nl.replicate_cell(cand.v2);
       pl.place(rep, target);
+      eng.on_cell_rewired(rep);
       ++res.replications;
       Point orig_loc = pl.location(cand.v2);
       for (const Sink& s : sinks) {
@@ -123,17 +128,22 @@ LocalReplicationResult run_local_replication(Netlist& nl, Placement& pl,
             (s.cell == cand.v3_cell && s.pin == cand.v3_pin);
         Point s_loc = pl.location(s.cell);
         if (is_critical_conn ||
-            manhattan(target, s_loc) < manhattan(orig_loc, s_loc))
+            manhattan(target, s_loc) < manhattan(orig_loc, s_loc)) {
           nl.reassign_input(s.cell, s.pin, nl.cell(rep).output);
+          eng.on_cell_rewired(s.cell);
+        }
       }
       // The original may have lost its entire fanout.
       std::vector<CellId> deleted;
       nl.remove_if_redundant(cand.v2, &deleted);
-      for (CellId d : deleted) pl.unplace(d);
+      for (CellId d : deleted) {
+        pl.unplace(d);
+        eng.on_cell_rewired(d);
+      }
     }
     // DAC-2003 order: place the duplicate where it should go, THEN legalize
     // the resulting overlap.
-    LegalizerResult leg = legalize_timing_driven(nl, pl, dm);
+    LegalizerResult leg = legalize_timing_driven(nl, pl, dm, {}, &eng);
     if (!leg.success) break;  // out of free slots
     if (sinks.size() <= 1) ++res.relocations;
   }
@@ -142,10 +152,10 @@ LocalReplicationResult run_local_replication(Netlist& nl, Placement& pl,
   // carry unresolved overlaps (when the run ended on a legalization
   // failure); the snapshot is always legal.
   {
-    TimingGraph tg(nl, pl, dm);
-    if (tg.critical_delay() > best_crit + 1e-9 || !pl.legal()) {
+    if (eng.updated().critical_delay() > best_crit + 1e-9 || !pl.legal()) {
       nl = *snapshot_nl;
       pl = snapshot_pl->with_netlist(nl);
+      eng.rollback();  // last commit() mirrors exactly this snapshot
     }
   }
   res.final_critical = best_crit;

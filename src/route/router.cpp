@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 
@@ -309,6 +310,15 @@ double routed_critical_delay(const Netlist& nl, const Placement& pl,
   });
   tg.run_sta();
   return tg.critical_delay();
+}
+
+double routed_critical_delay(TimingEngine& eng, const RoutingResult& routing) {
+  eng.retime_with_wire_lengths([&routing](CellId sink, int pin, int fallback) {
+    return routing.length_of(sink, pin, fallback);
+  });
+  const double crit = eng.graph().critical_delay();
+  eng.retime_with_wire_lengths(nullptr);
+  return crit;
 }
 
 }  // namespace repro

@@ -71,4 +71,11 @@ int find_min_channel_width(const Netlist& nl, const Placement& pl,
 double routed_critical_delay(const Netlist& nl, const Placement& pl,
                              const LinearDelayModel& dm, const RoutingResult& routing);
 
+class TimingEngine;
+
+/// Same, on a shared timing engine: re-times with the routed wire lengths,
+/// reads the critical delay, and restores placement-estimated delays —
+/// avoiding a from-scratch TimingGraph build per evaluation.
+double routed_critical_delay(TimingEngine& eng, const RoutingResult& routing);
+
 }  // namespace repro

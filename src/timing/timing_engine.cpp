@@ -1,0 +1,535 @@
+#include "timing/timing_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.h"
+
+namespace repro {
+
+TimingEngine::TimingEngine(const Netlist& nl, const Placement& pl,
+                           const LinearDelayModel& model)
+    : tg_(nl, pl, model) {
+  refresh_topo_positions();
+  cell_moved_flag_.assign(nl.cell_capacity(), 0);
+  cell_rewired_flag_.assign(nl.cell_capacity(), 0);
+  edge_dirty_flag_.assign(tg_.edges_.size(), 0);
+  fwd_flag_.assign(tg_.nodes_.size(), 0);
+  bwd_flag_.assign(tg_.nodes_.size(), 0);
+  if (const char* p = std::getenv("REPRO_TIMING_PARANOID"); p && p[0] == '1')
+    paranoid_ = true;
+}
+
+void TimingEngine::refresh_topo_positions() {
+  topo_pos_.assign(tg_.nodes_.size(), 0);
+  for (std::size_t i = 0; i < tg_.topo_.size(); ++i)
+    topo_pos_[tg_.topo_[i].index()] = static_cast<int>(i);
+}
+
+void TimingEngine::ensure_cell_arrays() {
+  const std::size_t cap = tg_.nl_->cell_capacity();
+  if (tg_.out_node_.size() < cap) {
+    tg_.out_node_.resize(cap, TimingNodeId::invalid());
+    tg_.sink_node_.resize(cap, TimingNodeId::invalid());
+  }
+  if (cell_moved_flag_.size() < cap) {
+    cell_moved_flag_.resize(cap, 0);
+    cell_rewired_flag_.resize(cap, 0);
+  }
+}
+
+void TimingEngine::on_cell_moved(CellId c) {
+  ensure_cell_arrays();
+  if (cell_moved_flag_[c.index()]) return;
+  cell_moved_flag_[c.index()] = 1;
+  moved_cells_.push_back(c);
+}
+
+void TimingEngine::on_cells_moved(const std::vector<CellId>& cells) {
+  for (CellId c : cells) on_cell_moved(c);
+}
+
+void TimingEngine::on_cell_rewired(CellId c) {
+  ensure_cell_arrays();
+  if (cell_rewired_flag_[c.index()]) return;
+  cell_rewired_flag_[c.index()] = 1;
+  rewired_cells_.push_back(c);
+}
+
+void TimingEngine::on_cells_rewired(const std::vector<CellId>& cells) {
+  for (CellId c : cells) on_cell_rewired(c);
+}
+
+bool TimingEngine::has_pending_deltas() const {
+  return !moved_cells_.empty() || !rewired_cells_.empty() || !dirty_edges_.empty() ||
+         !fwd_seed_.empty() || !bwd_seed_.empty();
+}
+
+void TimingEngine::mark_fwd(TimingNodeId n) {
+  if (fwd_flag_[n.index()]) return;
+  fwd_flag_[n.index()] = 1;
+  fwd_seed_.push_back(n);
+}
+
+void TimingEngine::mark_bwd(TimingNodeId n) {
+  if (bwd_flag_[n.index()]) return;
+  bwd_flag_[n.index()] = 1;
+  bwd_seed_.push_back(n);
+}
+
+void TimingEngine::mark_edge(std::size_t e) {
+  if (edge_dirty_flag_[e]) return;
+  edge_dirty_flag_[e] = 1;
+  dirty_edges_.push_back(e);
+}
+
+TimingNodeId TimingEngine::alloc_node(TimingNodeKind kind, CellId cell) {
+  TimingNodeId id;
+  if (!node_free_.empty()) {
+    id = node_free_.back();
+    node_free_.pop_back();
+    assert(tg_.fanin_[id.index()].empty() && tg_.fanout_[id.index()].empty());
+    tg_.nodes_[id.index()] = TimingNode{kind, cell};
+  } else {
+    id = TimingNodeId(static_cast<TimingNodeId::value_type>(tg_.nodes_.size()));
+    tg_.nodes_.push_back(TimingNode{kind, cell});
+    tg_.fanin_.emplace_back();
+    tg_.fanout_.emplace_back();
+    tg_.arrival_.push_back(0.0);
+    tg_.downstream_.push_back(0.0);
+    topo_pos_.push_back(0);
+    fwd_flag_.push_back(0);
+    bwd_flag_.push_back(0);
+  }
+  if (kind == TimingNodeKind::kSink) tg_.sink_nodes_.push_back(id);
+  mark_fwd(id);
+  mark_bwd(id);
+  return id;
+}
+
+void TimingEngine::free_node(TimingNodeId n) {
+  assert(tg_.fanin_[n.index()].empty() && tg_.fanout_[n.index()].empty());
+  if (tg_.nodes_[n.index()].kind == TimingNodeKind::kSink) {
+    auto& sinks = tg_.sink_nodes_;
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), n), sinks.end());
+  }
+  tg_.nodes_[n.index()] = TimingNode{TimingNodeKind::kComb, CellId::invalid()};
+  tg_.arrival_[n.index()] = 0.0;
+  tg_.downstream_[n.index()] = 0.0;
+  fwd_flag_[n.index()] = 0;
+  bwd_flag_[n.index()] = 0;
+  node_free_.push_back(n);
+}
+
+void TimingEngine::alloc_edge(TimingNodeId from, TimingNodeId to, int pin) {
+  std::size_t e;
+  if (!edge_free_.empty()) {
+    e = edge_free_.back();
+    edge_free_.pop_back();
+  } else {
+    e = tg_.edges_.size();
+    tg_.edges_.push_back(TimingEdge{});
+    edge_dirty_flag_.push_back(0);
+  }
+  tg_.edges_[e] = TimingEdge{from, to, pin, 0.0};
+  tg_.fanout_[from.index()].push_back(e);
+  tg_.fanin_[to.index()].push_back(e);
+  mark_edge(e);
+}
+
+void TimingEngine::detach_fanin(TimingNodeId n) {
+  for (std::size_t e : tg_.fanin_[n.index()]) {
+    TimingNodeId from = tg_.edges_[e].from;
+    auto& fo = tg_.fanout_[from.index()];
+    fo.erase(std::find(fo.begin(), fo.end(), e));
+    mark_bwd(from);
+    tg_.edges_[e] = TimingEdge{TimingNodeId::invalid(), TimingNodeId::invalid(), 0, 0.0};
+    edge_dirty_flag_[e] = 0;
+    edge_free_.push_back(e);
+  }
+  tg_.fanin_[n.index()].clear();
+  mark_fwd(n);
+}
+
+void TimingEngine::splice_structure() {
+  const Netlist& nl = *tg_.nl_;
+  ensure_cell_arrays();
+
+  // Closure: a deleted cell's surviving fanout edges point at receivers whose
+  // inputs were rewired; make sure they are in the batch (the list grows
+  // while we scan it, covering chains of deletions).
+  for (std::size_t i = 0; i < rewired_cells_.size(); ++i) {
+    CellId c = rewired_cells_[i];
+    if (nl.cell_alive(c)) continue;
+    for (TimingNodeId n : {tg_.out_node_[c.index()], tg_.sink_node_[c.index()]}) {
+      if (!n.valid()) continue;
+      for (std::size_t e : tg_.fanout_[n.index()])
+        on_cell_rewired(tg_.nodes_[tg_.edges_[e].to.index()].cell);
+    }
+  }
+
+  // Phase A: drop the old fanin edges of every batch cell's nodes. Receivers
+  // rebuild below; drivers are marked downstream-dirty inside detach_fanin.
+  for (CellId c : rewired_cells_) {
+    for (TimingNodeId n : {tg_.out_node_[c.index()], tg_.sink_node_[c.index()]})
+      if (n.valid()) detach_fanin(n);
+  }
+
+  // Phase B1: realize each batch cell's node set (create replicas' nodes,
+  // free deleted cells' nodes, fix kinds on a registered-flag flip) BEFORE
+  // any edges are rebuilt, so B2 can resolve drivers batch-order-free.
+  for (CellId c : rewired_cells_) {
+    TimingNodeId& out = tg_.out_node_[c.index()];
+    TimingNodeId& snk = tg_.sink_node_[c.index()];
+    if (!nl.cell_alive(c)) {
+      if (out.valid()) {
+        if (!tg_.fanout_[out.index()].empty())
+          throw std::logic_error(
+              "TimingEngine: deleted cell still drives timing edges "
+              "(a rewired receiver was not reported)");
+        free_node(out);
+        out = TimingNodeId::invalid();
+      }
+      if (snk.valid()) {
+        free_node(snk);
+        snk = TimingNodeId::invalid();
+      }
+      continue;
+    }
+    const Cell& cell = nl.cell(c);
+    const bool want_out = cell.kind != CellKind::kOutputPad;
+    const bool want_snk = cell.kind == CellKind::kOutputPad ||
+                          (cell.kind == CellKind::kLogic && cell.registered);
+    const TimingNodeKind out_kind =
+        (cell.kind == CellKind::kInputPad ||
+         (cell.kind == CellKind::kLogic && cell.registered))
+            ? TimingNodeKind::kSource
+            : TimingNodeKind::kComb;
+    if (want_out) {
+      if (out.valid())
+        tg_.nodes_[out.index()].kind = out_kind;
+      else
+        out = alloc_node(out_kind, c);
+      mark_fwd(out);
+      mark_bwd(out);
+    }
+    if (want_snk) {
+      if (!snk.valid()) snk = alloc_node(TimingNodeKind::kSink, c);
+      mark_fwd(snk);
+      mark_bwd(snk);
+    } else if (snk.valid()) {
+      // Registered flag dropped: the D end point disappears (fanin already
+      // detached in phase A; sink nodes never drive edges).
+      free_node(snk);
+      snk = TimingNodeId::invalid();
+    }
+  }
+
+  // Phase B2: rebuild each live batch cell's fanin edges from the netlist,
+  // in pin order (matching the bootstrap build for deterministic tie-walks).
+  for (CellId c : rewired_cells_) {
+    if (!nl.cell_alive(c)) continue;
+    const Cell& cell = nl.cell(c);
+    TimingNodeId to = (cell.kind == CellKind::kLogic && !cell.registered)
+                          ? tg_.out_node_[c.index()]
+                          : tg_.sink_node_[c.index()];
+    if (!to.valid()) continue;  // input pads receive nothing
+    for (int pin = 0; pin < static_cast<int>(cell.inputs.size()); ++pin) {
+      NetId n = cell.inputs[pin];
+      assert(n.valid());
+      CellId drv = nl.net(n).driver;
+      TimingNodeId from = tg_.out_node_[drv.index()];
+      if (!from.valid())
+        throw std::logic_error(
+            "TimingEngine: driver of a rewired cell has no timing node "
+            "(new driver cell not reported in the delta)");
+      alloc_edge(from, to, pin);
+      mark_bwd(from);
+    }
+  }
+
+  for (CellId c : rewired_cells_) cell_rewired_flag_[c.index()] = 0;
+  rewired_cells_.clear();
+
+  // Keep end points in node-id order so the critical-sink tie-break stays
+  // deterministic, then re-levelize (dead slots are isolated and harmless).
+  std::sort(tg_.sink_nodes_.begin(), tg_.sink_nodes_.end());
+  tg_.topo_sort();
+  refresh_topo_positions();
+}
+
+double TimingEngine::recompute_arrival(std::size_t n) const {
+  const TimingNode& node = tg_.nodes_[n];
+  double a = 0.0;
+  if (node.kind == TimingNodeKind::kSource) {
+    const Cell& cell = tg_.nl_->cell(node.cell);
+    a = (cell.kind == CellKind::kInputPad) ? tg_.model_->io_delay : tg_.model_->ff_delay;
+  }
+  for (std::size_t e : tg_.fanin_[n])
+    a = std::max(a, tg_.arrival_[tg_.edges_[e].from.index()] + tg_.edges_[e].delay);
+  return a;
+}
+
+double TimingEngine::recompute_downstream(std::size_t n) const {
+  double d = 0.0;
+  for (std::size_t e : tg_.fanout_[n])
+    d = std::max(d, tg_.edges_[e].delay + tg_.downstream_[tg_.edges_[e].to.index()]);
+  return d;
+}
+
+void TimingEngine::propagate_dirty() {
+  std::uint64_t nodes_redone = 0;
+  using QItem = std::pair<int, TimingNodeId::value_type>;
+
+  // Forward: dirty nodes in ascending topo position, so every fanin is final
+  // when a node is re-evaluated.
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> fq;
+  for (TimingNodeId n : fwd_seed_)
+    if (fwd_flag_[n.index()]) fq.push({topo_pos_[n.index()], n.value()});
+  fwd_seed_.clear();
+  while (!fq.empty()) {
+    auto [pos, v] = fq.top();
+    fq.pop();
+    (void)pos;
+    const std::size_t n = static_cast<std::size_t>(v);
+    if (!fwd_flag_[n]) continue;
+    fwd_flag_[n] = 0;
+    if (!tg_.nodes_[n].cell.valid()) continue;  // freed slot
+    ++nodes_redone;
+    const double a = recompute_arrival(n);
+    if (a != tg_.arrival_[n]) {
+      tg_.arrival_[n] = a;
+      for (std::size_t e : tg_.fanout_[n]) {
+        TimingNodeId to = tg_.edges_[e].to;
+        if (!fwd_flag_[to.index()]) {
+          fwd_flag_[to.index()] = 1;
+          fq.push({topo_pos_[to.index()], to.value()});
+        }
+      }
+    }
+  }
+
+  // Backward: descending topo position.
+  std::priority_queue<QItem, std::vector<QItem>, std::less<QItem>> bq;
+  for (TimingNodeId n : bwd_seed_)
+    if (bwd_flag_[n.index()]) bq.push({topo_pos_[n.index()], n.value()});
+  bwd_seed_.clear();
+  while (!bq.empty()) {
+    auto [pos, v] = bq.top();
+    bq.pop();
+    (void)pos;
+    const std::size_t n = static_cast<std::size_t>(v);
+    if (!bwd_flag_[n]) continue;
+    bwd_flag_[n] = 0;
+    if (!tg_.nodes_[n].cell.valid()) continue;
+    ++nodes_redone;
+    const double d = recompute_downstream(n);
+    if (d != tg_.downstream_[n]) {
+      tg_.downstream_[n] = d;
+      for (std::size_t e : tg_.fanin_[n]) {
+        TimingNodeId from = tg_.edges_[e].from;
+        if (!bwd_flag_[from.index()]) {
+          bwd_flag_[from.index()] = 1;
+          bq.push({topo_pos_[from.index()], from.value()});
+        }
+      }
+    }
+  }
+
+  timing_counters().nodes_reevaluated += nodes_redone;
+}
+
+void TimingEngine::recompute_critical() {
+  tg_.critical_delay_ = 0;
+  tg_.critical_sink_ = TimingNodeId::invalid();
+  for (TimingNodeId s : tg_.sink_nodes_) {
+    if (!tg_.critical_sink_.valid() || tg_.arrival_[s.index()] > tg_.critical_delay_) {
+      tg_.critical_delay_ = tg_.arrival_[s.index()];
+      tg_.critical_sink_ = s;
+    }
+  }
+}
+
+void TimingEngine::update() {
+  if (tg_.wire_length_fn_) {
+    // A routed-wirelength override is active: every edge delay depends on it,
+    // so incremental bookkeeping does not apply. Full pass.
+    tg_.run_sta();
+    clear_pending();
+    return;
+  }
+  if (!has_pending_deltas()) return;
+
+  if (!rewired_cells_.empty()) splice_structure();
+
+  // Placement deltas: the moved cells' incident edges need new delays.
+  const Netlist& nl = *tg_.nl_;
+  for (CellId c : moved_cells_) {
+    cell_moved_flag_[c.index()] = 0;
+    if (c.index() >= nl.cell_capacity() || !nl.cell_alive(c)) continue;
+    for (TimingNodeId n : {tg_.out_node_[c.index()], tg_.sink_node_[c.index()]}) {
+      if (!n.valid()) continue;
+      for (std::size_t e : tg_.fanin_[n.index()]) mark_edge(e);
+      for (std::size_t e : tg_.fanout_[n.index()]) mark_edge(e);
+    }
+  }
+  moved_cells_.clear();
+
+  std::uint64_t edges_redone = 0;
+  for (std::size_t e : dirty_edges_) {
+    if (!edge_dirty_flag_[e]) continue;
+    edge_dirty_flag_[e] = 0;
+    TimingEdge& ed = tg_.edges_[e];
+    if (!ed.from.valid()) continue;  // freed while pending
+    Point a = tg_.pl_->location(tg_.nodes_[ed.from.index()].cell);
+    Point b = tg_.pl_->location(tg_.nodes_[ed.to.index()].cell);
+    const double d =
+        tg_.model_->wire_delay(manhattan(a, b)) + tg_.node_intrinsic_delay(ed.to);
+    ++edges_redone;
+    if (d != ed.delay) {
+      ed.delay = d;
+      mark_fwd(ed.to);
+      mark_bwd(ed.from);
+    }
+  }
+  dirty_edges_.clear();
+
+  propagate_dirty();
+  recompute_critical();
+
+  TimingCounters& tc = timing_counters();
+  ++tc.incremental_updates;
+  ++tc.rebuilds_avoided;
+  tc.edges_redelayed += edges_redone;
+
+  if (paranoid_) verify_against_oracle();
+}
+
+void TimingEngine::clear_pending() {
+  for (CellId c : moved_cells_) cell_moved_flag_[c.index()] = 0;
+  moved_cells_.clear();
+  for (CellId c : rewired_cells_) cell_rewired_flag_[c.index()] = 0;
+  rewired_cells_.clear();
+  dirty_edges_.clear();
+  edge_dirty_flag_.assign(tg_.edges_.size(), 0);
+  fwd_seed_.clear();
+  bwd_seed_.clear();
+  fwd_flag_.assign(tg_.nodes_.size(), 0);
+  bwd_flag_.assign(tg_.nodes_.size(), 0);
+}
+
+void TimingEngine::commit() {
+  update();
+  shadow_.valid = true;
+  shadow_.nodes = tg_.nodes_;
+  shadow_.edges = tg_.edges_;
+  shadow_.fanin = tg_.fanin_;
+  shadow_.fanout = tg_.fanout_;
+  shadow_.out_node = tg_.out_node_;
+  shadow_.sink_node = tg_.sink_node_;
+  shadow_.sink_nodes = tg_.sink_nodes_;
+  shadow_.topo = tg_.topo_;
+  shadow_.arrival = tg_.arrival_;
+  shadow_.downstream = tg_.downstream_;
+  shadow_.critical_delay = tg_.critical_delay_;
+  shadow_.critical_sink = tg_.critical_sink_;
+  shadow_.topo_pos = topo_pos_;
+  shadow_.node_free = node_free_;
+  shadow_.edge_free = edge_free_;
+}
+
+void TimingEngine::rollback() {
+  if (!shadow_.valid)
+    throw std::logic_error("TimingEngine::rollback() without a prior commit()");
+  tg_.nodes_ = shadow_.nodes;
+  tg_.edges_ = shadow_.edges;
+  tg_.fanin_ = shadow_.fanin;
+  tg_.fanout_ = shadow_.fanout;
+  tg_.out_node_ = shadow_.out_node;
+  tg_.sink_node_ = shadow_.sink_node;
+  tg_.sink_nodes_ = shadow_.sink_nodes;
+  tg_.topo_ = shadow_.topo;
+  tg_.arrival_ = shadow_.arrival;
+  tg_.downstream_ = shadow_.downstream;
+  tg_.critical_delay_ = shadow_.critical_delay;
+  tg_.critical_sink_ = shadow_.critical_sink;
+  topo_pos_ = shadow_.topo_pos;
+  node_free_ = shadow_.node_free;
+  edge_free_ = shadow_.edge_free;
+  clear_pending();
+}
+
+void TimingEngine::resync() {
+  ++timing_counters().engine_resyncs;
+  tg_.nodes_.clear();
+  tg_.edges_.clear();
+  tg_.fanin_.clear();
+  tg_.fanout_.clear();
+  tg_.sink_nodes_.clear();
+  tg_.topo_.clear();
+  tg_.build();
+  tg_.topo_sort();
+  tg_.run_sta();
+  refresh_topo_positions();
+  node_free_.clear();
+  edge_free_.clear();
+  clear_pending();
+  ensure_cell_arrays();
+  if (paranoid_) verify_against_oracle();
+}
+
+void TimingEngine::retime_with_wire_lengths(TimingGraph::WireLengthFn fn) {
+  tg_.set_wire_length_override(std::move(fn));
+  tg_.run_sta();
+  clear_pending();
+}
+
+void TimingEngine::verify_against_oracle() const {
+  ++timing_counters().paranoid_checks;
+  TimingCounterSuppressor suppress;  // the oracle build is bookkeeping, not work
+  TimingGraph oracle(*tg_.nl_, *tg_.pl_, *tg_.model_);
+
+  auto mismatch = [&](const char* what, CellId cell, double inc, double ref) {
+    std::ostringstream os;
+    os << "TimingEngine paranoid check failed: " << what << " of cell "
+       << tg_.nl_->cell(cell).name << " incremental=" << inc << " oracle=" << ref;
+    throw std::logic_error(os.str());
+  };
+  auto close = [](double a, double b) {
+    return std::abs(a - b) <= 1e-12 * std::max(1.0, std::abs(b));
+  };
+
+  if (!close(tg_.critical_delay_, oracle.critical_delay()))
+    mismatch("critical delay", tg_.nodes_[0].cell, tg_.critical_delay_,
+             oracle.critical_delay());
+  for (CellId c : tg_.nl_->live_cells()) {
+    TimingNodeId eo = tg_.out_node_[c.index()];
+    TimingNodeId oo = oracle.out_node(c);
+    if (eo.valid() != oo.valid())
+      mismatch("out-node existence", c, eo.valid(), oo.valid());
+    if (eo.valid()) {
+      if (!close(tg_.arrival_[eo.index()], oracle.arrival(oo)))
+        mismatch("arrival", c, tg_.arrival_[eo.index()], oracle.arrival(oo));
+      if (!close(tg_.downstream_[eo.index()], oracle.downstream(oo)))
+        mismatch("downstream", c, tg_.downstream_[eo.index()], oracle.downstream(oo));
+    }
+    TimingNodeId es = tg_.sink_node_[c.index()];
+    TimingNodeId os_ = oracle.sink_node(c);
+    if (es.valid() != os_.valid())
+      mismatch("sink-node existence", c, es.valid(), os_.valid());
+    if (es.valid()) {
+      if (!close(tg_.arrival_[es.index()], oracle.arrival(os_)))
+        mismatch("sink arrival", c, tg_.arrival_[es.index()], oracle.arrival(os_));
+      if (!close(tg_.downstream_[es.index()], oracle.downstream(os_)))
+        mismatch("sink downstream", c, tg_.downstream_[es.index()],
+                 oracle.downstream(os_));
+    }
+  }
+}
+
+}  // namespace repro

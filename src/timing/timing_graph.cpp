@@ -4,11 +4,14 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/stats.h"
+
 namespace repro {
 
 TimingGraph::TimingGraph(const Netlist& nl, const Placement& pl,
                          const LinearDelayModel& model)
     : nl_(&nl), pl_(&pl), model_(&model) {
+  if (!TimingCounterSuppressor::active()) ++timing_counters().graph_builds;
   build();
   topo_sort();
   run_sta();
@@ -83,6 +86,7 @@ double TimingGraph::node_intrinsic_delay(TimingNodeId n) const {
 
 void TimingGraph::compute_edge_delays() {
   for (TimingEdge& e : edges_) {
+    if (!e.from.valid()) continue;  // freed slot (incremental engine)
     Point a = pl_->location(nodes_[e.from.index()].cell);
     Point b = pl_->location(nodes_[e.to.index()].cell);
     int len = manhattan(a, b);
@@ -93,7 +97,8 @@ void TimingGraph::compute_edge_delays() {
 
 void TimingGraph::topo_sort() {
   std::vector<int> indeg(nodes_.size(), 0);
-  for (const TimingEdge& e : edges_) ++indeg[e.to.index()];
+  for (const TimingEdge& e : edges_)
+    if (e.from.valid()) ++indeg[e.to.index()];
   std::vector<TimingNodeId> stack;
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     if (indeg[i] == 0) stack.push_back(TimingNodeId(static_cast<TimingNodeId::value_type>(i)));
@@ -113,13 +118,14 @@ void TimingGraph::topo_sort() {
 }
 
 void TimingGraph::run_sta() {
+  if (!TimingCounterSuppressor::active()) ++timing_counters().full_sta_passes;
   compute_edge_delays();
   arrival_.assign(nodes_.size(), 0.0);
   downstream_.assign(nodes_.size(), 0.0);
 
   // Source arrivals: pad delay for input pads, clock-to-Q for registers.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].kind != TimingNodeKind::kSource) continue;
+    if (nodes_[i].kind != TimingNodeKind::kSource || !nodes_[i].cell.valid()) continue;
     const Cell& cell = nl_->cell(nodes_[i].cell);
     arrival_[i] = (cell.kind == CellKind::kInputPad) ? model_->io_delay : model_->ff_delay;
   }
@@ -162,12 +168,13 @@ double TimingGraph::slowest_path_through_cell(CellId c) const {
 
 double TimingGraph::edge_slack(std::size_t e) const {
   const TimingEdge& ed = edges_[e];
+  if (!ed.from.valid()) return critical_delay_;  // freed slot: fully slack
   double through = arrival_[ed.from.index()] + ed.delay + downstream_[ed.to.index()];
   return critical_delay_ - through;
 }
 
 double TimingGraph::edge_criticality(std::size_t e) const {
-  if (critical_delay_ <= 0) return 0;
+  if (critical_delay_ <= 0 || !edges_[e].from.valid()) return 0;
   double crit = 1.0 - edge_slack(e) / critical_delay_;
   return std::clamp(crit, 0.0, 1.0);
 }

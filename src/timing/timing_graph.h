@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <string>
 #include <vector>
@@ -10,6 +11,15 @@
 #include "util/ids.h"
 
 namespace repro {
+
+/// Criticality-exponent weighting shared by every consumer that turns an
+/// edge/connection criticality in [0,1] into an optimization weight
+/// (T-VPlace's Timing-cost term and the timing-driven router's connection
+/// ordering). Hoisted here so the annealer and the router agree on one
+/// definition instead of each computing pow() locally.
+inline double criticality_weight(double criticality, double exponent) {
+  return std::pow(criticality, exponent);
+}
 
 /// Node kinds in the timing graph.
 enum class TimingNodeKind : std::uint8_t {
@@ -50,6 +60,13 @@ class TimingGraph {
   std::size_t num_edges() const { return edges_.size(); }
   const TimingNode& node(TimingNodeId n) const { return nodes_[n.index()]; }
   const TimingEdge& edge(std::size_t e) const { return edges_[e]; }
+
+  /// False for edge slots freed by the incremental TimingEngine (netlist
+  /// deltas recycle edge storage in place). A freshly built graph has no dead
+  /// slots; consumers that scan the raw edge range must skip dead ones.
+  bool edge_live(std::size_t e) const { return edges_[e].from.valid(); }
+  /// Same for node slots freed after a cell deletion.
+  bool node_live(TimingNodeId n) const { return nodes_[n.index()].cell.valid(); }
 
   /// Node representing the cell's output signal (invalid for output pads).
   TimingNodeId out_node(CellId c) const { return out_node_[c.index()]; }
@@ -110,6 +127,11 @@ class TimingGraph {
   const Netlist& netlist() const { return *nl_; }
 
  private:
+  /// The incremental engine mutates the graph in place (splicing nodes and
+  /// edges for netlist deltas, patching arrival/downstream over dirty cones)
+  /// while consumers keep reading through the const interface above.
+  friend class TimingEngine;
+
   void build();
   void compute_edge_delays();
   void topo_sort();

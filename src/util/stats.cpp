@@ -19,6 +19,23 @@ double StatAccumulator::variance() const {
   return n_ ? m2_ / static_cast<double>(n_) : 0.0;
 }
 
+namespace {
+TimingCounters g_timing_counters;
+bool g_timing_counters_suppressed = false;
+}  // namespace
+
+TimingCounters& timing_counters() { return g_timing_counters; }
+
+TimingCounterSuppressor::TimingCounterSuppressor() : prev_(g_timing_counters_suppressed) {
+  g_timing_counters_suppressed = true;
+}
+
+TimingCounterSuppressor::~TimingCounterSuppressor() {
+  g_timing_counters_suppressed = prev_;
+}
+
+bool TimingCounterSuppressor::active() { return g_timing_counters_suppressed; }
+
 double mean_of(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double s = 0;

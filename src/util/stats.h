@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -28,6 +29,41 @@ class StatAccumulator {
   double max_ = -std::numeric_limits<double>::infinity();
   double mean_ = 0;
   double m2_ = 0;
+};
+
+/// Process-global counters for the timing layer, exposing how much work the
+/// incremental TimingEngine performs versus the from-scratch bootstrap path.
+/// Tests assert on these (e.g. "zero graph rebuilds inside the replication
+/// engine's main loop") and the benches report them, so the incremental win
+/// is observable rather than asserted.
+struct TimingCounters {
+  std::uint64_t graph_builds = 0;        ///< TimingGraph constructions (bootstrap/oracle)
+  std::uint64_t full_sta_passes = 0;     ///< complete run_sta sweeps (all edges + all nodes)
+  std::uint64_t engine_resyncs = 0;      ///< TimingEngine full in-place rebuilds
+  std::uint64_t incremental_updates = 0; ///< TimingEngine::update() calls served incrementally
+  std::uint64_t nodes_reevaluated = 0;   ///< arrival/downstream recomputes on the delta path
+  std::uint64_t edges_redelayed = 0;     ///< edge-delay recomputes on the delta path
+  std::uint64_t rebuilds_avoided = 0;    ///< updates that would have been full rebuilds before
+  std::uint64_t paranoid_checks = 0;     ///< incremental-vs-oracle cross-checks performed
+
+  void reset() { *this = TimingCounters{}; }
+};
+
+/// The global timing counter instance (not thread-safe; the flow is
+/// single-threaded).
+TimingCounters& timing_counters();
+
+/// RAII guard that suppresses timing-counter accounting in the current scope.
+/// The paranoid oracle rebuild uses this so cross-check TimingGraph
+/// constructions do not pollute the "rebuilds avoided" evidence.
+class TimingCounterSuppressor {
+ public:
+  TimingCounterSuppressor();
+  ~TimingCounterSuppressor();
+  static bool active();
+
+ private:
+  bool prev_;
 };
 
 /// Arithmetic mean of a vector (0 for empty).

@@ -1,0 +1,286 @@
+// Randomized equivalence tests for the incremental TimingEngine: interleaved
+// placement moves, replications (netlist splices), unifications, deletions,
+// and commit/rollback must keep the engine's arrival/required/slack and
+// critical delay bit-equal (1e-12) to a from-scratch TimingGraph oracle at
+// every step. Also pins down the zero-rebuild property: after initialization
+// the annealer and the replication engine perform no from-scratch TimingGraph
+// constructions (observed via timing_counters(), not asserted by reading the
+// code).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/circuit_gen.h"
+#include "place/annealer.h"
+#include "replicate/engine.h"
+#include "timing/timing_engine.h"
+#include "timing/timing_graph.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace repro {
+namespace {
+
+Netlist make_circuit(std::uint64_t seed, int num_logic = 120) {
+  CircuitSpec spec;
+  spec.num_logic = num_logic;
+  spec.num_inputs = 10;
+  spec.num_outputs = 10;
+  spec.registered_fraction = 0.25;
+  spec.depth = 7;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+/// The engine's values must match a freshly built TimingGraph on every live
+/// cell's nodes (arrival, required, slack) and on the critical delay.
+void expect_matches_oracle(const TimingEngine& eng, const Netlist& nl,
+                           const Placement& pl, const LinearDelayModel& dm,
+                           const char* ctx) {
+  TimingCounterSuppressor suppress;  // oracle builds are test scaffolding
+  TimingGraph oracle(nl, pl, dm);
+  const TimingGraph& inc = eng.graph();
+  ASSERT_NEAR(inc.critical_delay(), oracle.critical_delay(), 1e-12) << ctx;
+  for (CellId c : nl.live_cells()) {
+    TimingNodeId ei = inc.out_node(c);
+    TimingNodeId oi = oracle.out_node(c);
+    ASSERT_EQ(ei.valid(), oi.valid()) << ctx << " out node of " << nl.cell(c).name;
+    if (ei.valid()) {
+      ASSERT_NEAR(inc.arrival(ei), oracle.arrival(oi), 1e-12)
+          << ctx << " arrival " << nl.cell(c).name;
+      ASSERT_NEAR(inc.required(ei), oracle.required(oi), 1e-12)
+          << ctx << " required " << nl.cell(c).name;
+      ASSERT_NEAR(inc.slack(ei), oracle.slack(oi), 1e-12)
+          << ctx << " slack " << nl.cell(c).name;
+    }
+    TimingNodeId es = inc.sink_node(c);
+    TimingNodeId os = oracle.sink_node(c);
+    ASSERT_EQ(es.valid(), os.valid()) << ctx << " sink node of " << nl.cell(c).name;
+    if (es.valid()) {
+      ASSERT_NEAR(inc.arrival(es), oracle.arrival(os), 1e-12)
+          << ctx << " sink arrival " << nl.cell(c).name;
+      ASSERT_NEAR(inc.required(es), oracle.required(os), 1e-12)
+          << ctx << " sink required " << nl.cell(c).name;
+      ASSERT_NEAR(inc.slack(es), oracle.slack(os), 1e-12)
+          << ctx << " sink slack " << nl.cell(c).name;
+    }
+  }
+}
+
+/// Driver of the randomized op mix. Returns a short description of the op.
+class OpMixer {
+ public:
+  OpMixer(Netlist& nl, Placement& pl, TimingEngine& eng, Rng& rng)
+      : nl_(nl), pl_(pl), eng_(eng), rng_(rng) {}
+
+  void random_move() {
+    std::vector<CellId> cells = nl_.live_cells();
+    CellId c = cells[rng_.next_below(cells.size())];
+    const bool is_logic = nl_.cell(c).kind == CellKind::kLogic;
+    const auto& slots =
+        is_logic ? pl_.grid().logic_locations() : pl_.grid().io_locations();
+    pl_.place(c, slots[rng_.next_below(slots.size())]);
+    eng_.on_cell_moved(c);
+  }
+
+  void random_replicate() {
+    // A logic cell with fanout >= 2; partition its fanouts between the
+    // original and a replica placed at a random slot.
+    std::vector<CellId> cands;
+    for (CellId c : nl_.live_cells())
+      if (nl_.cell(c).kind == CellKind::kLogic &&
+          nl_.net(nl_.cell(c).output).sinks.size() >= 2)
+        cands.push_back(c);
+    if (cands.empty()) return;
+    CellId orig = cands[rng_.next_below(cands.size())];
+    CellId rep = nl_.replicate_cell(orig);
+    const auto& slots = pl_.grid().logic_locations();
+    pl_.place(rep, slots[rng_.next_below(slots.size())]);
+    eng_.on_cell_rewired(rep);
+    std::vector<Sink> sinks = nl_.net(nl_.cell(orig).output).sinks;
+    for (const Sink& s : sinks) {
+      if (rng_.next_below(2) == 0) continue;
+      nl_.reassign_input(s.cell, s.pin, nl_.cell(rep).output);
+      eng_.on_cell_rewired(s.cell);
+    }
+    drain(orig);
+    drain(rep);  // possible when every fanout stayed with the original
+  }
+
+  void random_unify() {
+    // Two live members of one equivalence class: move every fanout of the
+    // first onto the second, deleting the drained cell (and recursively its
+    // newly dead fan-in).
+    std::vector<CellId> cells = nl_.live_cells();
+    rng_.shuffle(cells);
+    for (CellId a : cells) {
+      if (nl_.cell(a).kind != CellKind::kLogic) continue;
+      for (CellId b : cells) {
+        if (a == b || !nl_.cell_alive(a) || !nl_.cell_alive(b)) continue;
+        if (nl_.cell(b).kind != CellKind::kLogic || !nl_.equivalent(a, b)) continue;
+        std::vector<CellId> rewired;
+        for (const Sink& s : nl_.net(nl_.cell(a).output).sinks)
+          rewired.push_back(s.cell);
+        std::vector<CellId> deleted;
+        nl_.unify(a, b, &deleted);
+        for (CellId d : deleted) pl_.unplace(d);
+        eng_.on_cells_rewired(rewired);
+        eng_.on_cells_rewired(deleted);
+        return;
+      }
+    }
+  }
+
+ private:
+  void drain(CellId c) {
+    if (!nl_.cell_alive(c)) return;
+    std::vector<CellId> deleted;
+    nl_.remove_if_redundant(c, &deleted);
+    for (CellId d : deleted) {
+      pl_.unplace(d);
+      eng_.on_cell_rewired(d);
+    }
+  }
+
+  Netlist& nl_;
+  Placement& pl_;
+  TimingEngine& eng_;
+  Rng& rng_;
+};
+
+TEST(IncrementalTiming, RandomOpsMatchFromScratchOracle) {
+  Netlist nl = make_circuit(42);
+  FpgaGrid grid(FpgaGrid::min_grid_for(
+      nl.num_logic() + 40, nl.num_input_pads() + nl.num_output_pads()));
+  LinearDelayModel dm;
+  Rng rng(7);
+  Placement pl = random_placement(nl, grid, rng);
+
+  TimingEngine eng(nl, pl, dm);
+  expect_matches_oracle(eng, nl, pl, dm, "bootstrap");
+
+  // Rollback scaffolding: snapshots of the netlist/placement taken at each
+  // commit (the replication engine's Snapshot pattern).
+  auto snap_nl = std::make_unique<Netlist>(nl);
+  auto snap_pl = std::make_unique<Placement>(pl.with_netlist(*snap_nl));
+  eng.commit();
+
+  OpMixer mix(nl, pl, eng, rng);
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 55) {
+      mix.random_move();
+    } else if (roll < 75) {
+      mix.random_replicate();
+    } else if (roll < 90) {
+      mix.random_unify();
+    } else if (roll < 95) {
+      eng.update();
+      snap_nl = std::make_unique<Netlist>(nl);
+      snap_pl = std::make_unique<Placement>(pl.with_netlist(*snap_nl));
+      eng.commit();
+    } else {
+      nl = *snap_nl;
+      pl = snap_pl->with_netlist(nl);
+      eng.rollback();
+    }
+    eng.update();
+    SCOPED_TRACE(step);
+    expect_matches_oracle(eng, nl, pl, dm, "step");
+    ASSERT_TRUE(nl.validate().empty()) << nl.validate();
+  }
+  EXPECT_GT(timing_counters().incremental_updates, 0u);
+}
+
+TEST(IncrementalTiming, BatchedDeltasMatchOracle) {
+  // Many deltas folded into ONE update() — the replication engine's real
+  // usage pattern (apply_embedding + unification + legalizer, then re-time).
+  Netlist nl = make_circuit(43);
+  FpgaGrid grid(FpgaGrid::min_grid_for(
+      nl.num_logic() + 40, nl.num_input_pads() + nl.num_output_pads()));
+  LinearDelayModel dm;
+  Rng rng(11);
+  Placement pl = random_placement(nl, grid, rng);
+  TimingEngine eng(nl, pl, dm);
+  OpMixer mix(nl, pl, eng, rng);
+
+  for (int round = 0; round < 20; ++round) {
+    for (int k = 0; k < 10; ++k) {
+      const std::uint64_t roll = rng.next_below(10);
+      if (roll < 6)
+        mix.random_move();
+      else if (roll < 8)
+        mix.random_replicate();
+      else
+        mix.random_unify();
+    }
+    eng.update();
+    SCOPED_TRACE(round);
+    expect_matches_oracle(eng, nl, pl, dm, "batched round");
+  }
+}
+
+TEST(IncrementalTiming, ParanoidModeSelfChecks) {
+  Netlist nl = make_circuit(44, 60);
+  FpgaGrid grid(FpgaGrid::min_grid_for(
+      nl.num_logic() + 20, nl.num_input_pads() + nl.num_output_pads()));
+  LinearDelayModel dm;
+  Rng rng(3);
+  Placement pl = random_placement(nl, grid, rng);
+  TimingEngine eng(nl, pl, dm);
+  eng.set_paranoid(true);
+  const std::uint64_t checks_before = timing_counters().paranoid_checks;
+
+  OpMixer mix(nl, pl, eng, rng);
+  for (int step = 0; step < 40; ++step) {
+    mix.random_move();
+    if (step % 3 == 0) mix.random_replicate();
+    // Paranoid mode cross-checks inside update() and throws on divergence.
+    ASSERT_NO_THROW(eng.update());
+  }
+  EXPECT_GT(timing_counters().paranoid_checks, checks_before);
+}
+
+TEST(IncrementalTiming, ReplicationEngineDoesNotRebuildGraphs) {
+  Netlist nl = make_circuit(45);
+  FpgaGrid grid(FpgaGrid::min_grid_for(
+      nl.num_logic() + 20, nl.num_input_pads() + nl.num_output_pads()));
+  LinearDelayModel dm;
+  AnnealerOptions aopt;
+  aopt.inner_num = 0.3;
+  aopt.seed = 5;
+  Placement pl = anneal_placement(nl, grid, dm, aopt);
+
+  TimingCounters& tc = timing_counters();
+  const std::uint64_t builds_before = tc.graph_builds;
+  const std::uint64_t incr_before = tc.incremental_updates;
+  EngineOptions opt;
+  opt.max_iterations = 25;
+  run_replication_engine(nl, pl, dm, opt);
+  // Exactly the one bootstrap build from the persistent engine; every
+  // iteration (extraction, unification, legalization, collateral guard)
+  // re-timed incrementally.
+  EXPECT_EQ(tc.graph_builds - builds_before, 1u);
+  EXPECT_GT(tc.incremental_updates, incr_before);
+  EXPECT_GT(tc.rebuilds_avoided, 0u);
+}
+
+TEST(IncrementalTiming, AnnealerDoesNotRebuildGraphs) {
+  Netlist nl = make_circuit(46, 60);
+  FpgaGrid grid(FpgaGrid::min_grid_for(
+      nl.num_logic() + 10, nl.num_input_pads() + nl.num_output_pads()));
+  LinearDelayModel dm;
+  TimingCounters& tc = timing_counters();
+  const std::uint64_t builds_before = tc.graph_builds;
+  AnnealerOptions opt;
+  opt.inner_num = 0.3;
+  opt.seed = 9;
+  anneal_placement(nl, grid, dm, opt);
+  // One bootstrap build; per-temperature criticality refreshes are
+  // incremental updates over the accepted moves.
+  EXPECT_EQ(tc.graph_builds - builds_before, 1u);
+}
+
+}  // namespace
+}  // namespace repro
