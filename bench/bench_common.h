@@ -40,6 +40,7 @@ inline VariantOutcome run_engine_variant(const PlacedCircuit& pc,
   WorkingCopy w(pc);
   EngineOptions opt;
   opt.variant = variant;
+  opt.num_threads = cfg.num_threads;
   const double t0 = now_seconds();
   VariantOutcome out;
   out.engine = run_replication_engine(*w.nl, *w.pl, cfg.delay, opt);

@@ -5,16 +5,37 @@
 #include <queue>
 
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace repro {
 
 FaninTreeEmbedder::FaninTreeEmbedder(const FaninTree& tree, const EmbeddingGraph& graph,
-                                     PlacementCostFn placement_cost, EmbedOptions options)
-    : tree_(tree), graph_(graph), pcost_(std::move(placement_cost)), opt_(options) {
+                                     PlacementCostFn placement_cost, EmbedOptions options,
+                                     EmbedScratch* scratch)
+    : tree_(tree), graph_(graph), pcost_(std::move(placement_cost)), opt_(options),
+      scratch_(scratch) {
   assert(opt_.lex_order >= 1 && opt_.lex_order <= DelayVec::kCapacity);
   if (opt_.lex_mc) opt_.lex_order = 1;  // mc uses its own [t, tc] layout
+  if (scratch_) {
+    // Adopt previously grown tables: the resize/clear dance below keeps the
+    // label-list capacities, so a warmed-up scratch makes table setup
+    // allocation-free for same-sized trees/regions.
+    a_ = std::move(scratch_->a);
+    spill_ = std::move(scratch_->spill);
+    spill_.clear();
+  }
   a_.resize(tree_.size());
-  for (auto& per_vertex : a_) per_vertex.resize(graph_.num_vertices());
+  for (auto& per_vertex : a_) {
+    per_vertex.resize(graph_.num_vertices());
+    for (auto& list : per_vertex) list.clear();
+  }
+}
+
+FaninTreeEmbedder::~FaninTreeEmbedder() {
+  if (scratch_) {
+    scratch_->a = std::move(a_);
+    scratch_->spill = std::move(spill_);
+  }
 }
 
 bool FaninTreeEmbedder::dominates(const Label& a, const Label& b) const {
@@ -26,7 +47,8 @@ bool FaninTreeEmbedder::dominates(const Label& a, const Label& b) const {
 }
 
 bool FaninTreeEmbedder::insert_label(std::vector<Label>& list, Label l,
-                                     std::uint32_t* index_out) {
+                                     std::uint32_t* index_out,
+                                     std::size_t& created) {
   for (const Label& e : list) {
     if (!e.dead && dominates(e, l)) return false;
   }
@@ -35,8 +57,9 @@ bool FaninTreeEmbedder::insert_label(std::vector<Label>& list, Label l,
   }
   if (opt_.max_labels > 0) cap_list(list);
   if (index_out) *index_out = static_cast<std::uint32_t>(list.size());
+  if (list.capacity() < 8) list.reserve(8);  // skip the tiny-growth reallocs
   list.push_back(std::move(l));
-  ++labels_created_;
+  ++created;
   return true;
 }
 
@@ -122,7 +145,7 @@ void FaninTreeEmbedder::wavefront(TreeNodeId i) {
       next.prov.pred_label = item.label;
 
       std::uint32_t new_index = 0;
-      if (insert_label(per_vertex[e.to.index()], next, &new_index)) {
+      if (insert_label(per_vertex[e.to.index()], next, &new_index, labels_created_)) {
         pq.push(QItem{per_vertex[e.to.index()][new_index].cost,
                       per_vertex[e.to.index()][new_index].delay, e.to, new_index});
       }
@@ -131,7 +154,8 @@ void FaninTreeEmbedder::wavefront(TreeNodeId i) {
 }
 
 Label FaninTreeEmbedder::make_join_label(TreeNodeId i, EmbedVertexId j,
-                                         const PartialJoin& p) {
+                                         const PartialJoin& p,
+                                         std::vector<std::vector<std::uint32_t>>& spill) {
   const FaninTreeNode& node = tree_.node(i);
   Label l;
   l.cost = p.cost + (pcost_ ? pcost_(i, j) : 0.0);
@@ -151,42 +175,33 @@ Label FaninTreeEmbedder::make_join_label(TreeNodeId i, EmbedVertexId j,
     for (std::size_t k = 0; k < p.child_labels.size(); ++k)
       l.prov.child_labels_inline[k] = p.child_labels[k];
   } else {
-    l.prov.spill_index = static_cast<std::int32_t>(spill_.size());
-    spill_.push_back(p.child_labels);
+    l.prov.spill_index = static_cast<std::int32_t>(spill.size());
+    spill.push_back(p.child_labels);
   }
   return l;
 }
 
-void FaninTreeEmbedder::join_node(TreeNodeId i, bool root_mode) {
+void FaninTreeEmbedder::join_vertex_range(
+    TreeNodeId i, std::size_t lo, std::size_t hi, JoinScratch& js,
+    std::vector<std::vector<std::uint32_t>>& spill, std::size_t& created) {
   const FaninTreeNode& node = tree_.node(i);
-  assert(!node.is_leaf());
 
-  // Restrict the root to its fixed vertex unless relocation is enabled.
-  EmbedVertexId only_vertex;
-  if (root_mode && !opt_.relocatable_root) {
-    only_vertex = graph_.vertex_at(node.fixed_loc);
-    if (!only_vertex.valid()) {
-      LOG_WARN() << "fanin tree root '" << node.name
-                 << "' lies outside the embedding graph";
-      return;
-    }
-  }
-
-  for (std::size_t jv = 0; jv < graph_.num_vertices(); ++jv) {
+  for (std::size_t jv = lo; jv < hi; ++jv) {
     EmbedVertexId j(static_cast<EmbedVertexId::value_type>(jv));
-    if (only_vertex.valid() && j != only_vertex) continue;
     // Forbidden locations (blocked slots, wrong resource type) are modeled
     // as placement costs >= kForbiddenCost: no gate may be created there.
     if (pcost_ && pcost_(i, j) >= kForbiddenCost) continue;
 
     // Fold the children's label lists into partial joins, pruning dominated
     // partials at each fold (JoinTree, line c2).
-    std::vector<PartialJoin> partials;
+    std::vector<PartialJoin>& partials = js.partials;
+    partials.clear();
     partials.push_back(PartialJoin{});
     bool dead_end = false;
     for (TreeNodeId child : node.children) {
       const auto& child_labels = a_[child.index()][jv];
-      std::vector<PartialJoin> next;
+      std::vector<PartialJoin>& next = js.next;
+      next.clear();
       for (const PartialJoin& p : partials) {
         for (std::uint32_t li = 0; li < child_labels.size(); ++li) {
           const Label& cl = child_labels[li];
@@ -227,7 +242,7 @@ void FaninTreeEmbedder::join_node(TreeNodeId i, bool root_mode) {
           }
         }
       }
-      partials = std::move(next);
+      std::swap(partials, next);
       if (partials.empty()) {
         dead_end = true;
         break;
@@ -238,8 +253,67 @@ void FaninTreeEmbedder::join_node(TreeNodeId i, bool root_mode) {
     for (const PartialJoin& p : partials) {
       if (opt_.overlap_avoidance && p.sum_branch_bits > opt_.branch_capacity - 1)
         continue;  // Section II-A: joining branching solutions overlaps
-      insert_label(a_[i.index()][jv], make_join_label(i, j, p), nullptr);
+      insert_label(a_[i.index()][jv], make_join_label(i, j, p, spill), nullptr,
+                   created);
     }
+  }
+}
+
+void FaninTreeEmbedder::join_node(TreeNodeId i, bool root_mode) {
+  const FaninTreeNode& node = tree_.node(i);
+  assert(!node.is_leaf());
+
+  // Restrict the root to its fixed vertex unless relocation is enabled.
+  if (root_mode && !opt_.relocatable_root) {
+    EmbedVertexId only_vertex = graph_.vertex_at(node.fixed_loc);
+    if (!only_vertex.valid()) {
+      LOG_WARN() << "fanin tree root '" << node.name
+                 << "' lies outside the embedding graph";
+      return;
+    }
+    JoinScratch js;
+    join_vertex_range(i, only_vertex.index(), only_vertex.index() + 1, js,
+                      spill_, labels_created_);
+    return;
+  }
+
+  const std::size_t nv = graph_.num_vertices();
+  ThreadPool* pool = opt_.pool;
+  if (!pool || pool->num_workers() == 0 ||
+      nv < static_cast<std::size_t>(opt_.parallel_min_vertices)) {
+    JoinScratch js;
+    join_vertex_range(i, 0, nv, js, spill_, labels_created_);
+    return;
+  }
+
+  // Parallel join: the A[i][*] columns only read the children's (finished)
+  // tables, so contiguous vertex chunks are processed concurrently. Each
+  // chunk appends >2-child provenance to its own arena; arenas are merged
+  // back in chunk (= vertex) order with the indices rebased, so the spill
+  // pool layout — and every label bit — matches the serial embedder.
+  const std::size_t grain =
+      std::max<std::size_t>(16, nv / (4 * pool->num_threads()));
+  const std::size_t nchunks = (nv + grain - 1) / grain;
+  std::vector<std::vector<std::vector<std::uint32_t>>> arenas(nchunks);
+  std::vector<std::size_t> created(nchunks, 0);
+  pool->parallel_for(nchunks, 1, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = std::min(nv, lo + grain);
+    JoinScratch js;
+    join_vertex_range(i, lo, hi, js, arenas[c], created[c]);
+  });
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::int32_t base = static_cast<std::int32_t>(spill_.size());
+    if (base > 0 && !arenas[c].empty()) {
+      const std::size_t lo = c * grain;
+      const std::size_t hi = std::min(nv, lo + grain);
+      for (std::size_t jv = lo; jv < hi; ++jv)
+        for (Label& l : a_[i.index()][jv])
+          if (l.prov.kind == Provenance::Kind::kJoin && l.prov.spill_index >= 0)
+            l.prov.spill_index += base;
+    }
+    for (auto& entry : arenas[c]) spill_.push_back(std::move(entry));
+    labels_created_ += created[c];
   }
 }
 
@@ -267,7 +341,8 @@ bool FaninTreeEmbedder::run() {
       }
       l.branching = 1;
       l.prov.kind = Provenance::Kind::kInitial;
-      insert_label(a_[i.index()][v.index()], std::move(l), nullptr);
+      insert_label(a_[i.index()][v.index()], std::move(l), nullptr,
+                   labels_created_);
       if (!is_root) wavefront(i);
     } else {
       join_node(i, is_root);

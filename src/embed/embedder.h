@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "embed/signature.h"
 
 namespace repro {
+
+class ThreadPool;
 
 /// Per-(tree node, graph vertex) placement cost p_ij (Section II-A). This is
 /// where the replication engine encodes congestion penalties and the
@@ -46,6 +49,27 @@ struct EmbedOptions {
   /// interpreted as *lengths* and the label's stem length enters the
   /// dominance test. Reproduces the quadratic-delay worked example (Fig. 7).
   std::function<double(int)> stem_delay;
+
+  /// Optional thread pool for the per-vertex column loop of each join: the
+  /// A[i][*] columns are independent given the children's tables, so join
+  /// vertices are processed in parallel chunks. Results are bit-identical to
+  /// the serial embedder for any pool size (spill provenance is merged back
+  /// in deterministic vertex order). Null = serial.
+  ThreadPool* pool = nullptr;
+  /// Joins over graphs smaller than this stay serial (chunking overhead).
+  int parallel_min_vertices = 96;
+};
+
+/// Reusable embedder storage. Constructing a FaninTreeEmbedder with a
+/// scratch adopts the previously grown A[i][j] tables, label-list
+/// capacities and spill pools, and the destructor returns them, so a loop
+/// that embeds one tree per iteration (the replication engine — one
+/// embedder per sink) stops paying the allocation churn after warm-up.
+/// One scratch must serve at most one live embedder at a time; speculation
+/// workers keep one per thread.
+struct EmbedScratch {
+  std::vector<std::vector<std::vector<Label>>> a;
+  std::vector<std::vector<std::uint32_t>> spill;
 };
 
 /// One entry of the root trade-off curve.
@@ -70,7 +94,9 @@ class FaninTreeEmbedder {
   static constexpr double kForbiddenCost = 1e8;
 
   FaninTreeEmbedder(const FaninTree& tree, const EmbeddingGraph& graph,
-                    PlacementCostFn placement_cost, EmbedOptions options = {});
+                    PlacementCostFn placement_cost, EmbedOptions options = {},
+                    EmbedScratch* scratch = nullptr);
+  ~FaninTreeEmbedder();
 
   /// Runs the DP. Returns false if a fixed terminal lies outside the graph
   /// or no solution reaches the root.
@@ -102,18 +128,35 @@ class FaninTreeEmbedder {
     std::vector<std::uint32_t> child_labels;
   };
 
+  /// Per-worker join buffers, reused across the vertices of one chunk so the
+  /// partial-fold vectors stop reallocating in the hot loop.
+  struct JoinScratch {
+    std::vector<PartialJoin> partials;
+    std::vector<PartialJoin> next;
+  };
+
   bool dominates(const Label& a, const Label& b) const;
-  bool insert_label(std::vector<Label>& list, Label l, std::uint32_t* index_out);
+  bool insert_label(std::vector<Label>& list, Label l, std::uint32_t* index_out,
+                    std::size_t& created);
   void cap_list(std::vector<Label>& list);
   void wavefront(TreeNodeId i);
   void join_node(TreeNodeId i, bool root_mode);
-  Label make_join_label(TreeNodeId i, EmbedVertexId j, const PartialJoin& p);
+  /// Joins node i at every vertex in [lo, hi), appending >2-child provenance
+  /// to `spill` with indices local to it, and counting new labels in
+  /// `created`. Writes only A[i][lo..hi) — safe to run ranges concurrently.
+  void join_vertex_range(TreeNodeId i, std::size_t lo, std::size_t hi,
+                         JoinScratch& js,
+                         std::vector<std::vector<std::uint32_t>>& spill,
+                         std::size_t& created);
+  Label make_join_label(TreeNodeId i, EmbedVertexId j, const PartialJoin& p,
+                        std::vector<std::vector<std::uint32_t>>& spill);
   double augment_delay_delta(const Label& from, double edge_delay_or_len) const;
 
   const FaninTree& tree_;
   const EmbeddingGraph& graph_;
   PlacementCostFn pcost_;
   EmbedOptions opt_;
+  EmbedScratch* scratch_ = nullptr;
 
   /// A[i][j]: labels for subtree i driven from vertex j. Branching labels
   /// (initial / join) and augmented labels share the list; the branching

@@ -25,6 +25,7 @@ FlowConfig config_from_env() {
     cfg.scale = std::min(cfg.scale, 0.1);
     cfg.annealer.inner_num = 0.3;
   }
+  if (const char* t = std::getenv("REPRO_THREADS")) cfg.num_threads = std::atoi(t);
   return cfg;
 }
 

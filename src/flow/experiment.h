@@ -29,10 +29,14 @@ struct FlowConfig {
   /// Compute the low-stress numbers (W_min search + 1.2 W_min routing).
   bool route_lowstress = true;
   std::uint64_t seed = 7;
+  /// Threads for the replication engine's speculative embedding
+  /// (EngineOptions::num_threads): 0 = hardware concurrency, 1 = serial.
+  /// Results are bit-identical for every value. Override with REPRO_THREADS.
+  int num_threads = 0;
 };
 
-/// Reads REPRO_SCALE / REPRO_QUICK environment variables so the bench
-/// binaries can be re-run at other scales without rebuilding.
+/// Reads REPRO_SCALE / REPRO_QUICK / REPRO_THREADS environment variables so
+/// the bench binaries can be re-run at other scales without rebuilding.
 FlowConfig config_from_env();
 
 /// A generated circuit placed by the timing-driven annealer ("VPR" baseline)

@@ -1,8 +1,14 @@
 #include "replicate/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdint>
+#include <future>
 #include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "embed/embedder.h"
 #include "embed/embedding_graph.h"
@@ -13,6 +19,8 @@
 #include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace repro {
 
@@ -74,6 +82,350 @@ struct Snapshot {
   }
 };
 
+// ---- speculative embedding (docs/ALGORITHMS.md §11) -------------------------
+//
+// One engine iteration = (sink, epsilon, ff_relocation, repl_cost_mult)
+// -> SPT -> replication tree -> embedding DP -> solution selection. That
+// whole pipeline reads but never writes the netlist/placement/timing state,
+// so it can run ahead of time on a worker thread against an immutable
+// snapshot. The serial schedule is highly predictable (the epsilon ladder on
+// a non-improving sink, then the next sinks of the near-critical band), so
+// the main thread enqueues the keys the serial loop would demand next and
+// later consumes a speculation only when the serial bookkeeping arrives at
+// exactly that key. The applied result is therefore always the one the
+// serial engine would have computed: the trajectory is bit-identical for
+// every thread count, and parallelism only hides the embedding latency.
+
+struct SpecParams {
+  TimingNodeId sink;
+  CellId sink_cell;
+  double epsilon = 0;
+  bool ff_relocation = false;
+  double repl_cost_mult = 1.0;
+};
+
+struct SpecKey {
+  std::uint32_t cell = 0;
+  std::uint64_t eps_bits = 0;
+  std::uint64_t mult_bits = 0;
+  bool ff = false;
+  bool operator==(const SpecKey&) const = default;
+};
+
+SpecKey key_of(const SpecParams& p) {
+  return SpecKey{static_cast<std::uint32_t>(p.sink_cell.index()),
+                 std::bit_cast<std::uint64_t>(p.epsilon),
+                 std::bit_cast<std::uint64_t>(p.repl_cost_mult),
+                 p.ff_relocation};
+}
+
+struct SpecKeyHash {
+  std::size_t operator()(const SpecKey& k) const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.cell);
+    mix(k.eps_bits);
+    mix(k.mult_bits);
+    mix(k.ff ? 1u : 2u);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Everything one iteration's read-only pipeline produces. Status mirrors
+/// the serial engine's early-out ladder so the main loop can replay the
+/// exact bookkeeping transitions without recomputing anything.
+struct SpecOutcome {
+  enum class Status { kEmptyTree, kTreeTooBig, kNoSolution, kSolution };
+  Status status = Status::kEmptyTree;
+  std::size_t tree_internal = 0;
+  ReplicationTree rt;
+  EmbeddingGraph graph;
+  std::unordered_map<TreeNodeId, EmbedVertexId> embedding;
+  double picked_primary = 0;
+  double picked_cost = 0;
+  double fastest_primary = 0;
+  std::size_t curve_size = 0;
+};
+
+/// The read-only half of one engine iteration: SPT extraction, replication
+/// tree, fanin-tree embedding, solution selection. Runs unchanged on the
+/// live state (main thread) or on a snapshot (speculation worker) — both
+/// produce bit-identical outcomes because the inputs are bit-identical and
+/// the DP is deterministic. `dp_pool` parallelizes the embedder's join
+/// columns (also bit-identical for any pool size); workers pass nullptr and
+/// keep each speculation on one thread.
+SpecOutcome compute_speculation(const Netlist& nl, const Placement& pl,
+                                const TimingGraph& tg, const LinearDelayModel& dm,
+                                const EngineOptions& opt, const SpecParams& sp,
+                                double lower_bound, ThreadPool* dp_pool) {
+  SpecOutcome out;
+  const double crit = tg.critical_delay();
+
+  Spt spt = extract_eps_spt(tg, sp.sink, sp.epsilon);
+  ReplicationTree rt = build_replication_tree(tg, spt);
+  out.tree_internal = rt.num_internal();
+  if (rt.num_internal() == 0) {
+    out.status = SpecOutcome::Status::kEmptyTree;
+    return out;
+  }
+  if (rt.num_internal() > static_cast<std::size_t>(opt.max_tree_internal)) {
+    out.status = SpecOutcome::Status::kTreeTooBig;
+    return out;
+  }
+
+  // Embedding region: terminals' bounding box inflated, clipped to the
+  // logic array (I/O ring is not a legal location for replicas).
+  const int n = pl.grid().n();
+  Rect region;
+  for (TreeNodeId t : rt.tree.post_order()) {
+    const FaninTreeNode& tn = rt.tree.node(t);
+    if (tn.is_leaf() || t == rt.tree.root()) {
+      Point p = tn.fixed_loc;
+      region.include(Point{std::clamp(p.x, 1, n), std::clamp(p.y, 1, n)});
+    }
+  }
+  region = region.inflated(opt.region_margin, n, n);
+  region.xmin = std::max(region.xmin, 1);
+  region.ymin = std::max(region.ymin, 1);
+
+  EmbeddingGraph graph = EmbeddingGraph::make_grid(
+      region, opt.wire_cost_per_unit, dm.wire_delay_per_unit);
+  // Fixed terminals may sit on the I/O ring, outside the logic region;
+  // splice them into the graph with an edge to the nearest region vertex.
+  for (TreeNodeId t : rt.tree.post_order()) {
+    const FaninTreeNode& tn = rt.tree.node(t);
+    if (!tn.is_leaf() && t != rt.tree.root()) continue;
+    Point p = tn.fixed_loc;
+    if (graph.vertex_at(p).valid()) continue;
+    Point q{std::clamp(p.x, region.xmin, region.xmax),
+            std::clamp(p.y, region.ymin, region.ymax)};
+    EmbedVertexId pv = graph.add_vertex(p);
+    EmbedVertexId qv = graph.vertex_at(q);
+    assert(qv.valid());
+    const int d = manhattan(p, q);
+    graph.add_bidi_edge(pv, qv, opt.wire_cost_per_unit * d,
+                        dm.wire_delay_per_unit * d);
+  }
+
+  // Placement cost (Section II-A): congestion plus the replication cost,
+  // discounted to zero on any location holding a logically equivalent
+  // cell; fanout-1 originals get the discount everywhere.
+  const double repl_cost_mult = sp.repl_cost_mult;
+  auto pcost = [&](TreeNodeId i, EmbedVertexId j) -> double {
+    Point p = graph.point(j);
+    if (i == rt.tree.root()) {
+      // The sink itself is never copied; staying put is free, relocation
+      // (Section V-D) pays congestion like any other move.
+      if (p == pl.location(rt.root_info.cell)) return 0.0;
+      if (!pl.grid().is_logic(p)) return 1e9;
+      return opt.occupancy_cost * pl.occupancy(p);
+    }
+    if (!pl.grid().is_logic(p)) return 1e9;  // gates on logic slots only
+    const FaninTreeNode& tn = rt.tree.node(i);
+    for (CellId occ : pl.cells_at(p))
+      if (nl.cell_alive(occ) && nl.equivalent(occ, tn.cell)) return 0.0;
+    double base = opt.occupancy_cost * pl.occupancy(p);
+    if (nl.net(nl.cell(tn.cell).output).sinks.size() <= 1)
+      return base;  // fanout-1: no actual replication will occur
+    return base + opt.replication_cost * repl_cost_mult;
+  };
+
+  EmbedOptions eo = embed_options_for(opt);
+  eo.relocatable_root = sp.ff_relocation;
+  eo.pool = dp_pool;
+  // One embedder per iteration / per speculation: the scratch keeps the
+  // warmed-up label tables on this thread across calls.
+  static thread_local EmbedScratch scratch;
+
+  int pick = -1;
+  {
+    FaninTreeEmbedder embedder(rt.tree, graph, pcost, eo, &scratch);
+    if (!embedder.run()) {
+      out.status = SpecOutcome::Status::kNoSolution;
+      return out;
+    }
+
+    // Solution selection (Section II-C): cheapest solution faster than the
+    // circuit's monotone lower bound; if the bound is unreachable for this
+    // tree, the cheapest among the fastest achievable.
+    const int fastest = embedder.pick_fastest();
+    if (sp.ff_relocation) {
+      // Section V-D: minimize arrival plus the induced penalty on the other
+      // paths launched from the relocated register.
+      double best_score = 0;
+      for (std::size_t k = 0; k < embedder.tradeoff().size(); ++k) {
+        const RootSolution& rs = embedder.tradeoff()[k];
+        Point root_loc = graph.point(rs.vertex);
+        double penalty = 0;
+        TimingNodeId q = tg.out_node(sp.sink_cell);
+        if (q.valid()) {
+          for (std::size_t e : tg.fanout_edges(q)) {
+            Point to_loc = pl.location(tg.node(tg.edge(e).to).cell);
+            penalty = std::max(penalty, tg.arrival(q) +
+                                            dm.wire_delay(root_loc, to_loc) +
+                                            tg.node_intrinsic_delay(tg.edge(e).to) +
+                                            tg.downstream(tg.edge(e).to));
+          }
+        }
+        double score = std::max(rs.delay.primary(), penalty);
+        if (pick < 0 || score < best_score - 1e-12) {
+          best_score = score;
+          pick = static_cast<int>(k);
+        }
+      }
+    } else {
+      // "Cheapest solution that is fast enough" (Section II-C): fast enough
+      // means at or below the circuit's monotone lower bound when this tree
+      // can reach it; otherwise a bounded improvement step over the sink's
+      // current arrival, falling back to the fastest achievable.
+      if (fastest >= 0) {
+        const double fastest_t = embedder.tradeoff()[fastest].delay.primary();
+        const double threshold =
+            std::max({lower_bound, fastest_t,
+                      tg.arrival(sp.sink) - opt.improvement_step_fraction * crit});
+        pick = embedder.pick_cheapest_within(threshold);
+        if (pick < 0) pick = embedder.pick_cheapest_within(fastest_t);
+        // Spend the subcritical budget on the lexicographically fastest
+        // solution within reach — this is where Lex-N converts cost into
+        // broken reconvergence for later iterations.
+        if (pick >= 0) {
+          const double budget =
+              embedder.tradeoff()[pick].cost + opt.subcritical_budget;
+          for (std::size_t k = 0; k < embedder.tradeoff().size(); ++k) {
+            const RootSolution& rs = embedder.tradeoff()[k];
+            if (rs.cost > budget) break;  // tradeoff is cost-sorted
+            if (rs.delay.lex_compare(embedder.tradeoff()[pick].delay) < 0)
+              pick = static_cast<int>(k);
+          }
+        }
+      }
+    }
+    if (pick < 0) {
+      out.status = SpecOutcome::Status::kNoSolution;
+      return out;
+    }
+
+    out.embedding = embedder.extract(pick);
+    out.picked_primary = embedder.tradeoff()[pick].delay.primary();
+    out.picked_cost = embedder.tradeoff()[pick].cost;
+    out.fastest_primary = embedder.tradeoff()[fastest].delay.primary();
+    out.curve_size = embedder.tradeoff().size();
+  }
+
+  out.status = SpecOutcome::Status::kSolution;
+  out.rt = std::move(rt);
+  out.graph = std::move(graph);
+  return out;
+}
+
+/// Copy of the engine's optimization state that speculation workers read
+/// while the main thread mutates the live objects. shared_ptr ownership:
+/// abandoned speculations may still be running when the cache moves on.
+struct EngineSnapshot {
+  std::unique_ptr<Netlist> nl;
+  std::unique_ptr<Placement> pl;
+  std::unique_ptr<TimingGraph> tg;
+};
+
+class SpeculationManager {
+ public:
+  SpeculationManager(ThreadPool* pool, const LinearDelayModel& dm,
+                     const EngineOptions& opt, std::size_t width)
+      : pool_(pool), dm_(dm), opt_(opt), width_(width) {}
+
+  /// Hands the predicted keys to the workers. Creates the state snapshot
+  /// lazily (once per cache generation); entries keyed to an outdated
+  /// replication-cost multiplier are evicted first — they can never be
+  /// demanded again until the multiplier cycles back, and they hold cache
+  /// slots the current predictions need.
+  void prefetch(const Netlist& nl, const Placement& pl, const TimingGraph& tg,
+                double lower_bound, const std::vector<SpecParams>& preds) {
+    if (!pool_ || pool_->num_workers() == 0 || width_ == 0 || preds.empty())
+      return;
+    const std::uint64_t mult_bits =
+        std::bit_cast<std::uint64_t>(preds.front().repl_cost_mult);
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->first.mult_bits != mult_bits) {
+        ++discarded_;
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const SpecParams& p : preds) {
+      if (cache_.size() >= width_) break;
+      SpecKey k = key_of(p);
+      if (cache_.contains(k)) continue;
+      ensure_snapshot(nl, pl, tg);
+      auto snap = snapshot_;
+      const LinearDelayModel* dm = &dm_;
+      const EngineOptions* opt = &opt_;
+      cache_.emplace(k, pool_->submit([snap, p, lower_bound, dm, opt] {
+        // Workers must not perturb the deterministic timing counters the
+        // oracle tests assert on.
+        TimingCounterSuppressor suppress;
+        return compute_speculation(*snap->nl, *snap->pl, *snap->tg, *dm, *opt,
+                                   p, lower_bound, /*dp_pool=*/nullptr);
+      }));
+      ++launched_;
+    }
+  }
+
+  /// The iteration's actual demand. A cache hit joins the worker's future
+  /// (snapshot == live state by construction, so the result is bit-identical
+  /// to computing now); a miss computes inline on the live state, with the
+  /// pool accelerating the embedder's DP columns.
+  SpecOutcome obtain(const Netlist& nl, const Placement& pl,
+                     const TimingGraph& tg, const SpecParams& p,
+                     double lower_bound) {
+    auto it = cache_.find(key_of(p));
+    if (it != cache_.end()) {
+      SpecOutcome out = it->second.get();
+      cache_.erase(it);
+      ++hits_;
+      return out;
+    }
+    return compute_speculation(nl, pl, tg, dm_, opt_, p, lower_bound, pool_);
+  }
+
+  /// The live state changed (a successful apply): every in-flight or cached
+  /// speculation targets a stale snapshot. Drop them; workers still running
+  /// keep the snapshot alive via shared_ptr and their results are ignored.
+  void invalidate() {
+    discarded_ += cache_.size();
+    cache_.clear();
+    snapshot_.reset();
+  }
+
+  std::uint64_t launched() const { return launched_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  void ensure_snapshot(const Netlist& nl, const Placement& pl,
+                       const TimingGraph& tg) {
+    if (snapshot_) return;
+    auto s = std::make_shared<EngineSnapshot>();
+    s->nl = std::make_unique<Netlist>(nl);
+    s->pl = std::make_unique<Placement>(pl.with_netlist(*s->nl));
+    s->tg = std::make_unique<TimingGraph>(tg.rebound_copy(*s->nl, *s->pl));
+    snapshot_ = std::move(s);
+  }
+
+  ThreadPool* pool_;
+  const LinearDelayModel& dm_;
+  const EngineOptions& opt_;
+  std::size_t width_;
+  std::shared_ptr<EngineSnapshot> snapshot_;
+  std::unordered_map<SpecKey, std::future<SpecOutcome>, SpecKeyHash> cache_;
+  std::uint64_t launched_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
 }  // namespace
 
 EngineResult run_replication_engine(Netlist& nl, Placement& pl,
@@ -87,6 +439,20 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
   // incremental deltas (splice + dirty-cone STA) instead of constructing a
   // fresh TimingGraph.
   TimingEngine eng(nl, pl, dm);
+
+  // Thread pool for speculative embedding. Declared before the speculation
+  // manager: abandoned worker tasks may outlive the manager and must finish
+  // (they own their snapshot) before the pool joins in ~ThreadPool.
+  const int threads =
+      opt.num_threads > 0 ? opt.num_threads
+                          : static_cast<int>(ThreadPool::hardware_threads());
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(static_cast<unsigned>(threads));
+  res.num_threads_used = threads;
+  const std::size_t spec_width =
+      opt.speculation_width > 0 ? static_cast<std::size_t>(opt.speculation_width)
+                                : static_cast<std::size_t>(std::max(4, threads + 2));
+  SpeculationManager spec(pool.get(), dm, opt, spec_width);
 
   Snapshot best;
   double lower_bound = 0;
@@ -150,26 +516,31 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
       }
     }
 
-    // Choose the slowest sink in the near-critical band that is not stuck
-    // (stuck entries are retried once their arrival has changed).
+    // The near-critical band, slowest first. Also the speculation horizon:
+    // sinks after the selected one are what the serial schedule turns to
+    // next when the current sink parks.
+    std::vector<TimingNodeId> band = tg.sinks();
+    std::sort(band.begin(), band.end(), [&](TimingNodeId a, TimingNodeId b) {
+      return tg.arrival(a) > tg.arrival(b);
+    });
+
+    // Choose the slowest sink in the band that is not stuck (stuck entries
+    // are retried once their arrival has changed).
     TimingNodeId sink;
-    {
-      std::vector<TimingNodeId> band = tg.sinks();
-      std::sort(band.begin(), band.end(), [&](TimingNodeId a, TimingNodeId b) {
-        return tg.arrival(a) > tg.arrival(b);
-      });
-      for (TimingNodeId s : band) {
-        if (tg.arrival(s) < crit * 0.75) break;
-        CellId c = tg.node(s).cell;
-        auto it = stuck_at.find(c);
-        // Retry a parked sink only on a meaningful arrival change; a 1e-9
-        // threshold lets unification-induced wiggles re-arm sinks forever.
-        if (it != stuck_at.end() && tg.arrival(s) >= it->second - 0.002 * crit)
-          continue;
-        if (it != stuck_at.end()) stuck_at.erase(it);
-        sink = s;
-        break;
-      }
+    std::size_t sink_band_pos = 0;
+    for (std::size_t b = 0; b < band.size(); ++b) {
+      TimingNodeId s = band[b];
+      if (tg.arrival(s) < crit * 0.75) break;
+      CellId c = tg.node(s).cell;
+      auto it = stuck_at.find(c);
+      // Retry a parked sink only on a meaningful arrival change; a 1e-9
+      // threshold lets unification-induced wiggles re-arm sinks forever.
+      if (it != stuck_at.end() && tg.arrival(s) >= it->second - 0.002 * crit)
+        continue;
+      if (it != stuck_at.end()) stuck_at.erase(it);
+      sink = s;
+      sink_band_pos = b;
+      break;
     }
     if (!sink.valid()) {
       res.history.push_back(is);
@@ -207,14 +578,51 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
                                nl.cell(sink_cell).registered;
     is.ff_relocation = ff_relocation;
 
-    Spt spt = extract_eps_spt(tg, sink, epsilon);
-    ReplicationTree rt = build_replication_tree(tg, spt);
-    is.tree_internal = rt.num_internal();
-    if (rt.num_internal() == 0) {
+    const SpecParams current{sink, sink_cell, epsilon, ff_relocation,
+                             repl_cost_mult};
+
+    // Predict where the serial schedule goes if this iteration fails to
+    // change the state (every failure path leaves nl/pl/timing bit-intact,
+    // so these keys stay demandable until the next successful apply):
+    //  1. the epsilon ladder on this sink — replays the exact bookkeeping
+    //     above, including the repeated-addition epsilon accumulation (FP
+    //     bit-exactness) and the ff-relocation escalation;
+    //  2. the band sinks after this one — what selection falls to once this
+    //     sink parks (fresh sink: epsilon 0, no ff escalation).
+    std::vector<SpecParams> predictions;
+    {
+      const bool sink_is_ff = opt.enable_ff_relocation &&
+                              nl.cell(sink_cell).kind == CellKind::kLogic &&
+                              nl.cell(sink_cell).registered;
+      int k = nonimprove_for_sink;
+      double e = epsilon;
+      const double step = opt.eps_step_fraction * crit;
+      while (true) {
+        ++k;
+        e += step;
+        if (k > opt.max_eps_steps) break;
+        predictions.push_back(
+            SpecParams{sink, sink_cell, e, sink_is_ff && k >= 3, repl_cost_mult});
+      }
+      for (std::size_t b = sink_band_pos + 1; b < band.size(); ++b) {
+        TimingNodeId s = band[b];
+        if (tg.arrival(s) < crit * 0.75) break;
+        CellId c = tg.node(s).cell;
+        auto it = stuck_at.find(c);
+        if (it != stuck_at.end() && tg.arrival(s) >= it->second - 0.002 * crit)
+          continue;
+        predictions.push_back(SpecParams{s, c, 0.0, false, repl_cost_mult});
+      }
+    }
+    spec.prefetch(nl, pl, tg, lower_bound, predictions);
+
+    SpecOutcome oc = spec.obtain(nl, pl, tg, current, lower_bound);
+    is.tree_internal = oc.tree_internal;
+    if (oc.status == SpecOutcome::Status::kEmptyTree) {
       res.history.push_back(is);
       continue;  // nothing movable; the epsilon schedule advances
     }
-    if (rt.num_internal() > static_cast<std::size_t>(opt.max_tree_internal)) {
+    if (oc.status == SpecOutcome::Status::kTreeTooBig) {
       // Too large to embed within the runtime budget; park this sink (other
       // near-critical sinks may have smaller cones) and move on.
       stuck_at[sink_cell] = tg.arrival(sink);
@@ -223,144 +631,22 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
       res.history.push_back(is);
       continue;
     }
-
-    // Embedding region: terminals' bounding box inflated, clipped to the
-    // logic array (I/O ring is not a legal location for replicas).
-    const int n = pl.grid().n();
-    Rect region;
-    for (TreeNodeId t : rt.tree.post_order()) {
-      const FaninTreeNode& tn = rt.tree.node(t);
-      if (tn.is_leaf() || t == rt.tree.root()) {
-        Point p = tn.fixed_loc;
-        region.include(Point{std::clamp(p.x, 1, n), std::clamp(p.y, 1, n)});
-      }
-    }
-    region = region.inflated(opt.region_margin, n, n);
-    region.xmin = std::max(region.xmin, 1);
-    region.ymin = std::max(region.ymin, 1);
-
-    EmbeddingGraph graph = EmbeddingGraph::make_grid(
-        region, opt.wire_cost_per_unit, dm.wire_delay_per_unit);
-    // Fixed terminals may sit on the I/O ring, outside the logic region;
-    // splice them into the graph with an edge to the nearest region vertex.
-    for (TreeNodeId t : rt.tree.post_order()) {
-      const FaninTreeNode& tn = rt.tree.node(t);
-      if (!tn.is_leaf() && t != rt.tree.root()) continue;
-      Point p = tn.fixed_loc;
-      if (graph.vertex_at(p).valid()) continue;
-      Point q{std::clamp(p.x, region.xmin, region.xmax),
-              std::clamp(p.y, region.ymin, region.ymax)};
-      EmbedVertexId pv = graph.add_vertex(p);
-      EmbedVertexId qv = graph.vertex_at(q);
-      assert(qv.valid());
-      const int d = manhattan(p, q);
-      graph.add_bidi_edge(pv, qv, opt.wire_cost_per_unit * d,
-                          dm.wire_delay_per_unit * d);
-    }
-
-    // Placement cost (Section II-A): congestion plus the replication cost,
-    // discounted to zero on any location holding a logically equivalent
-    // cell; fanout-1 originals get the discount everywhere.
-    auto pcost = [&](TreeNodeId i, EmbedVertexId j) -> double {
-      Point p = graph.point(j);
-      if (i == rt.tree.root()) {
-        // The sink itself is never copied; staying put is free, relocation
-        // (Section V-D) pays congestion like any other move.
-        if (p == pl.location(rt.root_info.cell)) return 0.0;
-        if (!pl.grid().is_logic(p)) return 1e9;
-        return opt.occupancy_cost * pl.occupancy(p);
-      }
-      if (!pl.grid().is_logic(p)) return 1e9;  // gates on logic slots only
-      const FaninTreeNode& tn = rt.tree.node(i);
-      for (CellId occ : pl.cells_at(p))
-        if (nl.cell_alive(occ) && nl.equivalent(occ, tn.cell)) return 0.0;
-      double base = opt.occupancy_cost * pl.occupancy(p);
-      if (nl.net(nl.cell(tn.cell).output).sinks.size() <= 1)
-        return base;  // fanout-1: no actual replication will occur
-      return base + opt.replication_cost * repl_cost_mult;
-    };
-
-    EmbedOptions eo = embed_options_for(opt);
-    eo.relocatable_root = ff_relocation;
-    FaninTreeEmbedder embedder(rt.tree, graph, pcost, eo);
-    if (!embedder.run()) {
-      res.history.push_back(is);
-      continue;
-    }
-
-    // Solution selection (Section II-C): cheapest solution faster than the
-    // circuit's monotone lower bound; if the bound is unreachable for this
-    // tree, the cheapest among the fastest achievable.
-    int pick = -1;
-    if (ff_relocation) {
-      // Section V-D: minimize arrival plus the induced penalty on the other
-      // paths launched from the relocated register.
-      double best_score = 0;
-      for (std::size_t k = 0; k < embedder.tradeoff().size(); ++k) {
-        const RootSolution& rs = embedder.tradeoff()[k];
-        Point root_loc = graph.point(rs.vertex);
-        double penalty = 0;
-        TimingNodeId q = tg.out_node(sink_cell);
-        if (q.valid()) {
-          for (std::size_t e : tg.fanout_edges(q)) {
-            Point to_loc = pl.location(tg.node(tg.edge(e).to).cell);
-            penalty = std::max(penalty, tg.arrival(q) +
-                                            dm.wire_delay(root_loc, to_loc) +
-                                            tg.node_intrinsic_delay(tg.edge(e).to) +
-                                            tg.downstream(tg.edge(e).to));
-          }
-        }
-        double score = std::max(rs.delay.primary(), penalty);
-        if (pick < 0 || score < best_score - 1e-12) {
-          best_score = score;
-          pick = static_cast<int>(k);
-        }
-      }
-    } else {
-      // "Cheapest solution that is fast enough" (Section II-C): fast enough
-      // means at or below the circuit's monotone lower bound when this tree
-      // can reach it; otherwise a bounded improvement step over the sink's
-      // current arrival, falling back to the fastest achievable.
-      const int fastest = embedder.pick_fastest();
-      if (fastest >= 0) {
-        const double fastest_t = embedder.tradeoff()[fastest].delay.primary();
-        const double threshold =
-            std::max({lower_bound, fastest_t,
-                      tg.arrival(sink) - opt.improvement_step_fraction * crit});
-        pick = embedder.pick_cheapest_within(threshold);
-        if (pick < 0) pick = embedder.pick_cheapest_within(fastest_t);
-        // Spend the subcritical budget on the lexicographically fastest
-        // solution within reach — this is where Lex-N converts cost into
-        // broken reconvergence for later iterations.
-        if (pick >= 0) {
-          const double budget =
-              embedder.tradeoff()[pick].cost + opt.subcritical_budget;
-          for (std::size_t k = 0; k < embedder.tradeoff().size(); ++k) {
-            const RootSolution& rs = embedder.tradeoff()[k];
-            if (rs.cost > budget) break;  // tradeoff is cost-sorted
-            if (rs.delay.lex_compare(embedder.tradeoff()[pick].delay) < 0)
-              pick = static_cast<int>(k);
-          }
-        }
-      }
-    }
-    if (pick < 0) {
+    if (oc.status == SpecOutcome::Status::kNoSolution) {
       res.history.push_back(is);
       continue;
     }
 
     LOG_DEBUG() << "iter " << iter << " sink=" << nl.cell(sink_cell).name
                 << " arr=" << tg.arrival(sink) << " crit=" << crit
-                << " eps=" << epsilon << " tree=" << rt.num_internal()
-                << " fastest="
-                << embedder.tradeoff()[embedder.pick_fastest()].delay.primary()
-                << " picked_t=" << embedder.tradeoff()[pick].delay.primary()
-                << " picked_cost=" << embedder.tradeoff()[pick].cost
-                << " curve=" << embedder.tradeoff().size();
+                << " eps=" << epsilon << " tree=" << oc.tree_internal
+                << " fastest=" << oc.fastest_primary
+                << " picked_t=" << oc.picked_primary
+                << " picked_cost=" << oc.picked_cost
+                << " curve=" << oc.curve_size;
     iteration_start.take(nl, pl, crit);
     eng.commit();  // rollback point must match the snapshot just taken
-    auto embedding = embedder.extract(pick);
-    ExtractionStats ex = apply_embedding(nl, pl, rt, embedding, graph, &eng);
+    ExtractionStats ex =
+        apply_embedding(nl, pl, oc.rt, oc.embedding, oc.graph, &eng);
     UnificationStats un =
         postprocess_unification(nl, pl, dm, opt.aggressive_unification, &eng);
     LegalizerResult leg = legalize_timing_driven(nl, pl, dm, opt.legalizer, &eng);
@@ -368,7 +654,10 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
     if (!leg.success) {
       // Out of free slots (Section VII-B): roll this iteration back and
       // make replication more expensive so the embedder favors relocation
-      // and unification on the next attempts.
+      // and unification on the next attempts. The rollback is bit-exact
+      // (Netlist/Placement copy-assign + TimingEngine shadow restore), so
+      // cached speculations against the pre-iteration state stay valid —
+      // only entries keyed to the old cost multiplier become unreachable.
       nl = *iteration_start.nl;
       pl = iteration_start.pl->with_netlist(nl);
       eng.rollback();
@@ -394,6 +683,9 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
         continue;
       }
     }
+
+    // The iteration stuck: the live state diverged from every snapshot.
+    spec.invalidate();
 
     replicated_cum += ex.replicated;
     unified_cum += ex.deleted + un.cells_deleted + leg.unifications;
@@ -424,6 +716,9 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
   res.final_blocks = nl.num_live_cells();
   res.total_replicated = replicated_cum;
   res.total_unified = unified_cum;
+  res.speculations_launched = spec.launched();
+  res.speculation_hits = spec.hits();
+  res.speculations_discarded = spec.discarded();
   return res;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,17 @@ struct EngineOptions {
   bool aggressive_unification = true;  ///< Section V-C / VII-B strategy
   bool enable_ff_relocation = true;    ///< Section V-D
   LegalizerOptions legalizer;
+
+  /// Threads for speculative embedding and the parallel embedder join
+  /// (0 = hardware concurrency, 1 = fully serial). The optimization
+  /// trajectory is bit-identical for every value: speculation only
+  /// *prefetches* the embeddings the serial schedule would compute anyway,
+  /// and a speculative result is consumed only when the serial selection
+  /// logic demands exactly that (sink, epsilon, ff, cost-multiplier) key.
+  int num_threads = 0;
+  /// Maximum speculative embeddings in flight per placement snapshot
+  /// (0 = auto: max(4, threads + 2)).
+  int speculation_width = 0;
 };
 
 /// Per-iteration record (drives the Fig. 14 statistics).
@@ -99,6 +111,12 @@ struct EngineResult {
   bool reached_lower_bound = false;  ///< Section VII-B monotone bound
   double lower_bound = 0;
   std::vector<IterationStats> history;
+
+  /// Parallel speculation accounting (docs/ALGORITHMS.md §11).
+  int num_threads_used = 1;
+  std::uint64_t speculations_launched = 0;   ///< prefetches handed to workers
+  std::uint64_t speculation_hits = 0;        ///< iterations served from cache
+  std::uint64_t speculations_discarded = 0;  ///< invalidated before use
 };
 
 /// The paper's optimization engine (Fig. 10/11): starting from a legal

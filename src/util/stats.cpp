@@ -21,7 +21,7 @@ double StatAccumulator::variance() const {
 
 namespace {
 TimingCounters g_timing_counters;
-bool g_timing_counters_suppressed = false;
+thread_local bool g_timing_counters_suppressed = false;
 }  // namespace
 
 TimingCounters& timing_counters() { return g_timing_counters; }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -36,26 +37,40 @@ class StatAccumulator {
 /// Tests assert on these (e.g. "zero graph rebuilds inside the replication
 /// engine's main loop") and the benches report them, so the incremental win
 /// is observable rather than asserted.
+///
+/// The fields are atomics: the replication engine's speculation workers run
+/// oracle-style TimingGraph constructions and STA sweeps on worker threads,
+/// and those must neither corrupt the counts nor race with readers.
 struct TimingCounters {
-  std::uint64_t graph_builds = 0;        ///< TimingGraph constructions (bootstrap/oracle)
-  std::uint64_t full_sta_passes = 0;     ///< complete run_sta sweeps (all edges + all nodes)
-  std::uint64_t engine_resyncs = 0;      ///< TimingEngine full in-place rebuilds
-  std::uint64_t incremental_updates = 0; ///< TimingEngine::update() calls served incrementally
-  std::uint64_t nodes_reevaluated = 0;   ///< arrival/downstream recomputes on the delta path
-  std::uint64_t edges_redelayed = 0;     ///< edge-delay recomputes on the delta path
-  std::uint64_t rebuilds_avoided = 0;    ///< updates that would have been full rebuilds before
-  std::uint64_t paranoid_checks = 0;     ///< incremental-vs-oracle cross-checks performed
+  std::atomic<std::uint64_t> graph_builds{0};        ///< TimingGraph constructions (bootstrap/oracle)
+  std::atomic<std::uint64_t> full_sta_passes{0};     ///< complete run_sta sweeps (all edges + all nodes)
+  std::atomic<std::uint64_t> engine_resyncs{0};      ///< TimingEngine full in-place rebuilds
+  std::atomic<std::uint64_t> incremental_updates{0}; ///< TimingEngine::update() calls served incrementally
+  std::atomic<std::uint64_t> nodes_reevaluated{0};   ///< arrival/downstream recomputes on the delta path
+  std::atomic<std::uint64_t> edges_redelayed{0};     ///< edge-delay recomputes on the delta path
+  std::atomic<std::uint64_t> rebuilds_avoided{0};    ///< updates that would have been full rebuilds before
+  std::atomic<std::uint64_t> paranoid_checks{0};     ///< incremental-vs-oracle cross-checks performed
 
-  void reset() { *this = TimingCounters{}; }
+  void reset() {
+    graph_builds = 0;
+    full_sta_passes = 0;
+    engine_resyncs = 0;
+    incremental_updates = 0;
+    nodes_reevaluated = 0;
+    edges_redelayed = 0;
+    rebuilds_avoided = 0;
+    paranoid_checks = 0;
+  }
 };
 
-/// The global timing counter instance (not thread-safe; the flow is
-/// single-threaded).
+/// The global timing counter instance (thread-safe: atomic fields).
 TimingCounters& timing_counters();
 
-/// RAII guard that suppresses timing-counter accounting in the current scope.
-/// The paranoid oracle rebuild uses this so cross-check TimingGraph
-/// constructions do not pollute the "rebuilds avoided" evidence.
+/// RAII guard that suppresses timing-counter accounting in the current scope
+/// of the current thread (the flag is thread-local, so a suppressor on one
+/// thread does not hide work done concurrently by others). The paranoid
+/// oracle rebuild uses this so cross-check TimingGraph constructions do not
+/// pollute the "rebuilds avoided" evidence.
 class TimingCounterSuppressor {
  public:
   TimingCounterSuppressor();

@@ -37,6 +37,7 @@ struct Args {
   double scale = 0.25;
   std::uint64_t seed = 7;
   std::string variant = "lex3";
+  int threads = 0;
   std::string place_in;
   std::string out_blif;
   std::string out_place;
@@ -54,6 +55,8 @@ int usage() {
       "  --seed N           generator/annealer seed (default 7)\n"
       "  --place FILE       load an initial placement instead of annealing\n"
       "  --variant V        rt|lex2|lex3|lex4|lex5|mc|local|none (default lex3)\n"
+      "  --threads N        speculation threads (0 = hardware, 1 = serial;\n"
+      "                     results are identical for every value)\n"
       "  --route            evaluate routed W_inf / W_ls critical paths\n"
       "  --out-blif FILE    write the optimized netlist\n"
       "  --out-place FILE   write the final placement\n"
@@ -91,6 +94,9 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (!std::strcmp(arg, "--variant")) {
       if (!(v = need(arg))) return false;
       a.variant = v;
+    } else if (!std::strcmp(arg, "--threads")) {
+      if (!(v = need(arg))) return false;
+      a.threads = std::atoi(v);
     } else if (!std::strcmp(arg, "--route")) {
       a.do_route = true;
     } else if (!std::strcmp(arg, "--out-blif")) {
@@ -191,6 +197,7 @@ int main(int argc, char** argv) {
     else if (args.variant == "lex5") opt.variant = EmbedVariant::kLex5;
     else if (args.variant == "mc") opt.variant = EmbedVariant::kLexMc;
     else return usage();
+    opt.num_threads = args.threads > 0 ? args.threads : cfg.num_threads;
     EngineResult r = run_replication_engine(*nl, *pl, cfg.delay, opt);
     std::printf("%s: %.2f -> %.2f ns over %zu iterations "
                 "(%d replicated, %d unified)%s\n",
