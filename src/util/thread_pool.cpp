@@ -21,6 +21,10 @@ ThreadPool::ThreadPool(unsigned threads) : num_threads_(std::max(1u, threads)) {
 
 ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.request_stop();
+  // Locking idle_mu_ before notifying closes the lost-wakeup window: a worker
+  // that evaluated its wait predicate as false cannot block on idle_cv_ until
+  // we release the mutex, so it is guaranteed to observe the notify.
+  { std::lock_guard<std::mutex> lk(idle_mu_); }
   idle_cv_.notify_all();
   workers_.clear();  // joins
 }
@@ -28,11 +32,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::push_task(std::function<void()> task) {
   const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                      static_cast<unsigned>(queues_.size());
+  // pending_ goes up before the task is visible so workers never decrement it
+  // below zero after a successful pop.
+  pending_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(queues_[q]->mu);
     queues_[q]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  // Same lost-wakeup fence as in the destructor: synchronize with any worker
+  // mid-way between predicate check and blocking before notifying.
+  { std::lock_guard<std::mutex> lk(idle_mu_); }
   idle_cv_.notify_one();
 }
 
