@@ -26,6 +26,12 @@ FlowConfig config_from_env() {
     cfg.annealer.inner_num = 0.3;
   }
   if (const char* t = std::getenv("REPRO_THREADS")) cfg.num_threads = std::atoi(t);
+  if (const char* v = std::getenv("REPRO_ROUTE_ASTAR"))
+    cfg.router.use_astar = v[0] != '0';
+  if (const char* v = std::getenv("REPRO_ROUTE_INCREMENTAL"))
+    cfg.router.incremental_reroute = v[0] != '0';
+  if (const char* v = std::getenv("REPRO_ROUTE_WARM"))
+    cfg.router.warm_start_wmin = v[0] != '0';
   return cfg;
 }
 
@@ -92,22 +98,35 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
     eng.retime_with_wire_lengths(nullptr);
   };
 
+  auto count_route = [&m](const RoutingResult& r) {
+    m.route_nodes_expanded += r.nodes_expanded;
+    m.route_passes += static_cast<std::uint64_t>(r.iterations);
+  };
+
   // Infinite-resource routing: the placement-evaluation metric of Table I.
   RouterOptions inf = cfg.router;
   inf.channel_width = 0;
   RoutingResult r_inf = route(nl, pl, inf, crit_fn);
+  count_route(r_inf);
   retime_from(r_inf);
   r_inf = route(nl, pl, inf, crit_fn);
+  count_route(r_inf);
   m.crit_winf = routed_critical_delay(eng, r_inf);
   m.wirelength = r_inf.total_wirelength;
 
   if (cfg.route_lowstress) {
-    m.wmin = find_min_channel_width(nl, pl, cfg.router);
+    WminSearchStats wstats;
+    m.wmin = find_min_channel_width(nl, pl, cfg.router, &wstats);
+    m.route_nodes_expanded += wstats.nodes_expanded;
+    for (const WminProbeStats& p : wstats.probes)
+      m.route_passes += static_cast<std::uint64_t>(p.passes);
     RouterOptions ls = cfg.router;
     ls.channel_width = static_cast<int>(std::ceil(1.2 * m.wmin));
     RoutingResult r_ls = route(nl, pl, ls, crit_fn);
+    count_route(r_ls);
     retime_from(r_ls);
     r_ls = route(nl, pl, ls, crit_fn);
+    count_route(r_ls);
     m.crit_wls = routed_critical_delay(eng, r_ls);
     m.wirelength = r_ls.total_wirelength;
   } else {

@@ -37,6 +37,9 @@ struct FlowConfig {
 
 /// Reads REPRO_SCALE / REPRO_QUICK / REPRO_THREADS environment variables so
 /// the bench binaries can be re-run at other scales without rebuilding.
+/// Router fast-path knobs: REPRO_ROUTE_ASTAR / REPRO_ROUTE_INCREMENTAL /
+/// REPRO_ROUTE_WARM (each 0 or 1) toggle RouterOptions::use_astar /
+/// incremental_reroute / warm_start_wmin.
 FlowConfig config_from_env();
 
 /// A generated circuit placed by the timing-driven annealer ("VPR" baseline)
@@ -64,6 +67,10 @@ struct CircuitMetrics {
   int fpga_n = 0;
   double density = 0;
   double route_seconds = 0;
+  /// Hardware-independent router work: maze nodes expanded and negotiation
+  /// passes across every route()/W_min call of this evaluation.
+  std::uint64_t route_nodes_expanded = 0;
+  std::uint64_t route_passes = 0;
 };
 
 /// Routes and times the design in both modes of Section VII.

@@ -98,6 +98,33 @@ TEST_P(RouterSweep, InfiniteWirelengthLowerBoundsConstrained) {
   EXPECT_LE(inf.total_wirelength, con.total_wirelength * 1.02 + 4);
 }
 
+TEST_P(RouterSweep, WminAgreesAcrossSearchModes) {
+  // The fast path (A*, incremental rip-up, warm-started probes, stall abort)
+  // must find the same minimum width as the conservative full search.
+  Rig rig(GetParam());
+  RouterOptions fast;  // defaults: all fast-path features on
+  RouterOptions conservative;
+  conservative.use_astar = false;
+  conservative.incremental_reroute = false;
+  conservative.warm_start_wmin = false;
+  conservative.stall_abort_window = 0;
+  EXPECT_EQ(find_min_channel_width(rig.nl, rig.pl, fast),
+            find_min_channel_width(rig.nl, rig.pl, conservative));
+}
+
+TEST_P(RouterSweep, SelfCheckedRouteAtWmin) {
+  // The occupancy-recomputation self-check must hold at the tightest width,
+  // where the incremental rip-up bookkeeping is most stressed.
+  Rig rig(GetParam());
+  int wmin = find_min_channel_width(rig.nl, rig.pl);
+  RouterOptions opt;
+  opt.channel_width = wmin;
+  opt.self_check = true;
+  RoutingResult r = route(rig.nl, rig.pl, opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.connection_length.size(), rig.num_connections());
+}
+
 TEST_P(RouterSweep, CriticalityRoutingHelpsRoutedDelay) {
   Rig rig(GetParam());
   LinearDelayModel dm;

@@ -43,6 +43,10 @@ struct Args {
   std::string out_place;
   std::string svg;
   bool do_route = false;
+  // Router fast-path knobs (-1 = keep the FlowConfig/env default).
+  int route_astar = -1;
+  int route_incremental = -1;
+  int route_warm = -1;
   bool verbose = false;
 };
 
@@ -58,6 +62,9 @@ int usage() {
       "  --threads N        speculation threads (0 = hardware, 1 = serial;\n"
       "                     results are identical for every value)\n"
       "  --route            evaluate routed W_inf / W_ls critical paths\n"
+      "  --route-astar 0|1        A* lookahead in the maze router (default 1)\n"
+      "  --route-incremental 0|1  rip up only illegal nets per pass (default 1)\n"
+      "  --route-warm 0|1         warm-started W_min binary search (default 1)\n"
       "  --out-blif FILE    write the optimized netlist\n"
       "  --out-place FILE   write the final placement\n"
       "  --svg FILE         write a placement/criticality SVG\n"
@@ -99,6 +106,15 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.threads = std::atoi(v);
     } else if (!std::strcmp(arg, "--route")) {
       a.do_route = true;
+    } else if (!std::strcmp(arg, "--route-astar")) {
+      if (!(v = need(arg))) return false;
+      a.route_astar = std::atoi(v);
+    } else if (!std::strcmp(arg, "--route-incremental")) {
+      if (!(v = need(arg))) return false;
+      a.route_incremental = std::atoi(v);
+    } else if (!std::strcmp(arg, "--route-warm")) {
+      if (!(v = need(arg))) return false;
+      a.route_warm = std::atoi(v);
     } else if (!std::strcmp(arg, "--out-blif")) {
       if (!(v = need(arg))) return false;
       a.out_blif = v;
@@ -128,6 +144,10 @@ int main(int argc, char** argv) {
   FlowConfig cfg = config_from_env();
   cfg.scale = args.scale;
   cfg.seed = args.seed;
+  if (args.route_astar >= 0) cfg.router.use_astar = args.route_astar != 0;
+  if (args.route_incremental >= 0)
+    cfg.router.incremental_reroute = args.route_incremental != 0;
+  if (args.route_warm >= 0) cfg.router.warm_start_wmin = args.route_warm != 0;
 
   // ---- obtain a netlist -----------------------------------------------------
   std::unique_ptr<Netlist> nl;
@@ -222,9 +242,12 @@ int main(int argc, char** argv) {
   // ---- route / outputs ----------------------------------------------------------
   if (args.do_route) {
     CircuitMetrics m = evaluate_routed(name, *nl, *pl, cfg);
-    std::printf("routed: W_inf %.2f ns | W_ls %.2f ns (Wmin %d) | wirelength %lld\n",
-                m.crit_winf, m.crit_wls, m.wmin,
-                static_cast<long long>(m.wirelength));
+    std::printf(
+        "routed: W_inf %.2f ns | W_ls %.2f ns (Wmin %d) | wirelength %lld | "
+        "%llu nodes expanded in %llu passes\n",
+        m.crit_winf, m.crit_wls, m.wmin, static_cast<long long>(m.wirelength),
+        static_cast<unsigned long long>(m.route_nodes_expanded),
+        static_cast<unsigned long long>(m.route_passes));
   }
   try {
     if (!args.out_blif.empty()) {
