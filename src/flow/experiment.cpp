@@ -18,14 +18,37 @@ double now_seconds() {
 
 }  // namespace
 
+double env_double(const char* name, double fallback, double min_exclusive) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  // Reject trailing garbage, non-finite values and out-of-range values so a
+  // typo'd knob degrades to the default instead of silently zeroing a scale
+  // or aborting a batch.
+  if (end == s || *end != '\0' || !std::isfinite(v) || v <= min_exclusive)
+    return fallback;
+  return v;
+}
+
+long env_long(const char* name, long fallback, long min_inclusive) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < min_inclusive) return fallback;
+  return v;
+}
+
 FlowConfig config_from_env() {
   FlowConfig cfg;
-  if (const char* s = std::getenv("REPRO_SCALE")) cfg.scale = std::atof(s);
+  cfg.scale = env_double("REPRO_SCALE", cfg.scale, 0.0);
   if (const char* q = std::getenv("REPRO_QUICK"); q && q[0] == '1') {
     cfg.scale = std::min(cfg.scale, 0.1);
     cfg.annealer.inner_num = 0.3;
   }
-  if (const char* t = std::getenv("REPRO_THREADS")) cfg.num_threads = std::atoi(t);
+  cfg.num_threads =
+      static_cast<int>(env_long("REPRO_THREADS", cfg.num_threads, 0));
   if (const char* v = std::getenv("REPRO_ROUTE_ASTAR"))
     cfg.router.use_astar = v[0] != '0';
   if (const char* v = std::getenv("REPRO_ROUTE_INCREMENTAL"))

@@ -39,8 +39,16 @@ struct FlowConfig {
 /// the bench binaries can be re-run at other scales without rebuilding.
 /// Router fast-path knobs: REPRO_ROUTE_ASTAR / REPRO_ROUTE_INCREMENTAL /
 /// REPRO_ROUTE_WARM (each 0 or 1) toggle RouterOptions::use_astar /
-/// incremental_reroute / warm_start_wmin.
+/// incremental_reroute / warm_start_wmin. Malformed values (trailing
+/// garbage, non-finite, out of range) fall back to the defaults — a bad
+/// knob must never abort or zero a batch.
 FlowConfig config_from_env();
+
+/// Validated env parsing shared with the serve layer: returns `fallback`
+/// unless the variable parses cleanly and exceeds `min_exclusive` (for
+/// doubles) / reaches `min_inclusive` (for longs).
+double env_double(const char* name, double fallback, double min_exclusive);
+long env_long(const char* name, long fallback, long min_inclusive);
 
 /// A generated circuit placed by the timing-driven annealer ("VPR" baseline)
 /// on its minimum square FPGA.

@@ -150,6 +150,12 @@ class Netlist {
   std::string validate() const;
 
  private:
+  /// Binary checkpoint I/O (src/serve/snapshot.cpp) restores the private
+  /// state verbatim: replication leaves dead cells with stable ids that the
+  /// public construction API cannot recreate, and bit-identical resume
+  /// requires the exact id space and eq-class layout.
+  friend struct SnapshotAccess;
+
   NetId new_net(std::string name, CellId driver);
   EqClassId new_eq_class(CellId first);
 

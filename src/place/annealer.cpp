@@ -249,8 +249,10 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
   const double num_nets = std::max<double>(1.0, static_cast<double>(nl.live_nets().size()));
   int temp_iter = 0;
   while (true) {
+    if (opt.cancel) opt.cancel->check("anneal");
     int accepted = 0;
     for (int m = 0; m < moves_per_temp; ++m) {
+      if (opt.cancel && (m & 0xFFF) == 0xFFF) opt.cancel->check("anneal");
       CellId a;
       CellId b;
       Point af;

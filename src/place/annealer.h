@@ -6,6 +6,7 @@
 #include "arch/fpga_grid.h"
 #include "netlist/netlist.h"
 #include "place/placement.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace repro {
@@ -29,6 +30,9 @@ struct AnnealerOptions {
   double inner_num = 1.0;
   bool timing_driven = true;  ///< false = pure wirelength-driven VPlace
   std::uint64_t seed = 1;
+  /// Cooperative cancellation (flow service stage timeouts): checked once
+  /// per temperature and every few thousand moves; throws FlowCancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Places a netlist on a grid with timing-driven simulated annealing and

@@ -70,6 +70,11 @@ class Placement {
   Placement with_netlist(const Netlist& nl) const;
 
  private:
+  /// Binary checkpoint I/O (src/serve/snapshot.cpp): occupant-list order is
+  /// consulted by downstream RNG-driven code (annealer swaps), so resume
+  /// restores it exactly instead of re-placing cells in id order.
+  friend struct SnapshotAccess;
+
   const Netlist* nl_;
   const FpgaGrid* grid_;
   std::vector<Point> loc_;

@@ -485,6 +485,7 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
 
   int stagnant_iterations = 0;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    if (opt.cancel) opt.cancel->check("replicate");
     const TimingGraph& tg = eng.updated();
     const double crit = tg.critical_delay();
     if (crit < best.crit - 1e-9) {

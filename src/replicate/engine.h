@@ -8,6 +8,7 @@
 #include "netlist/netlist.h"
 #include "place/legalizer.h"
 #include "place/placement.h"
+#include "util/cancel.h"
 
 namespace repro {
 
@@ -84,6 +85,11 @@ struct EngineOptions {
   /// Maximum speculative embeddings in flight per placement snapshot
   /// (0 = auto: max(4, threads + 2)).
   int speculation_width = 0;
+
+  /// Cooperative cancellation (flow service stage timeouts): checked once
+  /// per engine iteration; throws FlowCancelled. In-flight speculative
+  /// embeddings drain safely during unwind (they own their snapshot).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-iteration record (drives the Fig. 14 statistics).

@@ -96,6 +96,7 @@ class PathFinder {
             : opt_.max_iterations;
 
     for (int pass = 0; pass < max_passes; ++pass) {
+      if (opt_.cancel) opt_.cancel->check("route");
       // Occupancy index: flag overused edges, then select the nets whose
       // routes touch one (plus never-routed / partially-unrouted nets).
       int overused_now = 0;

@@ -7,6 +7,7 @@
 #include "arch/delay_model.h"
 #include "netlist/netlist.h"
 #include "place/placement.h"
+#include "util/cancel.h"
 #include "util/ids.h"
 
 namespace repro {
@@ -77,6 +78,11 @@ struct RouterOptions {
   /// maze search and count cost mismatches in
   /// RoutingResult::lookahead_mismatches. Doubles the search work.
   bool verify_lookahead = false;
+
+  /// Cooperative cancellation (flow service stage timeouts): checked once
+  /// per negotiation pass, including every W_min probe pass; throws
+  /// FlowCancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Routed source-to-sink wire lengths, keyed by (sink cell, input pin), in a

@@ -1,0 +1,100 @@
+#include "serve/scheduler.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+
+namespace repro {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void bump_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SchedulerOptions& opt) : opt_(opt) {}
+
+RunOutcome Scheduler::run_one(const std::function<void(int attempt)>& fn) {
+  RunOutcome out;
+  const auto run_start = std::chrono::steady_clock::now();
+  double backoff = opt_.retry_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    try {
+      fn(attempt);
+      out.state = JobState::kDone;
+      stats_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    } catch (const FlowCancelled& e) {
+      out.error = e.what();
+      if (e.killed()) {
+        out.state = JobState::kCheckpointed;
+        stats_.jobs_interrupted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        out.state = JobState::kTimedOut;
+        stats_.jobs_timed_out.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      if (attempt > opt_.max_retries ||
+          kill_.load(std::memory_order_relaxed)) {
+        out.state = JobState::kFailed;
+        stats_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      if (backoff > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2;
+    } catch (...) {
+      out.error = "non-standard exception";
+      out.state = JobState::kFailed;
+      stats_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  out.run_seconds = seconds_since(run_start);
+  return out;
+}
+
+std::vector<RunOutcome> Scheduler::run_all(
+    const std::vector<std::function<void(int attempt)>>& jobs) {
+  const unsigned threads =
+      opt_.threads > 0 ? static_cast<unsigned>(opt_.threads)
+                       : ThreadPool::hardware_threads();
+  ThreadPool pool(threads);
+
+  const auto submit_time = std::chrono::steady_clock::now();
+  std::vector<std::future<RunOutcome>> futures;
+  futures.reserve(jobs.size());
+  for (const auto& fn : jobs) {
+    futures.push_back(pool.submit([this, &fn, submit_time] {
+      const double queued = seconds_since(submit_time);
+      const auto us = static_cast<std::uint64_t>(queued * 1e6);
+      stats_.queue_latency_us_total.fetch_add(us, std::memory_order_relaxed);
+      bump_max(stats_.queue_latency_us_max, us);
+      RunOutcome out = run_one(fn);
+      out.queue_seconds = queued;
+      return out;
+    }));
+  }
+
+  std::vector<RunOutcome> outcomes;
+  outcomes.reserve(jobs.size());
+  for (auto& f : futures) outcomes.push_back(f.get());
+  return outcomes;
+}
+
+}  // namespace repro

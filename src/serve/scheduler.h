@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace repro {
+
+/// Options for the generic bounded-retry job scheduler.
+struct SchedulerOptions {
+  /// Total worker threads (including the caller); 0 = hardware concurrency,
+  /// 1 = run every job inline on the calling thread.
+  int threads = 1;
+  /// Retries after a FAILED attempt (timeouts are not retried: the pipeline
+  /// is deterministic, so a stage that hit its deadline once will hit it
+  /// again and the retry budget is better spent on the rest of the batch).
+  int max_retries = 0;
+  /// First retry delay; doubles per subsequent retry of the same job.
+  double retry_backoff_seconds = 0.05;
+};
+
+/// Scheduler-level counters (a subset of the service's ServiceStats).
+struct SchedulerStats {
+  std::atomic<std::uint64_t> jobs_completed{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  std::atomic<std::uint64_t> jobs_timed_out{0};
+  std::atomic<std::uint64_t> jobs_interrupted{0};
+  std::atomic<std::uint64_t> retries{0};
+  /// Sum/max of submit -> first-attempt-start latency, microseconds.
+  std::atomic<std::uint64_t> queue_latency_us_total{0};
+  std::atomic<std::uint64_t> queue_latency_us_max{0};
+};
+
+/// Outcome of one scheduled job (the generic part; the flow service layers
+/// job-specific payloads on top).
+struct RunOutcome {
+  JobState state = JobState::kQueued;
+  int attempts = 0;
+  std::string error;
+  double queue_seconds = 0;
+  double run_seconds = 0;
+};
+
+/// Runs a batch of independent jobs over a util/thread_pool with per-job
+/// bounded retry and exception classification. Graceful degradation is the
+/// contract: one job failing, timing out, or being interrupted never
+/// prevents the others from completing, and run_all() itself never throws
+/// on job errors.
+///
+/// Classification of an attempt that throws:
+///   FlowCancelled (deadline)  -> TIMED_OUT, no retry
+///   FlowCancelled (kill flag) -> CHECKPOINTED (service shutdown), no retry
+///   any other std::exception  -> retry with exponential backoff while the
+///                                budget lasts, else FAILED
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& opt);
+
+  /// `fn(attempt)` runs one attempt (attempt starts at 1); it returns on
+  /// success and throws to report failure/cancellation. Outcomes are
+  /// returned in input order regardless of completion order.
+  std::vector<RunOutcome> run_all(
+      const std::vector<std::function<void(int attempt)>>& jobs);
+
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Kill flag for cooperative shutdown: jobs observing it via a
+  /// CancelToken unwind with FlowCancelled(killed) and are classified
+  /// CHECKPOINTED.
+  const std::atomic<bool>* kill_flag() const { return &kill_; }
+  void request_shutdown() { kill_.store(true, std::memory_order_relaxed); }
+
+ private:
+  RunOutcome run_one(const std::function<void(int attempt)>& fn);
+
+  SchedulerOptions opt_;
+  SchedulerStats stats_;
+  std::atomic<bool> kill_{false};
+};
+
+}  // namespace repro

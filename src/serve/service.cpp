@@ -1,0 +1,476 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "gen/circuit_gen.h"
+#include "replicate/engine.h"
+#include "serve/jsonl.h"
+#include "util/cancel.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+bool variant_from_name(const std::string& name, EmbedVariant* out) {
+  if (name == "rt") *out = EmbedVariant::kRtEmbedding;
+  else if (name == "lex2") *out = EmbedVariant::kLex2;
+  else if (name == "lex3") *out = EmbedVariant::kLex3;
+  else if (name == "lex4") *out = EmbedVariant::kLex4;
+  else if (name == "lex5") *out = EmbedVariant::kLex5;
+  else if (name == "mc") *out = EmbedVariant::kLexMc;
+  else return false;
+  return true;
+}
+
+bool filename_safe(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const McncCircuit* find_circuit(const std::string& name) {
+  for (const McncCircuit& m : mcnc_suite())
+    if (name == m.name) return &m;
+  return nullptr;
+}
+
+bool stage_name_valid(const std::string& s) {
+  return s.empty() || s == "place" || s == "replicate" || s == "route";
+}
+
+/// "" = valid, else the reason the spec is rejected before scheduling.
+std::string validate_spec(const JobSpec& spec) {
+  if (!filename_safe(spec.id))
+    return "id must be a non-empty filename-safe string ([A-Za-z0-9._-])";
+  if (!find_circuit(spec.circuit)) return "unknown circuit '" + spec.circuit + "'";
+  if (!(spec.scale > 0)) return "scale must be > 0";
+  EmbedVariant v;
+  if (spec.variant != "none" && !variant_from_name(spec.variant, &v))
+    return "unknown variant '" + spec.variant + "'";
+  if (spec.engine_threads < 0) return "engine_threads must be >= 0";
+  if (spec.timeout_seconds < 0) return "timeout_seconds must be >= 0";
+  if (!stage_name_valid(spec.inject_fail_stage)) return "bad inject_fail stage";
+  if (!stage_name_valid(spec.inject_hang_stage)) return "bad inject_hang stage";
+  return "";
+}
+
+void maybe_inject(const JobSpec& spec, const char* stage,
+                  const CancelToken& token) {
+  if (spec.inject_fail_stage == stage)
+    throw std::runtime_error(std::string("injected failure in ") + stage);
+  if (spec.inject_hang_stage == stage) {
+    if (!token.has_deadline())
+      throw std::runtime_error("inject_hang requires a stage timeout");
+    // A hang that still honours cancellation points: spin until the stage
+    // deadline (or a service shutdown) unwinds us.
+    while (true) {
+      token.check(stage);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+EngineSummary summarize(const EngineResult& r) {
+  EngineSummary e;
+  e.ran = true;
+  e.initial_critical = r.initial_critical;
+  e.final_critical = r.final_critical;
+  e.initial_wirelength = r.initial_wirelength;
+  e.final_wirelength = r.final_wirelength;
+  e.initial_blocks = static_cast<std::int64_t>(r.initial_blocks);
+  e.final_blocks = static_cast<std::int64_t>(r.final_blocks);
+  e.total_replicated = r.total_replicated;
+  e.total_unified = r.total_unified;
+  e.iterations = static_cast<int>(r.history.size());
+  e.ran_out_of_slots = r.ran_out_of_slots;
+  e.reached_lower_bound = r.reached_lower_bound;
+  e.lower_bound = r.lower_bound;
+  return e;
+}
+
+}  // namespace
+
+std::string ServiceStats::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "jobs: %llu done, %llu failed, %llu timed out, %llu "
+                "interrupted, %llu invalid | %llu retries, %llu resumed | "
+                "%llu checkpoints (%llu bytes) | queue latency total %.3fs "
+                "max %.3fs",
+                static_cast<unsigned long long>(jobs_completed),
+                static_cast<unsigned long long>(jobs_failed),
+                static_cast<unsigned long long>(jobs_timed_out),
+                static_cast<unsigned long long>(jobs_interrupted),
+                static_cast<unsigned long long>(jobs_invalid),
+                static_cast<unsigned long long>(jobs_retried),
+                static_cast<unsigned long long>(jobs_resumed),
+                static_cast<unsigned long long>(checkpoints_written),
+                static_cast<unsigned long long>(checkpoint_bytes),
+                queue_latency_seconds_total, queue_latency_seconds_max);
+  return buf;
+}
+
+FlowService::FlowService(const ServiceOptions& opt) : opt_(opt) {}
+
+std::string FlowService::checkpoint_path(const std::string& job_id) const {
+  return opt_.checkpoint_dir + "/" + job_id + ".ckpt";
+}
+
+void FlowService::write_checkpoint(const FlowSnapshot& snap) {
+  if (opt_.checkpoint_dir.empty()) return;
+  const std::string bytes_path = checkpoint_path(snap.job_id);
+  write_snapshot_file(snap, bytes_path);
+  checkpoint_bytes_.fetch_add(
+      std::filesystem::file_size(std::filesystem::path(bytes_path)),
+      std::memory_order_relaxed);
+  const std::uint64_t written =
+      checkpoints_written_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (opt_.stop_after_checkpoints > 0 &&
+      written >= static_cast<std::uint64_t>(opt_.stop_after_checkpoints))
+    scheduler_->request_shutdown();
+}
+
+void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
+                                  JobResult& out) {
+  FlowConfig cfg = opt_.base;
+  cfg.scale = spec.scale;
+  cfg.seed = spec.seed;
+  cfg.num_threads =
+      spec.engine_threads > 0 ? spec.engine_threads : opt_.engine_threads;
+
+  const double timeout = spec.timeout_seconds > 0 ? spec.timeout_seconds
+                                                  : opt_.job_timeout_seconds;
+  auto make_token = [&](CancelToken& token) {
+    token.set_kill_flag(scheduler_->kill_flag());
+    if (timeout > 0) token.set_deadline_after(timeout);
+  };
+
+  // Fresh state or resumed checkpoint. On a retry after a failure the
+  // attempt starts again from the last stage-boundary checkpoint.
+  FlowSnapshot snap;
+  const std::string ckpt = opt_.checkpoint_dir.empty()
+                               ? std::string()
+                               : checkpoint_path(spec.id);
+  const bool try_resume =
+      (opt_.resume || attempt > 1) && !ckpt.empty() &&
+      std::filesystem::exists(std::filesystem::path(ckpt));
+  bool resumed = false;
+  if (try_resume) {
+    try {
+      FlowSnapshot loaded = read_snapshot_file(ckpt);
+      // The checkpoint must describe the same work; a stale file from a
+      // previous batch with different parameters restarts from scratch.
+      if (loaded.circuit == spec.circuit && loaded.variant == spec.variant &&
+          loaded.cfg.seed == spec.seed && loaded.cfg.scale == spec.scale &&
+          loaded.stage >= FlowStage::kPlaced) {
+        snap = std::move(loaded);
+        snap.cfg.num_threads = cfg.num_threads;  // thread count never
+                                                 // changes results
+        resumed = true;
+      }
+    } catch (const SnapshotError& e) {
+      LOG_WARN() << "job " << spec.id << ": ignoring unreadable checkpoint: "
+                 << e.what();
+    }
+  }
+  if (!resumed) {
+    snap.job_id = spec.id;
+    snap.circuit = spec.circuit;
+    snap.variant = spec.variant;
+    snap.stage = FlowStage::kInit;
+    snap.cfg = cfg;
+    snap.rng_state = Rng(spec.seed).state();
+  }
+  if (resumed && attempt == 1) {
+    out.resumed = true;
+    jobs_resumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The job-level RNG stream position is part of the snapshot: stages that
+  // draw from it (the annealer seed today) advance it, so a resumed run
+  // continues the exact stream of the straight-through run.
+  Rng rng;
+  rng.set_state(snap.rng_state);
+
+  // ---- stage: place (generate + anneal) -----------------------------------
+  if (snap.stage < FlowStage::kPlaced) {
+    CancelToken token;
+    make_token(token);
+    maybe_inject(spec, "place", token);
+    const double t0 = now_seconds();
+    const McncCircuit* c = find_circuit(spec.circuit);
+    snap.nl = std::make_unique<Netlist>(
+        generate_circuit(spec_for(*c, cfg.scale, cfg.seed)));
+    snap.grid_n = FpgaGrid::min_grid_for(
+        snap.nl->num_logic(),
+        snap.nl->num_input_pads() + snap.nl->num_output_pads());
+    snap.grid = std::make_unique<FpgaGrid>(snap.grid_n, snap.grid_io_rat);
+    AnnealerOptions aopt = cfg.annealer;
+    aopt.seed = rng.next_u64();
+    aopt.cancel = &token;
+    snap.pl = std::make_unique<Placement>(
+        anneal_placement(*snap.nl, *snap.grid, cfg.delay, aopt));
+    snap.rng_state = rng.state();
+    snap.place_seconds = now_seconds() - t0;
+    snap.stage = FlowStage::kPlaced;
+    write_checkpoint(snap);
+  }
+  out.place_seconds = snap.place_seconds;
+  out.completed_stage = snap.stage;
+
+  // ---- stage: replicate ---------------------------------------------------
+  if (snap.stage < FlowStage::kReplicated) {
+    CancelToken token;
+    make_token(token);
+    maybe_inject(spec, "replicate", token);
+    const double t0 = now_seconds();
+    if (spec.variant != "none") {
+      EngineOptions eopt;
+      variant_from_name(spec.variant, &eopt.variant);
+      eopt.num_threads = cfg.num_threads;
+      eopt.cancel = &token;
+      EngineResult r =
+          run_replication_engine(*snap.nl, *snap.pl, cfg.delay, eopt);
+      snap.engine = summarize(r);
+      const std::string err = snap.nl->validate();
+      if (!err.empty())
+        throw std::runtime_error("netlist invalid after replication: " + err);
+      if (!snap.pl->legal())
+        throw std::runtime_error("placement illegal after replication: " +
+                                 snap.pl->check_legal());
+    }
+    snap.rng_state = rng.state();
+    snap.replicate_seconds = now_seconds() - t0;
+    snap.stage = FlowStage::kReplicated;
+    write_checkpoint(snap);
+  }
+  out.replicate_seconds = snap.replicate_seconds;
+  out.engine = snap.engine;
+  out.completed_stage = snap.stage;
+
+  // ---- stage: route -------------------------------------------------------
+  if (snap.stage < FlowStage::kRouted) {
+    CancelToken token;
+    make_token(token);
+    maybe_inject(spec, "route", token);
+    if (spec.route) {
+      FlowConfig rcfg = cfg;
+      rcfg.router.cancel = &token;
+      snap.metrics = evaluate_routed(spec.circuit, *snap.nl, *snap.pl, rcfg);
+      snap.has_metrics = true;
+    }
+    snap.rng_state = rng.state();
+    snap.stage = FlowStage::kRouted;
+    write_checkpoint(snap);
+  }
+  out.has_metrics = snap.has_metrics;
+  out.metrics = snap.metrics;
+  out.route_seconds = snap.has_metrics ? snap.metrics.route_seconds : 0;
+  out.completed_stage = snap.stage;
+}
+
+std::vector<JobResult> FlowService::run_batch(
+    const std::vector<JobSpec>& specs) {
+  if (!opt_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(opt_.checkpoint_dir), ec);
+    if (ec)
+      throw std::runtime_error("cannot create checkpoint dir " +
+                               opt_.checkpoint_dir + ": " + ec.message());
+  }
+
+  SchedulerOptions sopt;
+  sopt.threads = opt_.threads;
+  sopt.max_retries = opt_.max_retries;
+  sopt.retry_backoff_seconds = opt_.retry_backoff_seconds;
+  scheduler_ = std::make_unique<Scheduler>(sopt);
+
+  std::vector<JobResult> results(specs.size());
+  std::vector<std::function<void(int attempt)>> fns;
+  std::vector<std::size_t> scheduled;  // fns[k] runs specs[scheduled[k]]
+  std::vector<std::string> seen_ids;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results[i].spec = specs[i];
+    std::string err = validate_spec(specs[i]);
+    if (err.empty()) {
+      for (const std::string& id : seen_ids)
+        if (id == specs[i].id) {
+          err = "duplicate job id '" + specs[i].id + "'";
+          break;
+        }
+    }
+    if (!err.empty()) {
+      results[i].state = JobState::kFailed;
+      results[i].error_code = kJobInvalidSpec;
+      results[i].error = err;
+      jobs_invalid_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    seen_ids.push_back(specs[i].id);
+    JobResult* slot = &results[i];
+    const JobSpec* spec = &specs[i];
+    scheduled.push_back(i);
+    fns.push_back([this, spec, slot](int attempt) {
+      run_job_attempt(*spec, attempt, *slot);
+    });
+  }
+
+  const std::vector<RunOutcome> outcomes = scheduler_->run_all(fns);
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    JobResult& r = results[scheduled[k]];
+    const RunOutcome& o = outcomes[k];
+    r.state = o.state;
+    r.attempts = o.attempts;
+    r.error = o.error;
+    r.queue_seconds = o.queue_seconds;
+    r.run_seconds = o.run_seconds;
+    switch (o.state) {
+      case JobState::kDone: r.error_code = kJobOk; break;
+      case JobState::kTimedOut: r.error_code = kJobTimedOut; break;
+      case JobState::kCheckpointed: r.error_code = kJobInterrupted; break;
+      default: r.error_code = kJobFailed; break;
+    }
+  }
+  return results;
+}
+
+ServiceStats FlowService::stats() const {
+  ServiceStats s;
+  if (scheduler_) {
+    const SchedulerStats& ss = scheduler_->stats();
+    s.jobs_completed = ss.jobs_completed.load(std::memory_order_relaxed);
+    s.jobs_failed = ss.jobs_failed.load(std::memory_order_relaxed);
+    s.jobs_timed_out = ss.jobs_timed_out.load(std::memory_order_relaxed);
+    s.jobs_interrupted = ss.jobs_interrupted.load(std::memory_order_relaxed);
+    s.jobs_retried = ss.retries.load(std::memory_order_relaxed);
+    s.queue_latency_seconds_total =
+        static_cast<double>(
+            ss.queue_latency_us_total.load(std::memory_order_relaxed)) /
+        1e6;
+    s.queue_latency_seconds_max =
+        static_cast<double>(
+            ss.queue_latency_us_max.load(std::memory_order_relaxed)) /
+        1e6;
+  }
+  s.jobs_invalid = jobs_invalid_.load(std::memory_order_relaxed);
+  s.jobs_resumed = jobs_resumed_.load(std::memory_order_relaxed);
+  s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  s.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ServiceOptions service_options_from_env(ServiceOptions base) {
+  base.threads =
+      static_cast<int>(env_long("REPRO_SERVE_THREADS", base.threads, 0));
+  base.job_timeout_seconds =
+      env_double("REPRO_SERVE_JOB_TIMEOUT", base.job_timeout_seconds, 0.0);
+  base.max_retries = static_cast<int>(
+      env_long("REPRO_SERVE_MAX_RETRIES", base.max_retries, 0));
+  return base;
+}
+
+JobSpec parse_job_line(const std::string& line) {
+  const auto obj = parse_jsonl_object(line);
+  JobSpec spec;
+  auto str = [](const JsonValue& v, const std::string& key) {
+    if (v.kind != JsonValue::Kind::kString)
+      throw JsonlError("key \"" + key + "\" must be a string");
+    return v.str;
+  };
+  auto num = [](const JsonValue& v, const std::string& key) {
+    if (v.kind != JsonValue::Kind::kNumber)
+      throw JsonlError("key \"" + key + "\" must be a number");
+    return v.num;
+  };
+  auto boolean = [](const JsonValue& v, const std::string& key) {
+    if (v.kind != JsonValue::Kind::kBool)
+      throw JsonlError("key \"" + key + "\" must be a boolean");
+    return v.b;
+  };
+  for (const auto& [key, v] : obj) {
+    if (key == "id") spec.id = str(v, key);
+    else if (key == "circuit") spec.circuit = str(v, key);
+    else if (key == "scale") spec.scale = num(v, key);
+    else if (key == "seed") spec.seed = static_cast<std::uint64_t>(num(v, key));
+    else if (key == "variant") spec.variant = str(v, key);
+    else if (key == "route") spec.route = boolean(v, key);
+    else if (key == "engine_threads") spec.engine_threads = static_cast<int>(num(v, key));
+    else if (key == "timeout_seconds") spec.timeout_seconds = num(v, key);
+    else if (key == "inject_fail") spec.inject_fail_stage = str(v, key);
+    else if (key == "inject_hang") spec.inject_hang_stage = str(v, key);
+    else throw JsonlError("unknown job key \"" + key + "\"");
+  }
+  return spec;
+}
+
+std::string format_result_line(const JobResult& r, bool stable) {
+  JsonlWriter w;
+  w.field("id", r.spec.id);
+  w.field("circuit", r.spec.circuit);
+  w.field("variant", r.spec.variant);
+  w.field("seed", static_cast<std::uint64_t>(r.spec.seed));
+  w.field("scale", r.spec.scale);
+  w.field("state", job_state_name(r.state));
+  w.field("error_code", r.error_code);
+  if (!r.error.empty()) w.field("error", r.error);
+  w.field("completed_stage", flow_stage_name(r.completed_stage));
+  if (r.engine.ran) {
+    w.field("initial_critical_ns", r.engine.initial_critical);
+    w.field("final_critical_ns", r.engine.final_critical);
+    w.field("replicated", r.engine.total_replicated);
+    w.field("unified", r.engine.total_unified);
+    w.field("engine_iterations", r.engine.iterations);
+  }
+  if (r.has_metrics) {
+    const CircuitMetrics& m = r.metrics;
+    w.field("crit_winf_ns", m.crit_winf);
+    w.field("crit_wls_ns", m.crit_wls);
+    w.field("wirelength", static_cast<std::int64_t>(m.wirelength));
+    w.field("wmin", m.wmin);
+    w.field("luts", static_cast<std::uint64_t>(m.luts));
+    w.field("ios", static_cast<std::uint64_t>(m.ios));
+    w.field("blocks", static_cast<std::uint64_t>(m.blocks));
+    w.field("fpga_n", m.fpga_n);
+    w.field("density", m.density);
+    w.field("route_nodes_expanded", m.route_nodes_expanded);
+    w.field("route_passes", m.route_passes);
+  }
+  if (!stable) {
+    w.field("attempts", r.attempts);
+    w.field("resumed", r.resumed);
+    w.field("queue_seconds", r.queue_seconds);
+    w.field("run_seconds", r.run_seconds);
+    w.field("place_seconds", r.place_seconds);
+    w.field("replicate_seconds", r.replicate_seconds);
+    w.field("route_seconds", r.route_seconds);
+  }
+  return w.take();
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kCheckpointed: return "CHECKPOINTED";
+    case JobState::kDone: return "DONE";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kTimedOut: return "TIMED_OUT";
+  }
+  return "?";
+}
+
+}  // namespace repro

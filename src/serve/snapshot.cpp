@@ -1,0 +1,491 @@
+#include "serve/snapshot.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace repro {
+namespace {
+
+// ---- primitive byte I/O -----------------------------------------------------
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  /// Bounded element count for vector prefixes: each element consumes at
+  /// least `min_elem_bytes`, so a count the remaining bytes cannot hold is
+  /// corruption, not a huge allocation.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (min_elem_bytes > 0 && n > (bytes_.size() - pos_) / min_elem_bytes)
+      throw SnapshotError("snapshot: element count exceeds payload size");
+    return static_cast<std::size_t>(n);
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::uint64_t n) {
+    if (n > bytes_.size() - pos_) throw SnapshotError("snapshot: truncated payload");
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr char kMagic[4] = {'R', 'P', 'S', '1'};
+
+// ---- id helpers -------------------------------------------------------------
+
+template <typename Tag>
+void put_id(ByteWriter& w, Id<Tag> id) {
+  w.i32(id.value());
+}
+
+template <typename IdT>
+IdT get_id(ByteReader& r) {
+  return IdT(r.i32());
+}
+
+}  // namespace
+
+// ---- private-state access (friend of Netlist and Placement) -----------------
+
+struct SnapshotAccess {
+  static void save(const Netlist& nl, ByteWriter& w) {
+    w.u64(nl.cells_.size());
+    for (const Cell& c : nl.cells_) {
+      w.u8(static_cast<std::uint8_t>(c.kind));
+      w.str(c.name);
+      w.u64(c.inputs.size());
+      for (NetId n : c.inputs) put_id(w, n);
+      put_id(w, c.output);
+      w.u64(c.function);
+      w.boolean(c.registered);
+      put_id(w, c.eq_class);
+      w.boolean(c.alive);
+    }
+    w.u64(nl.nets_.size());
+    for (const Net& n : nl.nets_) {
+      w.str(n.name);
+      put_id(w, n.driver);
+      w.u64(n.sinks.size());
+      for (const Sink& s : n.sinks) {
+        put_id(w, s.cell);
+        w.i32(s.pin);
+      }
+      w.boolean(n.alive);
+    }
+    w.u64(nl.eq_classes_.size());
+    for (const auto& members : nl.eq_classes_) {
+      w.u64(members.size());
+      for (CellId c : members) put_id(w, c);
+    }
+    w.u64(nl.num_live_cells_);
+  }
+
+  static Netlist load_netlist(ByteReader& r) {
+    Netlist nl;
+    nl.cells_.resize(r.count(24));
+    for (Cell& c : nl.cells_) {
+      c.kind = static_cast<CellKind>(r.u8());
+      c.name = r.str();
+      c.inputs.resize(r.count(4));
+      for (NetId& n : c.inputs) n = get_id<NetId>(r);
+      c.output = get_id<NetId>(r);
+      c.function = r.u64();
+      c.registered = r.boolean();
+      c.eq_class = get_id<EqClassId>(r);
+      c.alive = r.boolean();
+    }
+    nl.nets_.resize(r.count(21));
+    for (Net& n : nl.nets_) {
+      n.name = r.str();
+      n.driver = get_id<CellId>(r);
+      n.sinks.resize(r.count(8));
+      for (Sink& s : n.sinks) {
+        s.cell = get_id<CellId>(r);
+        s.pin = r.i32();
+      }
+      n.alive = r.boolean();
+    }
+    nl.eq_classes_.resize(r.count(8));
+    for (auto& members : nl.eq_classes_) {
+      members.resize(r.count(4));
+      for (CellId& c : members) c = get_id<CellId>(r);
+    }
+    nl.num_live_cells_ = r.u64();
+    const std::string err = nl.validate();
+    if (!err.empty()) throw SnapshotError("snapshot: invalid netlist: " + err);
+    return nl;
+  }
+
+  static void save(const Placement& pl, ByteWriter& w) {
+    w.u64(pl.loc_.size());
+    for (std::size_t i = 0; i < pl.loc_.size(); ++i) {
+      w.i32(pl.loc_[i].x);
+      w.i32(pl.loc_[i].y);
+      w.boolean(pl.placed_[i]);
+    }
+    w.u64(pl.occupants_.size());
+    for (const auto& occ : pl.occupants_) {
+      w.u64(occ.size());
+      for (CellId c : occ) put_id(w, c);
+    }
+  }
+
+  static void load_into(Placement& pl, ByteReader& r) {
+    const std::size_t num_cells = r.count(9);
+    if (num_cells != pl.loc_.size())
+      throw SnapshotError("snapshot: placement cell count mismatch");
+    for (std::size_t i = 0; i < num_cells; ++i) {
+      pl.loc_[i].x = r.i32();
+      pl.loc_[i].y = r.i32();
+      pl.placed_[i] = r.boolean() ? 1 : 0;
+    }
+    const std::size_t num_slots = r.count(8);
+    if (num_slots != pl.occupants_.size())
+      throw SnapshotError("snapshot: placement slot count mismatch");
+    for (auto& occ : pl.occupants_) {
+      occ.resize(r.count(4));
+      for (CellId& c : occ) c = get_id<CellId>(r);
+    }
+  }
+};
+
+namespace {
+
+// ---- config / metrics blocks ------------------------------------------------
+
+void save_config(const FlowConfig& cfg, ByteWriter& w) {
+  w.f64(cfg.scale);
+  w.f64(cfg.annealer.lambda);
+  w.f64(cfg.annealer.max_crit_exponent);
+  w.f64(cfg.annealer.inner_num);
+  w.boolean(cfg.annealer.timing_driven);
+  w.u64(cfg.annealer.seed);
+  w.f64(cfg.delay.wire_delay_per_unit);
+  w.f64(cfg.delay.logic_delay);
+  w.f64(cfg.delay.io_delay);
+  w.f64(cfg.delay.ff_delay);
+  const RouterOptions& r = cfg.router;
+  w.i32(r.channel_width);
+  w.i32(r.max_iterations);
+  w.f64(r.present_factor_initial);
+  w.f64(r.present_factor_mult);
+  w.f64(r.history_increment);
+  w.boolean(r.use_astar);
+  w.f64(r.astar_factor);
+  w.boolean(r.incremental_reroute);
+  w.f64(r.incremental_iterations_mult);
+  w.boolean(r.warm_start_wmin);
+  w.f64(r.warm_history_decay);
+  w.i32(r.stall_abort_window);
+  w.i32(r.stall_abort_min_overused);
+  w.i64(r.max_expansions_per_connection);
+  w.boolean(r.self_check);
+  w.boolean(r.verify_lookahead);
+  // RouterOptions::cancel and AnnealerOptions::cancel are process-local
+  // pointers and are deliberately not serialized.
+  w.f64(cfg.router_crit_exponent);
+  w.boolean(cfg.route_lowstress);
+  w.u64(cfg.seed);
+  w.i32(cfg.num_threads);
+}
+
+FlowConfig load_config(ByteReader& r) {
+  FlowConfig cfg;
+  cfg.scale = r.f64();
+  cfg.annealer.lambda = r.f64();
+  cfg.annealer.max_crit_exponent = r.f64();
+  cfg.annealer.inner_num = r.f64();
+  cfg.annealer.timing_driven = r.boolean();
+  cfg.annealer.seed = r.u64();
+  cfg.delay.wire_delay_per_unit = r.f64();
+  cfg.delay.logic_delay = r.f64();
+  cfg.delay.io_delay = r.f64();
+  cfg.delay.ff_delay = r.f64();
+  RouterOptions& ro = cfg.router;
+  ro.channel_width = r.i32();
+  ro.max_iterations = r.i32();
+  ro.present_factor_initial = r.f64();
+  ro.present_factor_mult = r.f64();
+  ro.history_increment = r.f64();
+  ro.use_astar = r.boolean();
+  ro.astar_factor = r.f64();
+  ro.incremental_reroute = r.boolean();
+  ro.incremental_iterations_mult = r.f64();
+  ro.warm_start_wmin = r.boolean();
+  ro.warm_history_decay = r.f64();
+  ro.stall_abort_window = r.i32();
+  ro.stall_abort_min_overused = r.i32();
+  ro.max_expansions_per_connection = r.i64();
+  ro.self_check = r.boolean();
+  ro.verify_lookahead = r.boolean();
+  cfg.router_crit_exponent = r.f64();
+  cfg.route_lowstress = r.boolean();
+  cfg.seed = r.u64();
+  cfg.num_threads = r.i32();
+  return cfg;
+}
+
+void save_metrics(const CircuitMetrics& m, ByteWriter& w) {
+  w.str(m.circuit);
+  w.f64(m.crit_winf);
+  w.f64(m.crit_wls);
+  w.i64(m.wirelength);
+  w.i32(m.wmin);
+  w.u64(m.luts);
+  w.u64(m.ios);
+  w.u64(m.blocks);
+  w.i32(m.fpga_n);
+  w.f64(m.density);
+  w.f64(m.route_seconds);
+  w.u64(m.route_nodes_expanded);
+  w.u64(m.route_passes);
+}
+
+CircuitMetrics load_metrics(ByteReader& r) {
+  CircuitMetrics m;
+  m.circuit = r.str();
+  m.crit_winf = r.f64();
+  m.crit_wls = r.f64();
+  m.wirelength = r.i64();
+  m.wmin = r.i32();
+  m.luts = r.u64();
+  m.ios = r.u64();
+  m.blocks = r.u64();
+  m.fpga_n = r.i32();
+  m.density = r.f64();
+  m.route_seconds = r.f64();
+  m.route_nodes_expanded = r.u64();
+  m.route_passes = r.u64();
+  return m;
+}
+
+void save_engine(const EngineSummary& e, ByteWriter& w) {
+  w.boolean(e.ran);
+  w.f64(e.initial_critical);
+  w.f64(e.final_critical);
+  w.f64(e.initial_wirelength);
+  w.f64(e.final_wirelength);
+  w.i64(e.initial_blocks);
+  w.i64(e.final_blocks);
+  w.i32(e.total_replicated);
+  w.i32(e.total_unified);
+  w.i32(e.iterations);
+  w.boolean(e.ran_out_of_slots);
+  w.boolean(e.reached_lower_bound);
+  w.f64(e.lower_bound);
+}
+
+EngineSummary load_engine(ByteReader& r) {
+  EngineSummary e;
+  e.ran = r.boolean();
+  e.initial_critical = r.f64();
+  e.final_critical = r.f64();
+  e.initial_wirelength = r.f64();
+  e.final_wirelength = r.f64();
+  e.initial_blocks = r.i64();
+  e.final_blocks = r.i64();
+  e.total_replicated = r.i32();
+  e.total_unified = r.i32();
+  e.iterations = r.i32();
+  e.ran_out_of_slots = r.boolean();
+  e.reached_lower_bound = r.boolean();
+  e.lower_bound = r.f64();
+  return e;
+}
+
+}  // namespace
+
+const char* flow_stage_name(FlowStage s) {
+  switch (s) {
+    case FlowStage::kInit: return "init";
+    case FlowStage::kPlaced: return "placed";
+    case FlowStage::kReplicated: return "replicated";
+    case FlowStage::kRouted: return "routed";
+  }
+  return "?";
+}
+
+std::string serialize_snapshot(const FlowSnapshot& s) {
+  ByteWriter w;
+  w.str(s.job_id);
+  w.str(s.circuit);
+  w.str(s.variant);
+  w.u8(static_cast<std::uint8_t>(s.stage));
+  save_config(s.cfg, w);
+  for (std::uint64_t x : s.rng_state) w.u64(x);
+  w.i32(s.grid_n);
+  w.i32(s.grid_io_rat);
+  const bool has_state = s.nl != nullptr;
+  w.boolean(has_state);
+  if (has_state) {
+    if (!s.pl) throw SnapshotError("snapshot: netlist without placement");
+    SnapshotAccess::save(*s.nl, w);
+    SnapshotAccess::save(*s.pl, w);
+  }
+  w.f64(s.place_seconds);
+  w.f64(s.replicate_seconds);
+  save_engine(s.engine, w);
+  w.boolean(s.has_metrics);
+  if (s.has_metrics) save_metrics(s.metrics, w);
+
+  const std::string payload = w.take();
+  ByteWriter out;
+  out.u8(kMagic[0]);
+  out.u8(kMagic[1]);
+  out.u8(kMagic[2]);
+  out.u8(kMagic[3]);
+  out.u32(kSnapshotVersion);
+  out.u64(payload.size());
+  out.u64(fnv1a64(payload));
+  std::string bytes = out.take();
+  bytes += payload;
+  return bytes;
+}
+
+FlowSnapshot parse_snapshot(std::string_view bytes) {
+  constexpr std::size_t kHeader = 4 + 4 + 8 + 8;
+  if (bytes.size() < kHeader) throw SnapshotError("snapshot: truncated header");
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0)
+    throw SnapshotError("snapshot: bad magic (not a snapshot file)");
+  ByteReader hdr(bytes.substr(4));
+  const std::uint32_t version = hdr.u32();
+  if (version != kSnapshotVersion)
+    throw SnapshotError("snapshot: unsupported format version " +
+                        std::to_string(version));
+  const std::uint64_t payload_size = hdr.u64();
+  const std::uint64_t checksum = hdr.u64();
+  if (bytes.size() != kHeader + payload_size)
+    throw SnapshotError("snapshot: payload size mismatch");
+  const std::string_view payload = bytes.substr(kHeader);
+  if (fnv1a64(payload) != checksum)
+    throw SnapshotError("snapshot: checksum mismatch (corrupted file)");
+
+  ByteReader r(payload);
+  FlowSnapshot s;
+  s.job_id = r.str();
+  s.circuit = r.str();
+  s.variant = r.str();
+  const std::uint8_t stage = r.u8();
+  if (stage > static_cast<std::uint8_t>(FlowStage::kRouted))
+    throw SnapshotError("snapshot: invalid stage marker");
+  s.stage = static_cast<FlowStage>(stage);
+  s.cfg = load_config(r);
+  for (std::uint64_t& x : s.rng_state) x = r.u64();
+  s.grid_n = r.i32();
+  s.grid_io_rat = r.i32();
+  if (r.boolean()) {
+    if (s.grid_n <= 0) throw SnapshotError("snapshot: placement without grid");
+    s.nl = std::make_unique<Netlist>(SnapshotAccess::load_netlist(r));
+    s.grid = std::make_unique<FpgaGrid>(s.grid_n, s.grid_io_rat);
+    s.pl = std::make_unique<Placement>(*s.nl, *s.grid);
+    SnapshotAccess::load_into(*s.pl, r);
+  }
+  s.place_seconds = r.f64();
+  s.replicate_seconds = r.f64();
+  s.engine = load_engine(r);
+  s.has_metrics = r.boolean();
+  if (s.has_metrics) s.metrics = load_metrics(r);
+  if (!r.exhausted()) throw SnapshotError("snapshot: trailing bytes");
+  return s;
+}
+
+void write_snapshot_file(const FlowSnapshot& s, const std::string& path) {
+  const std::string bytes = serialize_snapshot(s);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw SnapshotError("snapshot: cannot open " + tmp + " for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("snapshot: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("snapshot: cannot rename " + tmp + " to " + path);
+  }
+}
+
+FlowSnapshot read_snapshot_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw SnapshotError("snapshot: cannot open " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) throw SnapshotError("snapshot: read error on " + path);
+  try {
+    return parse_snapshot(bytes);
+  } catch (const SnapshotError& e) {
+    throw SnapshotError(path + ": " + e.what());
+  }
+}
+
+}  // namespace repro

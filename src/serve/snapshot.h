@@ -1,0 +1,108 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "arch/fpga_grid.h"
+#include "flow/experiment.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+
+namespace repro {
+
+/// Pipeline progress marker stored in a snapshot: everything up to and
+/// including the named stage has completed and its outputs are serialized.
+enum class FlowStage : std::uint8_t {
+  kInit = 0,        ///< job admitted; netlist not yet generated/placed
+  kPlaced = 1,      ///< netlist generated and annealed onto its grid
+  kReplicated = 2,  ///< replication engine finished (netlist/placement mutated)
+  kRouted = 3,      ///< routed and measured; metrics are final
+};
+
+const char* flow_stage_name(FlowStage s);
+
+/// Engine outcome summary carried across a checkpoint (the deterministic
+/// subset of EngineResult; per-iteration history is not checkpointed).
+struct EngineSummary {
+  bool ran = false;  ///< false for variant "none" or local replication
+  double initial_critical = 0;
+  double final_critical = 0;
+  double initial_wirelength = 0;
+  double final_wirelength = 0;
+  std::int64_t initial_blocks = 0;
+  std::int64_t final_blocks = 0;
+  int total_replicated = 0;
+  int total_unified = 0;
+  int iterations = 0;
+  bool ran_out_of_slots = false;
+  bool reached_lower_bound = false;
+  double lower_bound = 0;
+};
+
+/// Deterministic binary snapshot of one flow job.
+///
+/// Contains everything needed to resume a place -> replicate -> route run at
+/// a stage boundary in a fresh process and reproduce the straight-through
+/// run's CircuitMetrics bit-for-bit: the exact netlist (including dead cells
+/// and equivalence classes — ids must survive), the placement (including
+/// occupant-list order, which RNG-driven consumers observe), the full
+/// FlowConfig, the job-level RNG stream position, and per-stage progress.
+///
+/// File layout (little-endian):
+///   "RPS1"  magic
+///   u32     format version (kSnapshotVersion)
+///   u64     payload size in bytes
+///   u64     FNV-1a 64 checksum of the payload
+///   payload (see snapshot.cpp; strings are u64 length + bytes, doubles are
+///            IEEE-754 bit patterns, ids are raw i32 values)
+///
+/// Serialization is bit-deterministic: serializing a parsed snapshot
+/// reproduces the input bytes exactly.
+struct FlowSnapshot {
+  std::string job_id;
+  std::string circuit;
+  std::string variant;
+  FlowStage stage = FlowStage::kInit;
+  FlowConfig cfg;
+  std::array<std::uint64_t, 4> rng_state{};
+
+  int grid_n = 0;
+  int grid_io_rat = 2;
+  /// Present from kPlaced on. grid must outlive pl.
+  std::unique_ptr<Netlist> nl;
+  std::unique_ptr<FpgaGrid> grid;
+  std::unique_ptr<Placement> pl;
+
+  /// Wall-clock of completed stages (informational; excluded from the
+  /// deterministic results the service reports in stable mode).
+  double place_seconds = 0;
+  double replicate_seconds = 0;
+
+  EngineSummary engine;
+  bool has_metrics = false;
+  CircuitMetrics metrics;
+};
+
+/// Thrown on malformed, truncated, corrupted (checksum mismatch) or
+/// version-incompatible snapshot bytes, and on file I/O failures.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serializes header + payload into a byte buffer.
+std::string serialize_snapshot(const FlowSnapshot& s);
+
+/// Parses a buffer produced by serialize_snapshot. Throws SnapshotError.
+FlowSnapshot parse_snapshot(std::string_view bytes);
+
+/// Atomic file write (temp file + rename) / read. Throw SnapshotError.
+void write_snapshot_file(const FlowSnapshot& s, const std::string& path);
+FlowSnapshot read_snapshot_file(const std::string& path);
+
+}  // namespace repro

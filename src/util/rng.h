@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +36,14 @@ class Rng {
   /// Returns weights.size()-1 on rounding fallout; at least one weight must
   /// be positive.
   std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// Full generator state, for checkpoint serialization. A generator
+  /// restored with set_state() continues the exact stream it was saved at.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "flow/experiment.h"
+#include "serve/service.h"
 
 namespace repro {
 namespace {
@@ -58,6 +59,83 @@ TEST(FlowConfig, QuickModeRespectsSmallerExplicitScale) {
   setenv("REPRO_QUICK", "1", 1);
   FlowConfig cfg = config_from_env();
   EXPECT_DOUBLE_EQ(cfg.scale, 0.05);
+}
+
+// A typo'd knob must degrade to the default, never abort or zero a batch
+// (std::atof would have turned "abc" into scale 0.0).
+TEST(FlowConfig, InvalidScaleFallsBackToDefault) {
+  EnvGuard g1("REPRO_SCALE");
+  EnvGuard g2("REPRO_QUICK");
+  unsetenv("REPRO_QUICK");
+  for (const char* bad : {"abc", "0.5xyz", "-1", "0", "nan", "inf", ""}) {
+    setenv("REPRO_SCALE", bad, 1);
+    EXPECT_DOUBLE_EQ(config_from_env().scale, 0.15) << "REPRO_SCALE=" << bad;
+  }
+}
+
+TEST(FlowConfig, ThreadsOverrideAndInvalidFallback) {
+  EnvGuard g1("REPRO_THREADS");
+  setenv("REPRO_THREADS", "3", 1);
+  EXPECT_EQ(config_from_env().num_threads, 3);
+  for (const char* bad : {"-2", "2x", "lots", ""}) {
+    setenv("REPRO_THREADS", bad, 1);
+    EXPECT_EQ(config_from_env().num_threads, 0) << "REPRO_THREADS=" << bad;
+  }
+}
+
+TEST(FlowConfig, RouterFastPathKnobs) {
+  EnvGuard g1("REPRO_ROUTE_ASTAR");
+  EnvGuard g2("REPRO_ROUTE_INCREMENTAL");
+  EnvGuard g3("REPRO_ROUTE_WARM");
+  unsetenv("REPRO_ROUTE_ASTAR");
+  unsetenv("REPRO_ROUTE_INCREMENTAL");
+  unsetenv("REPRO_ROUTE_WARM");
+
+  setenv("REPRO_ROUTE_ASTAR", "0", 1);
+  setenv("REPRO_ROUTE_INCREMENTAL", "0", 1);
+  setenv("REPRO_ROUTE_WARM", "0", 1);
+  FlowConfig off = config_from_env();
+  EXPECT_FALSE(off.router.use_astar);
+  EXPECT_FALSE(off.router.incremental_reroute);
+  EXPECT_FALSE(off.router.warm_start_wmin);
+
+  setenv("REPRO_ROUTE_ASTAR", "1", 1);
+  setenv("REPRO_ROUTE_INCREMENTAL", "1", 1);
+  setenv("REPRO_ROUTE_WARM", "1", 1);
+  FlowConfig on = config_from_env();
+  EXPECT_TRUE(on.router.use_astar);
+  EXPECT_TRUE(on.router.incremental_reroute);
+  EXPECT_TRUE(on.router.warm_start_wmin);
+}
+
+TEST(ServiceConfig, EnvKnobsOverrideBase) {
+  EnvGuard g1("REPRO_SERVE_THREADS");
+  EnvGuard g2("REPRO_SERVE_JOB_TIMEOUT");
+  EnvGuard g3("REPRO_SERVE_MAX_RETRIES");
+  setenv("REPRO_SERVE_THREADS", "4", 1);
+  setenv("REPRO_SERVE_JOB_TIMEOUT", "2.5", 1);
+  setenv("REPRO_SERVE_MAX_RETRIES", "3", 1);
+  const ServiceOptions opt = service_options_from_env();
+  EXPECT_EQ(opt.threads, 4);
+  EXPECT_DOUBLE_EQ(opt.job_timeout_seconds, 2.5);
+  EXPECT_EQ(opt.max_retries, 3);
+}
+
+TEST(ServiceConfig, InvalidEnvKnobsFallBackToBase) {
+  EnvGuard g1("REPRO_SERVE_THREADS");
+  EnvGuard g2("REPRO_SERVE_JOB_TIMEOUT");
+  EnvGuard g3("REPRO_SERVE_MAX_RETRIES");
+  setenv("REPRO_SERVE_THREADS", "many", 1);
+  setenv("REPRO_SERVE_JOB_TIMEOUT", "-5", 1);
+  setenv("REPRO_SERVE_MAX_RETRIES", "3.5", 1);
+  ServiceOptions base;
+  base.threads = 2;
+  base.job_timeout_seconds = 60;
+  base.max_retries = 1;
+  const ServiceOptions opt = service_options_from_env(base);
+  EXPECT_EQ(opt.threads, 2);
+  EXPECT_DOUBLE_EQ(opt.job_timeout_seconds, 60);
+  EXPECT_EQ(opt.max_retries, 1);
 }
 
 }  // namespace

@@ -1,0 +1,446 @@
+// Flow service tests: snapshot format, checkpoint/resume determinism,
+// scheduler retry/timeout classification and batch robustness.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gen/circuit_gen.h"
+#include "place/annealer.h"
+#include "serve/jsonl.h"
+#include "serve/scheduler.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+// Scratch directory unique to the test, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("repro_serve_" + name + "_" + std::to_string(::getpid())))
+                 .string()) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+// ---- JSONL ----------------------------------------------------------------
+
+TEST(Jsonl, ParsesFlatObject) {
+  const auto obj = parse_jsonl_object(
+      R"({"id":"a-1","scale":0.25,"route":true,"note":null})");
+  ASSERT_EQ(obj.size(), 4u);
+  EXPECT_EQ(obj.at("id").kind, JsonValue::Kind::kString);
+  EXPECT_EQ(obj.at("id").str, "a-1");
+  EXPECT_EQ(obj.at("scale").kind, JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(obj.at("scale").num, 0.25);
+  EXPECT_EQ(obj.at("route").kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(obj.at("route").b);
+  EXPECT_EQ(obj.at("note").kind, JsonValue::Kind::kNull);
+}
+
+TEST(Jsonl, RejectsMalformedInput) {
+  EXPECT_THROW(parse_jsonl_object(""), JsonlError);
+  EXPECT_THROW(parse_jsonl_object("{"), JsonlError);
+  EXPECT_THROW(parse_jsonl_object(R"({"a":1} trailing)"), JsonlError);
+  EXPECT_THROW(parse_jsonl_object(R"({"a":1,"a":2})"), JsonlError);
+  EXPECT_THROW(parse_jsonl_object(R"({"a":{"nested":1}})"), JsonlError);
+  EXPECT_THROW(parse_jsonl_object(R"({"a":[1,2]})"), JsonlError);
+  EXPECT_THROW(parse_jsonl_object(R"({"a":12x})"), JsonlError);
+  EXPECT_THROW(parse_jsonl_object(R"({"a":nan})"), JsonlError);
+}
+
+TEST(Jsonl, DoubleSurvivesTextRoundTripBitExactly) {
+  const double v = 0.1 + 0.2;  // not representable "exactly" in decimal
+  JsonlWriter w;
+  w.field("v", v);
+  const auto obj = parse_jsonl_object(w.take());
+  EXPECT_EQ(obj.at("v").num, v);  // bitwise, not approximate
+}
+
+TEST(Jsonl, QuotesSpecialCharacters) {
+  JsonlWriter w;
+  w.field("k", std::string("a\"b\\c\nd"));
+  const auto obj = parse_jsonl_object(w.take());
+  EXPECT_EQ(obj.at("k").str, "a\"b\\c\nd");
+}
+
+TEST(Jsonl, ParseJobLineRejectsUnknownKeys) {
+  EXPECT_NO_THROW(parse_job_line(R"({"id":"x","circuit":"tseng"})"));
+  EXPECT_THROW(parse_job_line(R"({"id":"x","circut":"tseng"})"), JsonlError);
+  EXPECT_THROW(parse_job_line(R"({"id":7})"), JsonlError);
+}
+
+// ---- snapshot format ------------------------------------------------------
+
+FlowSnapshot make_placed_snapshot(const char* circuit, double scale,
+                                  std::uint64_t seed) {
+  FlowSnapshot s;
+  s.job_id = std::string(circuit) + "-job";
+  s.circuit = circuit;
+  s.variant = "lex3";
+  s.stage = FlowStage::kPlaced;
+  s.cfg.scale = scale;
+  s.cfg.seed = seed;
+  Rng rng(seed);
+  const McncCircuit* c = nullptr;
+  for (const McncCircuit& m : mcnc_suite())
+    if (s.circuit == m.name) c = &m;
+  s.nl = std::make_unique<Netlist>(generate_circuit(spec_for(*c, scale, seed)));
+  s.grid_n = FpgaGrid::min_grid_for(
+      s.nl->num_logic(), s.nl->num_input_pads() + s.nl->num_output_pads());
+  s.grid = std::make_unique<FpgaGrid>(s.grid_n, s.grid_io_rat);
+  AnnealerOptions aopt;
+  aopt.seed = rng.next_u64();
+  s.pl = std::make_unique<Placement>(
+      anneal_placement(*s.nl, *s.grid, s.cfg.delay, aopt));
+  s.rng_state = rng.state();
+  s.place_seconds = 1.25;
+  return s;
+}
+
+TEST(Snapshot, RoundTripIsByteIdentical) {
+  FlowSnapshot s = make_placed_snapshot("tseng", 0.05, 11);
+  const std::string bytes = serialize_snapshot(s);
+  FlowSnapshot parsed = parse_snapshot(bytes);
+  EXPECT_EQ(parsed.job_id, s.job_id);
+  EXPECT_EQ(parsed.circuit, s.circuit);
+  EXPECT_EQ(parsed.stage, FlowStage::kPlaced);
+  EXPECT_EQ(parsed.rng_state, s.rng_state);
+  ASSERT_TRUE(parsed.nl && parsed.pl && parsed.grid);
+  EXPECT_EQ(parsed.nl->num_logic(), s.nl->num_logic());
+  EXPECT_TRUE(parsed.pl->legal());
+  // Serializing the parsed snapshot reproduces the input bytes exactly.
+  EXPECT_EQ(serialize_snapshot(parsed), bytes);
+}
+
+TEST(Snapshot, PreservesPlacementOccupantOrderAndDeadCells) {
+  FlowSnapshot s = make_placed_snapshot("ex5p", 0.05, 3);
+  const std::string bytes = serialize_snapshot(s);
+  FlowSnapshot parsed = parse_snapshot(bytes);
+  ASSERT_EQ(parsed.nl->cell_capacity(), s.nl->cell_capacity());
+  for (std::size_t i = 0; i < s.nl->cell_capacity(); ++i) {
+    const CellId id(static_cast<CellId::value_type>(i));
+    ASSERT_EQ(parsed.pl->placed(id), s.pl->placed(id));
+    if (!s.pl->placed(id)) continue;
+    EXPECT_EQ(parsed.pl->location(id), s.pl->location(id));
+    // Occupant-list order at the location is observed by RNG-driven
+    // consumers; it must survive the round trip verbatim.
+    EXPECT_EQ(parsed.pl->cells_at(parsed.pl->location(id)),
+              s.pl->cells_at(s.pl->location(id)));
+  }
+}
+
+TEST(Snapshot, RejectsCorruptedBytes) {
+  FlowSnapshot s = make_placed_snapshot("tseng", 0.05, 5);
+  const std::string bytes = serialize_snapshot(s);
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_THROW(parse_snapshot(bad), SnapshotError);
+
+  // Unsupported version.
+  bad = bytes;
+  bad[4] = static_cast<char>(0x7F);
+  EXPECT_THROW(parse_snapshot(bad), SnapshotError);
+
+  // Flipped payload byte -> checksum mismatch, reported as corruption.
+  bad = bytes;
+  bad[bytes.size() / 2] ^= 0x20;
+  try {
+    parse_snapshot(bad);
+    FAIL() << "corrupted snapshot accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+
+  // Truncation at every structurally interesting prefix length.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, std::size_t{12}, bytes.size() - 1}) {
+    EXPECT_THROW(parse_snapshot(std::string_view(bytes).substr(0, len)),
+                 SnapshotError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Snapshot, FileRoundTripAndCorruptedFileRejected) {
+  TempDir dir("snapfile");
+  FlowSnapshot s = make_placed_snapshot("tseng", 0.05, 7);
+  const std::string path = dir.path + "/t.ckpt";
+  write_snapshot_file(s, path);
+  FlowSnapshot loaded = read_snapshot_file(path);
+  EXPECT_EQ(serialize_snapshot(loaded), serialize_snapshot(s));
+
+  // Corrupt one byte on disk; the reader must reject, not crash or accept.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    const char x = 'Z';
+    std::fwrite(&x, 1, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_snapshot_file(path), SnapshotError);
+  EXPECT_THROW(read_snapshot_file(dir.path + "/missing.ckpt"), SnapshotError);
+}
+
+// ---- scheduler ------------------------------------------------------------
+
+TEST(Scheduler, RetriesFailuresUpToBudget) {
+  SchedulerOptions opt;
+  opt.threads = 1;
+  opt.max_retries = 2;
+  opt.retry_backoff_seconds = 0;
+  Scheduler sched(opt);
+  int calls = 0;
+  auto outcomes = sched.run_all({[&](int attempt) {
+    ++calls;
+    if (attempt < 3) throw std::runtime_error("flaky");
+  }});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].state, JobState::kDone);
+  EXPECT_EQ(outcomes[0].attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sched.stats().retries.load(), 2u);
+  EXPECT_EQ(sched.stats().jobs_completed.load(), 1u);
+}
+
+TEST(Scheduler, FailsWhenBudgetExhaustedAndOthersComplete) {
+  SchedulerOptions opt;
+  opt.threads = 2;
+  opt.max_retries = 1;
+  opt.retry_backoff_seconds = 0;
+  Scheduler sched(opt);
+  auto outcomes = sched.run_all({
+      [](int) { throw std::runtime_error("always broken"); },
+      [](int) {},
+  });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].state, JobState::kFailed);
+  EXPECT_EQ(outcomes[0].attempts, 2);
+  EXPECT_EQ(outcomes[0].error, "always broken");
+  EXPECT_EQ(outcomes[1].state, JobState::kDone);
+}
+
+TEST(Scheduler, TimeoutsAreNotRetried) {
+  SchedulerOptions opt;
+  opt.threads = 1;
+  opt.max_retries = 5;
+  Scheduler sched(opt);
+  int calls = 0;
+  auto outcomes = sched.run_all({[&](int) {
+    ++calls;
+    throw FlowCancelled("route", /*killed=*/false);
+  }});
+  EXPECT_EQ(outcomes[0].state, JobState::kTimedOut);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sched.stats().jobs_timed_out.load(), 1u);
+}
+
+TEST(Scheduler, KillFlagClassifiesAsCheckpointed) {
+  Scheduler sched({});
+  auto outcomes = sched.run_all({[&](int) {
+    sched.request_shutdown();
+    CancelToken token;
+    token.set_kill_flag(sched.kill_flag());
+    token.check("replicate");
+  }});
+  EXPECT_EQ(outcomes[0].state, JobState::kCheckpointed);
+}
+
+// ---- service: determinism across checkpoint/resume and thread counts ------
+
+JobSpec small_job(const char* circuit, std::uint64_t seed, int engine_threads) {
+  JobSpec spec;
+  spec.id = std::string(circuit) + "-t" + std::to_string(engine_threads);
+  spec.circuit = circuit;
+  spec.scale = 0.05;
+  spec.seed = seed;
+  spec.variant = "lex3";
+  spec.route = true;
+  spec.engine_threads = engine_threads;
+  return spec;
+}
+
+// Stage-boundary snapshot after the anneal, resumed by a fresh service
+// instance, must reproduce the straight-through run's result line (which
+// carries every CircuitMetrics field at %.17g) byte-for-byte — for several
+// circuits and for more than one thread count.
+TEST(FlowService, ResumeAfterAnnealReproducesStraightRunBitExactly) {
+  const char* circuits[] = {"tseng", "ex5p", "s298"};
+  for (const char* circuit : circuits) {
+    std::string line_per_threads[2];
+    for (const int engine_threads : {1, 2}) {
+      const JobSpec spec = small_job(circuit, 11, engine_threads);
+
+      ServiceOptions straight_opt;
+      straight_opt.threads = 1;
+      FlowService straight(straight_opt);
+      const auto straight_res = straight.run_batch({spec});
+      ASSERT_EQ(straight_res[0].state, JobState::kDone) << circuit;
+      ASSERT_TRUE(straight_res[0].has_metrics) << circuit;
+      const std::string want = format_result_line(straight_res[0], true);
+
+      // Interrupt right after the first (post-anneal) checkpoint.
+      TempDir dir(std::string("resume_") + spec.id);
+      ServiceOptions crash_opt;
+      crash_opt.threads = 1;
+      crash_opt.checkpoint_dir = dir.path;
+      crash_opt.stop_after_checkpoints = 1;
+      FlowService crash(crash_opt);
+      const auto crashed = crash.run_batch({spec});
+      ASSERT_EQ(crashed[0].state, JobState::kCheckpointed) << circuit;
+      ASSERT_EQ(crashed[0].error_code, kJobInterrupted);
+      ASSERT_EQ(crashed[0].completed_stage, FlowStage::kPlaced) << circuit;
+      ASSERT_GE(crash.stats().checkpoints_written, 1u);
+      ASSERT_GT(crash.stats().checkpoint_bytes, 0u);
+
+      // Fresh service, fresh state: resume from the on-disk snapshot.
+      ServiceOptions resume_opt;
+      resume_opt.threads = 1;
+      resume_opt.checkpoint_dir = dir.path;
+      resume_opt.resume = true;
+      FlowService resume(resume_opt);
+      const auto resumed = resume.run_batch({spec});
+      ASSERT_EQ(resumed[0].state, JobState::kDone) << circuit;
+      EXPECT_TRUE(resumed[0].resumed);
+      EXPECT_EQ(resume.stats().jobs_resumed, 1u);
+      EXPECT_EQ(format_result_line(resumed[0], true), want)
+          << circuit << " resumed run diverged from straight run";
+
+      line_per_threads[engine_threads - 1] = want;
+    }
+    // Engine thread count never changes results (the id differs by design;
+    // compare everything after it).
+    const auto tail = [](const std::string& s) {
+      return s.substr(s.find("\"circuit\""));
+    };
+    EXPECT_EQ(tail(line_per_threads[0]), tail(line_per_threads[1]))
+        << circuit << " results differ across engine thread counts";
+  }
+}
+
+// A stale checkpoint whose parameters do not match the spec must be ignored,
+// not resumed into a wrong result.
+TEST(FlowService, MismatchedCheckpointIsIgnored) {
+  TempDir dir("stale");
+  JobSpec spec = small_job("tseng", 11, 1);
+  spec.route = false;
+
+  {
+    ServiceOptions opt;
+    opt.checkpoint_dir = dir.path;
+    FlowService svc(opt);
+    ASSERT_EQ(svc.run_batch({spec})[0].state, JobState::kDone);
+  }
+
+  // Same job id, different seed: the old snapshot must not be picked up.
+  spec.seed = 12;
+  ServiceOptions opt;
+  opt.checkpoint_dir = dir.path;
+  opt.resume = true;
+  FlowService svc(opt);
+  const auto res = svc.run_batch({spec});
+  ASSERT_EQ(res[0].state, JobState::kDone);
+  EXPECT_FALSE(res[0].resumed);
+  EXPECT_EQ(svc.stats().jobs_resumed, 0u);
+}
+
+// ---- service: robustness --------------------------------------------------
+
+// One injected hang and one injected failure never take the batch down: the
+// healthy jobs complete, the sick ones are reported with nonzero per-job
+// error codes, and run_batch itself does not throw.
+TEST(FlowService, BatchSurvivesHangAndFailure) {
+  JobSpec good = small_job("tseng", 3, 1);
+  good.route = false;
+
+  JobSpec hang = small_job("ex5p", 3, 1);
+  hang.id = "hang";
+  hang.route = false;
+  hang.inject_hang_stage = "replicate";
+  hang.timeout_seconds = 0.2;
+
+  JobSpec fail = small_job("s298", 3, 1);
+  fail.id = "fail";
+  fail.route = false;
+  fail.inject_fail_stage = "place";
+
+  JobSpec invalid;
+  invalid.id = "invalid";
+  invalid.circuit = "not-a-circuit";
+
+  ServiceOptions opt;
+  opt.threads = 2;
+  opt.max_retries = 1;
+  opt.retry_backoff_seconds = 0;
+  FlowService svc(opt);
+  const auto res = svc.run_batch({good, hang, fail, invalid});
+  ASSERT_EQ(res.size(), 4u);
+
+  EXPECT_EQ(res[0].state, JobState::kDone);
+  EXPECT_EQ(res[0].error_code, kJobOk);
+  EXPECT_EQ(res[0].completed_stage, FlowStage::kRouted);
+
+  EXPECT_EQ(res[1].state, JobState::kTimedOut);
+  EXPECT_EQ(res[1].error_code, kJobTimedOut);
+  EXPECT_EQ(res[1].attempts, 1);  // deterministic: timeouts are not retried
+  EXPECT_EQ(res[1].completed_stage, FlowStage::kPlaced);
+
+  EXPECT_EQ(res[2].state, JobState::kFailed);
+  EXPECT_EQ(res[2].error_code, kJobFailed);
+  EXPECT_EQ(res[2].attempts, 2);  // retried once, then gave up
+  EXPECT_NE(res[2].error.find("injected failure"), std::string::npos);
+
+  EXPECT_EQ(res[3].state, JobState::kFailed);
+  EXPECT_EQ(res[3].error_code, kJobInvalidSpec);
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.jobs_timed_out, 1u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_invalid, 1u);
+  EXPECT_EQ(stats.jobs_retried, 1u);
+
+  // The batch's JSONL lines parse back and carry the states.
+  for (const JobResult& r : res) {
+    const auto obj = parse_jsonl_object(format_result_line(r, false));
+    EXPECT_EQ(obj.at("state").str, job_state_name(r.state));
+    EXPECT_EQ(static_cast<int>(obj.at("error_code").num), r.error_code);
+  }
+}
+
+TEST(FlowService, RejectsDuplicateJobIdsAndBadIds) {
+  JobSpec a = small_job("tseng", 3, 1);
+  a.route = false;
+  JobSpec dup = a;
+  JobSpec traversal = a;
+  traversal.id = "../escape";
+
+  ServiceOptions opt;
+  FlowService svc(opt);
+  const auto res = svc.run_batch({a, dup, traversal});
+  EXPECT_EQ(res[0].state, JobState::kDone);
+  EXPECT_EQ(res[1].state, JobState::kFailed);
+  EXPECT_EQ(res[1].error_code, kJobInvalidSpec);
+  EXPECT_NE(res[1].error.find("duplicate"), std::string::npos);
+  EXPECT_EQ(res[2].error_code, kJobInvalidSpec);
+}
+
+}  // namespace
+}  // namespace repro

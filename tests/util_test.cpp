@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "util/geometry.h"
 #include "util/ids.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace repro {
 namespace {
@@ -171,6 +175,49 @@ TEST(Stats, MeanAndGeomean) {
 TEST(Stats, Fmt) {
   EXPECT_EQ(fmt(1.23456, 3), "1.235");
   EXPECT_EQ(fmt(2.0, 1), "2.0");
+}
+
+// Regression stress for the lost-wakeup race in the pool's park/notify path
+// (push_task and parallel_for must lock idle_mu_ before notifying): a worker
+// that has just evaluated its wait predicate as false must still observe a
+// concurrently pushed task. Single-task bursts against a freshly woken or
+// parking pool maximize that window; the observable failure is a hang (a
+// worker sleeping through the notify while its future never resolves), which
+// the test TIMEOUT turns into a failure. Run under TSan in CI.
+TEST(ThreadPool, RapidSubmitDrainShutdownCycles) {
+  for (int cycle = 0; cycle < 150; ++cycle) {
+    ThreadPool pool(3);
+    // 1-task burst on a pool whose workers are about to park.
+    auto single = pool.submit([cycle] { return cycle; });
+    ASSERT_EQ(single.get(), cycle);
+
+    // Drain a small burst, then immediately go quiet so workers re-park;
+    // repeat to cycle park -> wake -> park within one pool lifetime.
+    for (int burst = 0; burst < 3; ++burst) {
+      std::atomic<int> sum{0};
+      std::vector<std::future<void>> fs;
+      fs.reserve(4);
+      for (int i = 0; i < 4; ++i)
+        fs.push_back(pool.submit(
+            [&sum] { sum.fetch_add(1, std::memory_order_relaxed); }));
+      for (auto& f : fs) f.get();
+      ASSERT_EQ(sum.load(), 4);
+    }
+    // Pool destruction: shutdown racing with workers that may be parking.
+  }
+}
+
+TEST(ThreadPool, ParallelForUnderRepeatedTinyRanges) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<std::size_t> hits{0};
+    // n == 1 makes the caller race the notify path with a single chunk.
+    const std::size_t n = 1 + static_cast<std::size_t>(round % 3);
+    pool.parallel_for(n, 1, [&](std::size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(hits.load(), n);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// Batch job server for place -> replicate -> route runs.
+//
+// Reads one JSON job object per line (see examples/flow_jobs.jsonl), runs the
+// batch over a thread pool with per-stage timeouts, bounded retry and
+// stage-boundary checkpointing, and writes one JSON result object per line in
+// job order. A failing or hanging job is reported FAILED/TIMED_OUT with a
+// nonzero per-job error_code; the process still exits 0 as long as the batch
+// itself ran.
+//
+//   flow_server --jobs batch.jsonl --out results.jsonl \
+//               --checkpoint-dir ckpt --threads 4 --job-timeout 60
+//   flow_server --jobs batch.jsonl --out results.jsonl --resume ckpt
+//
+// Exit codes: 0 batch ran (per-job status is in the output), 2 bad usage or
+// unreadable job file, 42 simulated crash (--crash-after-checkpoints, CI
+// resume test).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/jsonl.h"
+#include "serve/service.h"
+#include "util/log.h"
+
+using namespace repro;
+
+namespace {
+
+struct Args {
+  std::string jobs;  // "" or "-" = stdin
+  std::string out;   // "" or "-" = stdout
+  std::string checkpoint_dir;
+  bool resume = false;
+  int threads = 1;
+  int engine_threads = 1;
+  double job_timeout = 0;
+  int max_retries = 0;
+  bool stable = false;
+  bool quiet = false;
+  int crash_after_checkpoints = 0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: flow_server [options]\n"
+               "  --jobs FILE          JSONL job file (default: stdin)\n"
+               "  --out FILE           JSONL results file (default: stdout)\n"
+               "  --checkpoint-dir D   write stage-boundary snapshots into D\n"
+               "  --resume D           resume from snapshots in D (implies\n"
+               "                       --checkpoint-dir D)\n"
+               "  --threads N          concurrent jobs (0 = hardware, default 1)\n"
+               "  --engine-threads N   speculation threads per job (default 1)\n"
+               "  --job-timeout S      per-stage wall-clock timeout in seconds\n"
+               "  --max-retries N      retries for failed (not timed-out) jobs\n"
+               "  --stable             omit wall-clock fields from results so\n"
+               "                       resumed and straight runs compare equal\n"
+               "  --quiet              no stats summary on stderr\n"
+               "  --crash-after-checkpoints N\n"
+               "                       CI hook: stop after N checkpoints and\n"
+               "                       exit 42 without writing results\n"
+               "Env: REPRO_SERVE_THREADS, REPRO_SERVE_JOB_TIMEOUT,\n"
+               "     REPRO_SERVE_MAX_RETRIES (flags win).\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flow_server: missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(arg, "--jobs")) {
+      if (!(v = need(arg))) return false;
+      a.jobs = v;
+    } else if (!std::strcmp(arg, "--out")) {
+      if (!(v = need(arg))) return false;
+      a.out = v;
+    } else if (!std::strcmp(arg, "--checkpoint-dir")) {
+      if (!(v = need(arg))) return false;
+      a.checkpoint_dir = v;
+    } else if (!std::strcmp(arg, "--resume")) {
+      if (!(v = need(arg))) return false;
+      a.checkpoint_dir = v;
+      a.resume = true;
+    } else if (!std::strcmp(arg, "--threads")) {
+      if (!(v = need(arg))) return false;
+      a.threads = std::atoi(v);
+    } else if (!std::strcmp(arg, "--engine-threads")) {
+      if (!(v = need(arg))) return false;
+      a.engine_threads = std::atoi(v);
+    } else if (!std::strcmp(arg, "--job-timeout")) {
+      if (!(v = need(arg))) return false;
+      a.job_timeout = std::atof(v);
+    } else if (!std::strcmp(arg, "--max-retries")) {
+      if (!(v = need(arg))) return false;
+      a.max_retries = std::atoi(v);
+    } else if (!std::strcmp(arg, "--stable")) {
+      a.stable = true;
+    } else if (!std::strcmp(arg, "--quiet")) {
+      a.quiet = true;
+    } else if (!std::strcmp(arg, "--crash-after-checkpoints")) {
+      if (!(v = need(arg))) return false;
+      a.crash_after_checkpoints = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "flow_server: unknown option '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+
+  try {
+    // ---- read the job file ------------------------------------------------
+    std::vector<JobSpec> specs;
+    {
+      std::ifstream file;
+      const bool use_stdin = args.jobs.empty() || args.jobs == "-";
+      if (!use_stdin) {
+        file.open(args.jobs);
+        if (!file) {
+          std::fprintf(stderr, "flow_server: cannot read job file %s\n",
+                       args.jobs.c_str());
+          return 2;
+        }
+      }
+      std::istream& in = use_stdin ? std::cin : file;
+      std::string line;
+      int lineno = 0;
+      while (std::getline(in, line)) {
+        ++lineno;
+        // Blank lines and #-comments are allowed between jobs.
+        const auto pos = line.find_first_not_of(" \t\r");
+        if (pos == std::string::npos || line[pos] == '#') continue;
+        try {
+          specs.push_back(parse_job_line(line));
+        } catch (const JsonlError& e) {
+          std::fprintf(stderr, "flow_server: %s line %d: %s\n",
+                       use_stdin ? "<stdin>" : args.jobs.c_str(), lineno,
+                       e.what());
+          return 2;
+        }
+      }
+    }
+    if (specs.empty()) {
+      std::fprintf(stderr, "flow_server: no jobs\n");
+      return 2;
+    }
+
+    // ---- run the batch ----------------------------------------------------
+    ServiceOptions sopt = service_options_from_env();
+    sopt.base = config_from_env();
+    if (args.threads >= 0) sopt.threads = args.threads;
+    sopt.engine_threads = args.engine_threads;
+    if (args.job_timeout > 0) sopt.job_timeout_seconds = args.job_timeout;
+    if (args.max_retries > 0) sopt.max_retries = args.max_retries;
+    sopt.checkpoint_dir = args.checkpoint_dir;
+    sopt.resume = args.resume;
+    sopt.stop_after_checkpoints = args.crash_after_checkpoints;
+
+    FlowService service(sopt);
+    const std::vector<JobResult> results = service.run_batch(specs);
+
+    if (args.crash_after_checkpoints > 0 &&
+        service.stats().checkpoints_written >=
+            static_cast<std::uint64_t>(args.crash_after_checkpoints)) {
+      // Simulated crash: the snapshots are on disk, the results are not.
+      std::fprintf(stderr, "flow_server: simulated crash after %llu checkpoints\n",
+                   static_cast<unsigned long long>(
+                       service.stats().checkpoints_written));
+      return 42;
+    }
+
+    // ---- write results ----------------------------------------------------
+    {
+      std::ofstream file;
+      const bool use_stdout = args.out.empty() || args.out == "-";
+      if (!use_stdout) {
+        file.open(args.out);
+        if (!file) {
+          std::fprintf(stderr, "flow_server: cannot write %s\n",
+                       args.out.c_str());
+          return 2;
+        }
+      }
+      std::ostream& out = use_stdout ? std::cout : file;
+      for (const JobResult& r : results)
+        out << format_result_line(r, args.stable) << '\n';
+    }
+
+    if (!args.quiet)
+      std::fprintf(stderr, "flow_server: %s\n",
+                   service.stats().summary().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "flow_server: %s\n", e.what());
+    return 2;
+  }
+}

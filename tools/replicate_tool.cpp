@@ -51,7 +51,8 @@ struct Args {
 };
 
 int usage() {
-  std::printf(
+  std::fprintf(
+      stderr,
       "usage: replicate_tool [options]\n"
       "  --blif FILE        read a technology-mapped BLIF netlist\n"
       "  --circuit NAME     generate an MCNC-like circuit (default apex2)\n"
@@ -76,7 +77,7 @@ bool parse_args(int argc, char** argv, Args& a) {
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::printf("missing value for %s\n", flag);
+        std::fprintf(stderr, "replicate_tool: missing value for %s\n", flag);
         return nullptr;
       }
       return argv[++i];
@@ -127,7 +128,7 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (!std::strcmp(arg, "--verbose")) {
       a.verbose = true;
     } else {
-      std::printf("unknown option '%s'\n", arg);
+      std::fprintf(stderr, "replicate_tool: unknown option '%s'\n", arg);
       return false;
     }
   }
@@ -136,10 +137,29 @@ bool parse_args(int argc, char** argv, Args& a) {
 
 }  // namespace
 
+namespace {
+
+int run(const Args& args);
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
   if (args.verbose) set_log_level(LogLevel::kDebug);
+  // Any uncaught failure becomes a one-line error on stderr, never an
+  // unhandled-exception traceback.
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replicate_tool: error: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+int run(const Args& args) {
 
   FlowConfig cfg = config_from_env();
   cfg.scale = args.scale;
@@ -158,7 +178,8 @@ int main(int argc, char** argv) {
       nl = std::make_unique<Netlist>(std::move(r.netlist));
       name = r.model_name.empty() ? args.blif : r.model_name;
     } catch (const std::exception& e) {
-      std::printf("error reading %s: %s\n", args.blif.c_str(), e.what());
+      std::fprintf(stderr, "replicate_tool: error reading %s: %s\n",
+                   args.blif.c_str(), e.what());
       return 2;
     }
   } else {
@@ -166,7 +187,8 @@ int main(int argc, char** argv) {
     for (const McncCircuit& m : mcnc_suite())
       if (args.circuit == m.name) c = &m;
     if (!c) {
-      std::printf("unknown circuit '%s'\n", args.circuit.c_str());
+      std::fprintf(stderr, "replicate_tool: unknown circuit '%s'\n",
+                   args.circuit.c_str());
       return usage();
     }
     nl = std::make_unique<Netlist>(generate_circuit(spec_for(*c, cfg.scale, cfg.seed)));
@@ -187,7 +209,8 @@ int main(int argc, char** argv) {
     try {
       read_placement_file(*pl, args.place_in);
     } catch (const std::exception& e) {
-      std::printf("error reading %s: %s\n", args.place_in.c_str(), e.what());
+      std::fprintf(stderr, "replicate_tool: error reading %s: %s\n",
+                   args.place_in.c_str(), e.what());
       return 2;
     }
   } else {
@@ -229,13 +252,15 @@ int main(int argc, char** argv) {
   // ---- verify -----------------------------------------------------------------
   std::string why;
   if (!functionally_equivalent(golden, *nl, 64, 0xC0FFEE, &why)) {
-    std::printf("INTERNAL ERROR: optimized netlist not equivalent: %s\n",
-                why.c_str());
+    std::fprintf(stderr,
+                 "replicate_tool: INTERNAL ERROR: optimized netlist not "
+                 "equivalent: %s\n",
+                 why.c_str());
     return 1;
   }
   if (!pl->legal()) {
-    std::printf("INTERNAL ERROR: placement illegal: %s\n",
-                pl->check_legal().c_str());
+    std::fprintf(stderr, "replicate_tool: INTERNAL ERROR: placement illegal: %s\n",
+                 pl->check_legal().c_str());
     return 1;
   }
 
@@ -263,8 +288,11 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", args.svg.c_str());
     }
   } catch (const std::exception& e) {
-    std::printf("error writing outputs: %s\n", e.what());
+    std::fprintf(stderr, "replicate_tool: error writing outputs: %s\n",
+                 e.what());
     return 1;
   }
   return 0;
 }
+
+}  // namespace
