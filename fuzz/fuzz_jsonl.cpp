@@ -1,0 +1,24 @@
+// Fuzz target: the JSONL job-line frontend (serve/jsonl.h + parse_job_line).
+//
+// Contract under fuzzing: parse_job_line either returns a JobSpec or throws
+// JsonlError. Numeric fields must be range-checked before narrowing — a
+// double -> unsigned cast of a negative or huge value is undefined
+// behaviour, which UBSan turns into a crash here.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/jsonl.h"
+#include "serve/service.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  try {
+    repro::JobSpec spec = repro::parse_job_line(line);
+    (void)spec;
+  } catch (const repro::JsonlError&) {
+    // Structured rejection is the expected failure mode.
+  }
+  return 0;
+}

@@ -1,0 +1,429 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "netlist/sim.h"
+#include "timing/timing_engine.h"
+#include "timing/timing_graph.h"
+#include "util/rng.h"
+
+namespace repro {
+
+const char* audit_level_name(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff:
+      return "off";
+    case AuditLevel::kStage:
+      return "stage";
+    case AuditLevel::kParanoid:
+      return "paranoid";
+  }
+  return "unknown";
+}
+
+bool parse_audit_level(const std::string& text, AuditLevel* out) {
+  if (text == "off")
+    *out = AuditLevel::kOff;
+  else if (text == "stage")
+    *out = AuditLevel::kStage;
+  else if (text == "paranoid")
+    *out = AuditLevel::kParanoid;
+  else
+    return false;
+  return true;
+}
+
+AuditLevel audit_level_from_env(AuditLevel fallback) {
+  const char* v = std::getenv("REPRO_AUDIT");
+  if (!v || !*v) return fallback;
+  AuditLevel level;
+  if (!parse_audit_level(v, &level))
+    throw std::runtime_error(std::string("REPRO_AUDIT: expected off|stage|paranoid, got '") +
+                             v + "'");
+  return level;
+}
+
+AuditError::AuditError(std::string stage, AuditReport report)
+    : std::runtime_error("audit failed after stage '" + stage + "': " + report.summary() +
+                         (report.findings.empty()
+                              ? std::string{}
+                              : "; first: " + report.findings.front().message)),
+      stage_(std::move(stage)),
+      report_(std::move(report)) {}
+
+namespace {
+
+/// Truth-table bits beyond 2^inputs are don't-care; mask before comparing.
+std::uint64_t masked_function(const Cell& c) {
+  const std::size_t k = c.inputs.size();
+  if (k >= 6) return c.function;
+  return c.function & ((std::uint64_t{1} << (std::size_t{1} << k)) - 1);
+}
+
+struct FindingSink {
+  AuditReport& report;
+  std::size_t cap;
+  bool full() const { return report.findings.size() >= cap; }
+  void add(AuditSeverity sev, const std::string& stage, const char* check,
+           const char* entity, std::int64_t id, std::string msg) {
+    if (full()) return;
+    Finding f;
+    f.severity = sev;
+    f.stage = stage;
+    f.check = check;
+    f.entity = entity;
+    f.entity_id = id;
+    f.message = std::move(msg);
+    report.add(std::move(f));
+  }
+};
+
+}  // namespace
+
+AuditReport Auditor::check_netlist(const Netlist& nl, const std::string& stage) const {
+  AuditReport report;
+  report.checks_run = 1;
+  for (const NetlistIssue& issue : nl.validate_issues(opt_.max_findings)) {
+    Finding f;
+    f.severity = AuditSeverity::kError;
+    f.stage = stage;
+    f.check = "netlist.structure";
+    if (issue.cell_id >= 0) {
+      f.entity = "cell";
+      f.entity_id = issue.cell_id;
+    } else if (issue.net_id >= 0) {
+      f.entity = "net";
+      f.entity_id = issue.net_id;
+    }
+    f.message = issue.message;
+    report.add(std::move(f));
+  }
+  return report;
+}
+
+AuditReport Auditor::check_placement(const Netlist& nl, const Placement& pl,
+                                     const std::string& stage) const {
+  AuditReport report;
+  report.checks_run = 1;
+  FindingSink sink{report, opt_.max_findings};
+  const FpgaGrid& grid = pl.grid();
+  const char* check = "place.occupancy";
+
+  // Forward direction: every live cell placed exactly once, on a compatible
+  // in-array location whose occupant list contains it.
+  std::unordered_map<std::int64_t, int> occurrences;
+  for (CellId c : nl.live_cells()) {
+    if (sink.full()) return report;
+    const std::int64_t id = c.value();
+    if (!pl.placed(c)) {
+      sink.add(AuditSeverity::kError, stage, check, "cell", id,
+               "live cell " + nl.cell(c).name + " unplaced");
+      continue;
+    }
+    const Point p = pl.location(c);
+    if (!grid.in_array(p)) {
+      sink.add(AuditSeverity::kFatal, stage, check, "cell", id,
+               "cell " + nl.cell(c).name + " placed outside the grid array");
+      continue;
+    }
+    if (!pl.compatible(c, p))
+      sink.add(AuditSeverity::kError, stage, check, "cell", id,
+               "cell " + nl.cell(c).name + " on a kind-incompatible location");
+    int count = 0;
+    for (CellId o : pl.cells_at(p))
+      if (o == c) ++count;
+    if (count != 1)
+      sink.add(AuditSeverity::kError, stage, check, "cell", id,
+               "cell " + nl.cell(c).name + " appears " + std::to_string(count) +
+                   " times in the occupant list of its own location");
+  }
+
+  // Reverse direction: walk every occupant list; each entry must be an
+  // in-range cell id whose coordinate agrees, each location within capacity.
+  for (int y = 0; y < grid.extent(); ++y) {
+    for (int x = 0; x < grid.extent(); ++x) {
+      if (sink.full()) return report;
+      const Point p{x, y};
+      const std::int64_t slot = grid.slot_at(p).value();
+      int live_here = 0;
+      for (CellId o : pl.cells_at(p)) {
+        if (o.value() < 0 || o.index() >= nl.cell_capacity()) {
+          sink.add(AuditSeverity::kFatal, stage, check, "slot", slot,
+                   "occupant list holds out-of-range cell id " +
+                       std::to_string(o.value()));
+          continue;
+        }
+        if (!nl.cell_alive(o)) {
+          sink.add(AuditSeverity::kWarning, stage, check, "slot", slot,
+                   "occupant list holds dead cell " + nl.cell(o).name);
+          continue;
+        }
+        ++live_here;
+        ++occurrences[o.value()];
+        if (!pl.placed(o) || !(pl.location(o) == p))
+          sink.add(AuditSeverity::kError, stage, check, "slot", slot,
+                   "occupant " + nl.cell(o).name +
+                       " does not agree it is placed here");
+      }
+      if (live_here > grid.capacity(p))
+        sink.add(AuditSeverity::kError, stage, check, "slot", slot,
+                 "location (" + std::to_string(x) + "," + std::to_string(y) +
+                     ") over capacity: " + std::to_string(live_here) + " > " +
+                     std::to_string(grid.capacity(p)));
+    }
+  }
+
+  // A live placed cell sitting in a *different* location's occupant list
+  // shows up as occurrences != 1 (the forward pass checked its own list).
+  for (CellId c : nl.live_cells()) {
+    if (sink.full()) return report;
+    if (!pl.placed(c)) continue;
+    const auto it = occurrences.find(c.value());
+    const int n = it == occurrences.end() ? 0 : it->second;
+    if (n != 1)
+      sink.add(AuditSeverity::kError, stage, check, "cell", c.value(),
+               "cell " + nl.cell(c).name + " appears in " + std::to_string(n) +
+                   " occupant entries across the grid (expected 1)");
+  }
+  return report;
+}
+
+AuditReport Auditor::check_eq_classes(const Netlist& nl, const std::string& stage) const {
+  AuditReport report;
+  report.checks_run = 1;
+  FindingSink sink{report, opt_.max_findings};
+  const char* check = "eqclass.consistency";
+  for (CellId c : nl.live_cells()) {
+    if (sink.full()) return report;
+    const Cell& cell = nl.cell(c);
+    if (cell.eq_class.value() < 0) continue;
+    const std::vector<CellId> members = nl.eq_members(cell.eq_class);
+    if (members.size() < 2) continue;
+    // Process each class once, at its lowest-id live member.
+    if (members.front() != c) continue;
+    const Cell& rep = cell;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const Cell& m = nl.cell(members[i]);
+      const std::int64_t id = members[i].value();
+      if (m.kind != rep.kind || m.registered != rep.registered ||
+          m.inputs.size() != rep.inputs.size()) {
+        sink.add(AuditSeverity::kError, stage, check, "cell", id,
+                 "replica " + m.name + " structurally diverged from " + rep.name);
+        continue;
+      }
+      if (masked_function(m) != masked_function(rep)) {
+        sink.add(AuditSeverity::kFatal, stage, check, "cell", id,
+                 "replica " + m.name + " truth table differs from " + rep.name);
+        continue;
+      }
+      for (std::size_t pin = 0; pin < rep.inputs.size(); ++pin) {
+        const NetId na = rep.inputs[pin], nb = m.inputs[pin];
+        if (!na.valid() || !nb.valid()) continue;  // netlist.structure reports these
+        const CellId da = nl.net(na).driver, db = nl.net(nb).driver;
+        if (da == db) continue;
+        if (!nl.equivalent(da, db)) {
+          sink.add(AuditSeverity::kError, stage, check, "cell", id,
+                   "replica " + m.name + " pin " + std::to_string(pin) +
+                       " driven by a non-equivalent source");
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport Auditor::check_equivalence(const Netlist& golden, const Netlist& revised,
+                                       const std::string& stage) const {
+  AuditReport report;
+  report.checks_run = 1;
+  const int cycles =
+      opt_.level == AuditLevel::kParanoid ? opt_.sim_cycles_paranoid : opt_.sim_cycles;
+  std::string why;
+  bool equal = false;
+  try {
+    equal = functionally_equivalent(golden, revised, cycles, opt_.seed, &why);
+  } catch (const std::exception& e) {
+    why = e.what();  // e.g. a combinational loop makes simulation impossible
+  }
+  if (!equal) {
+    Finding f;
+    f.severity = AuditSeverity::kFatal;
+    f.stage = stage;
+    f.check = "sim.equivalence";
+    f.entity = "output";
+    f.message = "random-vector equivalence failed after " + std::to_string(cycles) +
+                " cycles: " + (why.empty() ? "outputs differ" : why);
+    report.add(std::move(f));
+  }
+  return report;
+}
+
+AuditReport Auditor::check_sta(const Netlist& nl, const Placement& pl,
+                               const LinearDelayModel& dm,
+                               const std::string& stage) const {
+  AuditReport report;
+  report.checks_run = 1;
+  FindingSink sink{report, opt_.max_findings};
+  const char* check = "sta.drift";
+
+  // Probe on a scratch copy: drive a fresh TimingEngine through seeded random
+  // moves, then rebuild cold and compare. This exercises the same incremental
+  // machinery the flow relies on, against the oracle, on this very design.
+  Placement scratch = pl.with_netlist(nl);
+  TimingEngine eng(nl, scratch, dm);
+  const std::vector<Point>& logic = pl.grid().logic_locations();
+  std::vector<CellId> movable;
+  for (CellId c : nl.live_cells())
+    if (nl.cell(c).kind == CellKind::kLogic && scratch.placed(c)) movable.push_back(c);
+
+  const int moves = opt_.level == AuditLevel::kParanoid ? opt_.sta_probe_moves_paranoid
+                                                        : opt_.sta_probe_moves;
+  if (!movable.empty() && !logic.empty()) {
+    Rng rng(opt_.seed ^ 0x57A0D21FULL);
+    for (int i = 0; i < moves; ++i) {
+      const CellId c = movable[rng.next_below(movable.size())];
+      const Point p = logic[rng.next_below(logic.size())];
+      scratch.place(c, p);  // capacity overlap is fine; STA ignores legality
+      eng.on_cell_moved(c);
+      eng.update();
+    }
+  }
+
+  const TimingGraph& inc = eng.updated();
+  const TimingGraph cold(nl, scratch, dm);
+  auto drift = [&](double a, double b) {
+    return std::abs(a - b) > opt_.sta_tolerance * std::max(1.0, std::abs(b));
+  };
+  for (CellId c : nl.live_cells()) {
+    if (sink.full()) return report;
+    for (const TimingNodeId ni : {inc.out_node(c), inc.sink_node(c)}) {
+      if (!ni.valid()) continue;
+      const TimingNodeId nc =
+          inc.node(ni).kind == TimingNodeKind::kSink ? cold.sink_node(c) : cold.out_node(c);
+      if (!nc.valid()) {
+        sink.add(AuditSeverity::kError, stage, check, "cell", c.value(),
+                 "timing node for " + nl.cell(c).name + " missing in cold rebuild");
+        continue;
+      }
+      if (drift(inc.arrival(ni), cold.arrival(nc)) ||
+          drift(inc.downstream(ni), cold.downstream(nc)))
+        sink.add(AuditSeverity::kError, stage, check, "cell", c.value(),
+                 "incremental STA drifted from cold rebuild at " + nl.cell(c).name);
+    }
+  }
+  if (drift(inc.critical_delay(), cold.critical_delay()))
+    sink.add(AuditSeverity::kError, stage, check, "", -1,
+             "incremental critical delay drifted from cold rebuild");
+  return report;
+}
+
+AuditReport Auditor::check_routing(const Netlist& nl, const Placement& pl,
+                                   const RoutingResult& routing,
+                                   const std::string& stage) const {
+  AuditReport report;
+  report.checks_run = 1;
+  FindingSink sink{report, opt_.max_findings};
+  const char* check = "route.occupancy";
+
+  const int extent = pl.grid().extent();
+  const std::size_t num_edges =
+      static_cast<std::size_t>(2) * extent * (extent - 1);
+  if (routing.edge_occupancy.empty() && routing.net_route_edges.empty()) {
+    sink.add(AuditSeverity::kInfo, stage, check, "", -1,
+             "routing result carries no audit export; check skipped");
+    return report;
+  }
+  if (routing.edge_occupancy.size() != num_edges) {
+    sink.add(AuditSeverity::kError, stage, check, "", -1,
+             "edge occupancy has " + std::to_string(routing.edge_occupancy.size()) +
+                 " entries, channel graph has " + std::to_string(num_edges));
+    return report;
+  }
+
+  // Recompute occupancy from the per-net route trees.
+  std::vector<std::int32_t> occ(num_edges, 0);
+  for (std::size_t ni = 0; ni < routing.net_route_edges.size(); ++ni) {
+    if (sink.full()) return report;
+    const bool net_known = ni < nl.net_capacity();
+    const bool live = net_known && nl.net_alive(NetId(static_cast<NetId::value_type>(ni)));
+    const auto& edges = routing.net_route_edges[ni];
+    if (!edges.empty() && !live)
+      sink.add(AuditSeverity::kError, stage, check, "net", static_cast<std::int64_t>(ni),
+               "dead or unknown net holds a route tree");
+    for (std::int32_t e : edges) {
+      if (e < 0 || static_cast<std::size_t>(e) >= num_edges) {
+        sink.add(AuditSeverity::kFatal, stage, check, "net",
+                 static_cast<std::int64_t>(ni),
+                 "route tree references out-of-range channel edge " + std::to_string(e));
+        continue;
+      }
+      ++occ[static_cast<std::size_t>(e)];
+    }
+  }
+  std::int64_t wirelength = 0;
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    if (sink.full()) return report;
+    wirelength += routing.edge_occupancy[e];
+    if (occ[e] != routing.edge_occupancy[e])
+      sink.add(AuditSeverity::kError, stage, check, "channel-edge",
+               static_cast<std::int64_t>(e),
+               "occupancy " + std::to_string(routing.edge_occupancy[e]) +
+                   " disagrees with route trees (" + std::to_string(occ[e]) + ")");
+  }
+  if (wirelength != routing.total_wirelength)
+    sink.add(AuditSeverity::kError, stage, check, "", -1,
+             "total wirelength " + std::to_string(routing.total_wirelength) +
+                 " != summed occupancy " + std::to_string(wirelength));
+
+  if (routing.success) {
+    if (routing.unrouted_connections != 0)
+      sink.add(AuditSeverity::kError, stage, check, "", -1,
+               "successful result reports unrouted connections");
+    if (routing.channel_capacity > 0) {
+      for (std::size_t e = 0; e < num_edges && !sink.full(); ++e)
+        if (routing.edge_occupancy[e] > routing.channel_capacity)
+          sink.add(AuditSeverity::kError, stage, check, "channel-edge",
+                   static_cast<std::int64_t>(e),
+                   "successful result leaves edge overused: " +
+                       std::to_string(routing.edge_occupancy[e]) + " > " +
+                       std::to_string(routing.channel_capacity));
+    }
+    // Every sink of every routed live net must carry a routed length.
+    for (NetId n : nl.live_nets()) {
+      if (sink.full()) return report;
+      if (n.index() >= routing.net_routed.size() || !routing.net_routed[n.index()])
+        continue;
+      for (const Sink& s : nl.net(n).sinks)
+        if (routing.connection_length.get(s.cell, s.pin) < 0)
+          sink.add(AuditSeverity::kError, stage, check, "net", n.value(),
+                   "successful result lacks a routed length for a sink of net " +
+                       nl.net(n).name);
+    }
+  }
+  return report;
+}
+
+AuditReport Auditor::audit_stage(const std::string& stage, const Netlist& nl,
+                                 const Placement* pl, const LinearDelayModel* dm,
+                                 const Netlist* golden,
+                                 const RoutingResult* routing) const {
+  AuditReport report;
+  if (opt_.level == AuditLevel::kOff) return report;
+  report.merge(check_netlist(nl, stage));
+  report.merge(check_eq_classes(nl, stage));
+  if (pl) report.merge(check_placement(nl, *pl, stage));
+  if (golden) report.merge(check_equivalence(*golden, nl, stage));
+  if (routing && pl) report.merge(check_routing(nl, *pl, *routing, stage));
+  if (pl && dm) report.merge(check_sta(nl, *pl, *dm, stage));
+  return report;
+}
+
+void Auditor::require_clean(const std::string& stage, AuditReport report) {
+  if (!report.clean()) throw AuditError(stage, std::move(report));
+}
+
+}  // namespace repro

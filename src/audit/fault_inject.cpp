@@ -1,0 +1,53 @@
+#include "audit/fault_inject.h"
+
+#include "util/rng.h"
+
+namespace repro {
+
+CellId AuditFaultInjector::corrupt_function_bit(Netlist& nl, std::uint64_t seed) {
+  std::vector<CellId> candidates;
+  for (CellId c : nl.live_cells()) {
+    const Cell& cell = nl.cell(c);
+    if (cell.kind == CellKind::kLogic && !cell.inputs.empty()) candidates.push_back(c);
+  }
+  if (candidates.empty()) return CellId::invalid();
+  Rng rng(seed);
+  const CellId victim = candidates[rng.next_below(candidates.size())];
+  Cell& cell = nl.cells_[victim.index()];
+  const std::uint64_t rows = std::uint64_t{1} << cell.inputs.size();
+  cell.function ^= std::uint64_t{1} << rng.next_below(rows);
+  return victim;
+}
+
+CellId AuditFaultInjector::corrupt_occupant_entry(Placement& pl, std::uint64_t seed) {
+  Rng rng(seed);
+  // Collect non-empty occupant lists.
+  std::vector<std::size_t> occupied;
+  for (std::size_t s = 0; s < pl.occupants_.size(); ++s)
+    if (!pl.occupants_[s].empty()) occupied.push_back(s);
+  if (occupied.empty() || pl.occupants_.size() < 2) return CellId::invalid();
+  const std::size_t from = occupied[rng.next_below(occupied.size())];
+  std::size_t to = rng.next_below(pl.occupants_.size());
+  if (to == from) to = (to + 1) % pl.occupants_.size();
+  auto& list = pl.occupants_[from];
+  const std::size_t i = rng.next_below(list.size());
+  const CellId victim = list[i];
+  list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+  pl.occupants_[to].push_back(victim);
+  return victim;
+}
+
+NetId AuditFaultInjector::corrupt_route_edge(RoutingResult& routing, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> routed;
+  for (std::size_t n = 0; n < routing.net_route_edges.size(); ++n)
+    if (!routing.net_route_edges[n].empty()) routed.push_back(n);
+  if (routed.empty()) return NetId::invalid();
+  const std::size_t n = routed[rng.next_below(routed.size())];
+  auto& edges = routing.net_route_edges[n];
+  edges.erase(edges.begin() +
+              static_cast<std::ptrdiff_t>(rng.next_below(edges.size())));
+  return NetId(static_cast<NetId::value_type>(n));
+}
+
+}  // namespace repro

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "place/placement.h"
+#include "route/router.h"
+
+namespace repro {
+
+/// Seeded corruption of flow artifacts, for proving the auditor catches what
+/// it claims to catch (tests/audit_test.cpp) — the audit subsystem's
+/// equivalent of fault-injection in a checker. Each helper flips exactly one
+/// thing through the private state the public editing API protects, returns
+/// what it touched, and leaves everything else intact.
+struct AuditFaultInjector {
+  /// Flips one truth-table bit of a live logic cell with >= 1 input.
+  /// Returns the cell mutated, or invalid if none qualifies.
+  static CellId corrupt_function_bit(Netlist& nl, std::uint64_t seed);
+
+  /// Relocates one occupant-list entry to a different location's list without
+  /// updating the cell's coordinate — the occupant list and the coordinate
+  /// array now disagree. Returns the cell whose entry moved, or invalid.
+  static CellId corrupt_occupant_entry(Placement& pl, std::uint64_t seed);
+
+  /// Drops one channel edge from one net's exported route tree (the
+  /// occupancy bookkeeping keeps counting it). Returns the net mutated, or
+  /// invalid if the result holds no routed edges.
+  static NetId corrupt_route_edge(RoutingResult& routing, std::uint64_t seed);
+};
+
+}  // namespace repro

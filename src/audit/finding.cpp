@@ -1,0 +1,78 @@
+#include "audit/finding.h"
+
+#include <algorithm>
+
+#include "serve/jsonl.h"
+
+namespace repro {
+
+const char* audit_severity_name(AuditSeverity s) {
+  switch (s) {
+    case AuditSeverity::kInfo:
+      return "info";
+    case AuditSeverity::kWarning:
+      return "warning";
+    case AuditSeverity::kError:
+      return "error";
+    case AuditSeverity::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+std::string Finding::to_jsonl() const {
+  JsonlWriter w;
+  w.field("severity", audit_severity_name(severity));
+  w.field("stage", stage);
+  w.field("check", check);
+  if (!entity.empty()) {
+    w.field("entity", entity);
+    w.field("entity_id", entity_id);
+  }
+  w.field("message", message);
+  return w.take();
+}
+
+bool AuditReport::clean() const {
+  return count_at_least(AuditSeverity::kError) == 0;
+}
+
+AuditSeverity AuditReport::worst() const {
+  AuditSeverity w = AuditSeverity::kInfo;
+  for (const Finding& f : findings) w = std::max(w, f.severity);
+  return w;
+}
+
+std::size_t AuditReport::count_at_least(AuditSeverity s) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (f.severity >= s) ++n;
+  return n;
+}
+
+void AuditReport::add(Finding f) { findings.push_back(std::move(f)); }
+
+void AuditReport::merge(AuditReport other) {
+  checks_run += other.checks_run;
+  findings.insert(findings.end(), std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+std::string AuditReport::to_jsonl_lines() const {
+  std::string out;
+  for (const Finding& f : findings) {
+    if (!out.empty()) out += '\n';
+    out += f.to_jsonl();
+  }
+  return out;
+}
+
+std::string AuditReport::summary() const {
+  std::string s = std::to_string(checks_run) + " checks, " +
+                  std::to_string(findings.size()) + " findings";
+  if (!findings.empty())
+    s += std::string(" (worst ") + audit_severity_name(worst()) + ")";
+  return s;
+}
+
+}  // namespace repro

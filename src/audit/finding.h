@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Severity of one audit finding.
+///
+///  * kInfo     — observation, no invariant violated (e.g. a check skipped
+///                because the stage produced no data for it).
+///  * kWarning  — tolerated inconsistency the flow is known to repair later
+///                (e.g. a stale occupant entry for a dead cell).
+///  * kError    — an invariant is violated; downstream results cannot be
+///                trusted. Fails the audit.
+///  * kFatal    — the artifact is functionally wrong (equivalence broken) or
+///                memory-unsafe to traverse. Fails the audit.
+enum class AuditSeverity : std::uint8_t { kInfo, kWarning, kError, kFatal };
+
+const char* audit_severity_name(AuditSeverity s);
+
+/// One machine-readable audit finding.
+///
+/// Serialized as a flat JSONL object (serve/jsonl.h) so findings flow through
+/// the same plumbing as job results:
+///   {"severity":"error","stage":"replicate","check":"place.occupancy",
+///    "entity":"cell","entity_id":42,"message":"..."}
+struct Finding {
+  AuditSeverity severity = AuditSeverity::kError;
+  /// Flow stage the battery ran after: "place", "replicate", "route",
+  /// "resume", or a caller-defined label.
+  std::string stage;
+  /// Which invariant: "netlist.structure", "place.occupancy",
+  /// "eqclass.consistency", "sta.drift", "route.occupancy",
+  /// "sim.equivalence".
+  std::string check;
+  /// Entity kind the id indexes: "cell", "net", "slot", "channel-edge",
+  /// "output", or "" when not applicable.
+  std::string entity;
+  std::int64_t entity_id = -1;
+  std::string message;
+
+  std::string to_jsonl() const;
+};
+
+/// Aggregated result of one audit battery.
+struct AuditReport {
+  std::vector<Finding> findings;
+  int checks_run = 0;
+
+  /// True when no finding is kError or worse (info/warning tolerated).
+  bool clean() const;
+  AuditSeverity worst() const;  ///< kInfo when there are no findings.
+  std::size_t count_at_least(AuditSeverity s) const;
+
+  void add(Finding f);
+  void merge(AuditReport other);
+
+  /// One JSONL line per finding, newline-separated (no trailing newline).
+  std::string to_jsonl_lines() const;
+  /// Human one-liner: "4 checks, 2 findings (worst error)".
+  std::string summary() const;
+};
+
+}  // namespace repro

@@ -49,6 +49,13 @@ FlowConfig config_from_env() {
   }
   cfg.num_threads =
       static_cast<int>(env_long("REPRO_THREADS", cfg.num_threads, 0));
+  try {
+    cfg.audit = audit_level_from_env(cfg.audit);
+  } catch (const std::exception& e) {
+    // Same degrade-to-default policy as the other knobs: a typo'd level must
+    // not abort a batch.
+    LOG_WARN() << e.what() << "; auditing stays " << audit_level_name(cfg.audit);
+  }
   if (const char* v = std::getenv("REPRO_ROUTE_ASTAR"))
     cfg.router.use_astar = v[0] != '0';
   if (const char* v = std::getenv("REPRO_ROUTE_INCREMENTAL"))
@@ -75,6 +82,16 @@ PlacedCircuit prepare_circuit(const McncCircuit& c, const FlowConfig& cfg) {
   out.pl = std::make_unique<Placement>(
       anneal_placement(*out.nl, *out.grid, cfg.delay, aopt));
   out.anneal_seconds = now_seconds() - t0;
+
+  if (cfg.audit != AuditLevel::kOff) {
+    AuditOptions aud;
+    aud.level = cfg.audit;
+    aud.seed = cfg.seed;
+    Auditor auditor(aud);
+    Auditor::require_clean(
+        "place", auditor.audit_stage("place", *out.nl, out.pl.get(),
+                                     &cfg.delay, nullptr, nullptr));
+  }
   return out;
 }
 
@@ -126,14 +143,29 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
     m.route_passes += static_cast<std::uint64_t>(r.iterations);
   };
 
+  // Route audits recompute occupancy from the exported per-net route trees
+  // (see Auditor::check_routing). At kStage only the final result of each
+  // mode is audited; kParanoid audits every pass.
+  auto audit_route = [&](const RoutingResult& r, bool final_pass) {
+    if (cfg.audit == AuditLevel::kOff) return;
+    if (!final_pass && cfg.audit != AuditLevel::kParanoid) return;
+    AuditOptions aud;
+    aud.level = cfg.audit;
+    aud.seed = cfg.seed;
+    Auditor auditor(aud);
+    Auditor::require_clean("route", auditor.check_routing(nl, pl, r, "route"));
+  };
+
   // Infinite-resource routing: the placement-evaluation metric of Table I.
   RouterOptions inf = cfg.router;
   inf.channel_width = 0;
   RoutingResult r_inf = route(nl, pl, inf, crit_fn);
   count_route(r_inf);
+  audit_route(r_inf, /*final_pass=*/false);
   retime_from(r_inf);
   r_inf = route(nl, pl, inf, crit_fn);
   count_route(r_inf);
+  audit_route(r_inf, /*final_pass=*/true);
   m.crit_winf = routed_critical_delay(eng, r_inf);
   m.wirelength = r_inf.total_wirelength;
 
@@ -147,9 +179,11 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
     ls.channel_width = static_cast<int>(std::ceil(1.2 * m.wmin));
     RoutingResult r_ls = route(nl, pl, ls, crit_fn);
     count_route(r_ls);
+    audit_route(r_ls, /*final_pass=*/false);
     retime_from(r_ls);
     r_ls = route(nl, pl, ls, crit_fn);
     count_route(r_ls);
+    audit_route(r_ls, /*final_pass=*/true);
     m.crit_wls = routed_critical_delay(eng, r_ls);
     m.wirelength = r_ls.total_wirelength;
   } else {

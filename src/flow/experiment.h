@@ -5,6 +5,7 @@
 
 #include "arch/delay_model.h"
 #include "arch/fpga_grid.h"
+#include "audit/auditor.h"
 #include "gen/circuit_gen.h"
 #include "netlist/netlist.h"
 #include "place/annealer.h"
@@ -33,6 +34,11 @@ struct FlowConfig {
   /// (EngineOptions::num_threads): 0 = hardware concurrency, 1 = serial.
   /// Results are bit-identical for every value. Override with REPRO_THREADS.
   int num_threads = 0;
+  /// Invariant auditing after prepare_circuit and around evaluate_routed
+  /// (src/audit). Audits are read-only and never change results; like
+  /// num_threads this is a process-local knob, NOT serialized into
+  /// snapshots. Override with REPRO_AUDIT. Throws AuditError on a violation.
+  AuditLevel audit = AuditLevel::kOff;
 };
 
 /// Reads REPRO_SCALE / REPRO_QUICK / REPRO_THREADS environment variables so

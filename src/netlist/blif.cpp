@@ -25,9 +25,14 @@ struct LatchDecl {
   int line = 0;
 };
 
-[[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error("blif:" + std::to_string(line) + ": " + msg);
-}
+/// Error context: every fail() keeps the source tag so the message stays
+/// "file:line: detail" no matter how deep in the build it fires.
+struct ErrorContext {
+  const std::string& source;
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw BlifError(source, line, msg);
+  }
+};
 
 std::vector<std::string> tokenize(const std::string& s) {
   std::vector<std::string> out;
@@ -38,19 +43,21 @@ std::vector<std::string> tokenize(const std::string& s) {
 }
 
 /// Builds the truth table from a single-output cover.
-std::uint64_t cover_to_function(const NamesDecl& d) {
+std::uint64_t cover_to_function(const NamesDecl& d, const ErrorContext& ctx) {
   const int k = static_cast<int>(d.inputs.size());
   if (k > Netlist::kMaxLutInputs)
-    fail(d.line, ".names with more than " + std::to_string(Netlist::kMaxLutInputs) +
-                     " inputs is not supported");
+    ctx.fail(d.line, ".names with more than " + std::to_string(Netlist::kMaxLutInputs) +
+                         " inputs is not supported");
   // Determine cover polarity.
   char polarity = 0;
   for (const auto& [pattern, value] : d.rows) {
-    if (value != '0' && value != '1') fail(d.line, "cover output must be 0 or 1");
+    if (value != '0' && value != '1') ctx.fail(d.line, "cover output must be 0 or 1");
     if (polarity == 0) polarity = value;
-    if (value != polarity) fail(d.line, "mixed-polarity cover");
+    if (value != polarity) ctx.fail(d.line, "mixed-polarity cover");
     if (static_cast<int>(pattern.size()) != k)
-      fail(d.line, "cover row width does not match input count");
+      ctx.fail(d.line, "cover row width (" + std::to_string(pattern.size()) +
+                           ") does not match declared input count (" +
+                           std::to_string(k) + ")");
   }
   if (d.rows.empty()) return 0;  // constant 0
 
@@ -80,10 +87,12 @@ std::uint64_t cover_to_function(const NamesDecl& d) {
 
 }  // namespace
 
-BlifResult read_blif(std::istream& in) {
+BlifResult read_blif(std::istream& in, const std::string& source_name) {
+  const ErrorContext ctx{source_name};
+  auto fail = [&ctx](int line, const std::string& msg) -> void { ctx.fail(line, msg); };
   BlifResult result;
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
+  std::vector<std::pair<std::string, int>> input_names;   // (name, decl line)
+  std::vector<std::pair<std::string, int>> output_names;  // (name, decl line)
   std::vector<NamesDecl> names;
   std::vector<LatchDecl> latches;
 
@@ -117,6 +126,8 @@ BlifResult read_blif(std::istream& in) {
 
   // ---- parse records -------------------------------------------------------
   NamesDecl* open_names = nullptr;
+  bool saw_model = false;
+  bool saw_end = false;
   for (auto& [ln, toks] : records) {
     const std::string& head = toks[0];
     if (head[0] != '.') {
@@ -133,11 +144,15 @@ BlifResult read_blif(std::istream& in) {
     }
     open_names = nullptr;
     if (head == ".model") {
+      if (saw_model) fail(ln, "duplicate .model");
+      saw_model = true;
       if (toks.size() >= 2) result.model_name = toks[1];
     } else if (head == ".inputs") {
-      input_names.insert(input_names.end(), toks.begin() + 1, toks.end());
+      for (auto it = toks.begin() + 1; it != toks.end(); ++it)
+        input_names.emplace_back(*it, ln);
     } else if (head == ".outputs") {
-      output_names.insert(output_names.end(), toks.begin() + 1, toks.end());
+      for (auto it = toks.begin() + 1; it != toks.end(); ++it)
+        output_names.emplace_back(*it, ln);
     } else if (head == ".names") {
       if (toks.size() < 2) fail(ln, ".names needs at least an output");
       NamesDecl d;
@@ -150,19 +165,21 @@ BlifResult read_blif(std::istream& in) {
       if (toks.size() < 3) fail(ln, ".latch needs input and output");
       latches.push_back(LatchDecl{toks[1], toks[2], ln});
     } else if (head == ".end") {
+      saw_end = true;
       break;
     } else {
       fail(ln, "unsupported directive '" + head + "'");
     }
   }
+  if (!saw_end) fail(lineno, "missing .end");
 
   // ---- build the netlist ----------------------------------------------------
   Netlist& nl = result.netlist;
   std::unordered_map<std::string, NetId> net_of;  // signal name -> net
   std::unordered_map<std::string, CellId> producer;
 
-  for (const std::string& n : input_names) {
-    if (net_of.count(n)) fail(0, "duplicate signal '" + n + "'");
+  for (const auto& [n, ln] : input_names) {
+    if (net_of.count(n)) fail(ln, "duplicate signal '" + n + "'");
     CellId pad = nl.add_input_pad(n);
     net_of[n] = nl.cell(pad).output;
   }
@@ -170,7 +187,7 @@ BlifResult read_blif(std::istream& in) {
     if (net_of.count(d.output)) fail(d.line, "duplicate signal '" + d.output + "'");
     CellId c = nl.add_logic(d.output,
                             std::vector<NetId>(d.inputs.size(), NetId::invalid()),
-                            cover_to_function(d), false);
+                            cover_to_function(d, ctx), false);
     net_of[d.output] = nl.cell(c).output;
     producer[d.output] = c;
   }
@@ -195,9 +212,9 @@ BlifResult read_blif(std::istream& in) {
   for (const LatchDecl& l : latches)
     nl.connect(net_named(l.input, l.line), producer.at(l.output), 0);
 
-  for (const std::string& n : output_names) {
+  for (const auto& [n, ln] : output_names) {
     CellId pad = nl.add_output_pad(n);
-    nl.connect(net_named(n, 0), pad, 0);
+    nl.connect(net_named(n, ln), pad, 0);
   }
 
   // ---- collapse single-fanout LUT -> latch pairs into registered BLEs ------
@@ -230,7 +247,7 @@ BlifResult read_blif(std::istream& in) {
 BlifResult read_blif_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return read_blif(in);
+  return read_blif(in, path);
 }
 
 void write_blif(const Netlist& nl, const std::string& model_name, std::ostream& out) {

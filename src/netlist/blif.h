@@ -1,11 +1,34 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "netlist/netlist.h"
 
 namespace repro {
+
+/// Structured BLIF parse error. what() keeps the classic "file:line: detail"
+/// shape; the components are also exposed so tools can report without string
+/// surgery. line 0 means "not attributable to one line" (e.g. truncated
+/// input discovered at end of file).
+class BlifError : public std::runtime_error {
+ public:
+  BlifError(std::string file, int line, std::string detail)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + detail),
+        file_(std::move(file)),
+        line_(line),
+        detail_(std::move(detail)) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  std::string file_;
+  int line_;
+  std::string detail_;
+};
 
 /// Berkeley Logic Interchange Format (BLIF) import/export.
 ///
@@ -31,9 +54,11 @@ struct BlifResult {
   std::string model_name;
 };
 
-/// Parses BLIF text. Throws std::runtime_error with a line-numbered message
-/// on malformed input.
-BlifResult read_blif(std::istream& in);
+/// Parses BLIF text. Throws BlifError with a file:line-attributed message on
+/// malformed input (duplicate .model, duplicate signal definitions, missing
+/// .end, cover rows wider than the declared inputs, ...). `source_name` is
+/// the file tag used in error messages.
+BlifResult read_blif(std::istream& in, const std::string& source_name = "blif");
 BlifResult read_blif_file(const std::string& path);
 
 /// Writes the netlist as BLIF.

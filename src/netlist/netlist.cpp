@@ -204,31 +204,43 @@ void Netlist::steal_fanout(CellId from_cell, CellId into_cell) {
 }
 
 int Netlist::remove_if_redundant(CellId v, std::vector<CellId>* deleted) {
-  Cell& c = cells_[v.index()];
-  if (!c.alive || c.kind != CellKind::kLogic) return 0;
-  if (!nets_[c.output.index()].sinks.empty()) return 0;
-  // Detach from fanin nets, then recursively test the fanins.
-  std::vector<NetId> fanin = c.inputs;
-  for (int pin = 0; pin < static_cast<int>(c.inputs.size()); ++pin) {
-    NetId n = c.inputs[pin];
-    if (!n.valid()) continue;
-    auto& sinks = nets_[n.index()].sinks;
-    for (std::size_t i = 0; i < sinks.size(); ++i) {
-      if (sinks[i].cell == v && sinks[i].pin == pin) {
-        sinks[i] = sinks.back();
-        sinks.pop_back();
-        break;
+  // Explicit pre-order worklist instead of recursion: redundant chains can be
+  // as long as the netlist (e.g. a BLIF file with a deep single-fanout chain
+  // feeding an unused latch), and call-stack depth must not scale with
+  // untrusted input size.
+  int count = 0;
+  std::vector<CellId> stack{v};
+  while (!stack.empty()) {
+    const CellId u = stack.back();
+    stack.pop_back();
+    Cell& c = cells_[u.index()];
+    if (!c.alive || c.kind != CellKind::kLogic) continue;
+    if (!nets_[c.output.index()].sinks.empty()) continue;
+    // Detach from fanin nets, then test the fanins.
+    std::vector<NetId> fanin = c.inputs;
+    for (int pin = 0; pin < static_cast<int>(c.inputs.size()); ++pin) {
+      NetId n = c.inputs[pin];
+      if (!n.valid()) continue;
+      auto& sinks = nets_[n.index()].sinks;
+      for (std::size_t i = 0; i < sinks.size(); ++i) {
+        if (sinks[i].cell == u && sinks[i].pin == pin) {
+          sinks[i] = sinks.back();
+          sinks.pop_back();
+          break;
+        }
       }
+      c.inputs[pin] = NetId::invalid();
     }
-    c.inputs[pin] = NetId::invalid();
+    c.alive = false;
+    nets_[c.output.index()].alive = false;
+    --num_live_cells_;
+    if (deleted) deleted->push_back(u);
+    ++count;
+    // Reverse push keeps the recursive version's depth-first pin order, so
+    // deletion order (and everything seeded by it) is unchanged.
+    for (std::size_t i = fanin.size(); i > 0; --i)
+      if (fanin[i - 1].valid()) stack.push_back(nets_[fanin[i - 1].index()].driver);
   }
-  c.alive = false;
-  nets_[c.output.index()].alive = false;
-  --num_live_cells_;
-  if (deleted) deleted->push_back(v);
-  int count = 1;
-  for (NetId n : fanin)
-    if (n.valid()) count += remove_if_redundant(nets_[n.index()].driver, deleted);
   return count;
 }
 
@@ -238,89 +250,151 @@ int Netlist::unify(CellId from, CellId into, std::vector<CellId>* deleted) {
   return remove_if_redundant(from, deleted);
 }
 
-std::string Netlist::validate() const {
-  std::ostringstream err;
+std::vector<NetlistIssue> Netlist::validate_issues(std::size_t max_issues) const {
+  std::vector<NetlistIssue> issues;
+  auto report = [&](std::string msg, std::int64_t cell, std::int64_t net) {
+    if (issues.size() < max_issues)
+      issues.push_back(NetlistIssue{std::move(msg), cell, net});
+    return issues.size() >= max_issues;
+  };
+  // Ids may come from an untrusted snapshot: a stored id can be any 32-bit
+  // value, and valid() only excludes the -1 sentinel. Check the numeric range
+  // before every indexed access.
+  auto net_in_range = [&](NetId id) {
+    return id.value() >= 0 && id.index() < nets_.size();
+  };
+  auto cell_in_range = [&](CellId id) {
+    return id.value() >= 0 && id.index() < cells_.size();
+  };
+
   std::size_t live_count = 0;
   for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    if (issues.size() >= max_issues) return issues;
     const Cell& c = cells_[ci];
     if (!c.alive) continue;
     ++live_count;
     CellId cid(static_cast<CellId::value_type>(ci));
+    const std::int64_t cint = static_cast<std::int64_t>(ci);
     if (c.kind != CellKind::kOutputPad) {
       if (!c.output.valid()) {
-        err << "cell " << c.name << " has no output net";
-        return err.str();
-      }
-      const Net& n = nets_[c.output.index()];
-      if (!n.alive || n.driver != cid) {
-        err << "cell " << c.name << " output net driver mismatch";
-        return err.str();
+        if (report("cell " + c.name + " has no output net", cint, -1)) return issues;
+      } else if (!net_in_range(c.output)) {
+        if (report("cell " + c.name + " output net id out of range", cint, -1))
+          return issues;
+      } else {
+        const Net& n = nets_[c.output.index()];
+        if (!n.alive || n.driver != cid)
+          if (report("cell " + c.name + " output net driver mismatch", cint,
+                     c.output.value()))
+            return issues;
       }
     }
-    if (c.kind == CellKind::kInputPad && !c.inputs.empty()) {
-      err << "input pad " << c.name << " has inputs";
-      return err.str();
-    }
+    if (c.kind == CellKind::kInputPad && !c.inputs.empty())
+      if (report("input pad " + c.name + " has inputs", cint, -1)) return issues;
     if (c.kind == CellKind::kLogic &&
-        static_cast<int>(c.inputs.size()) > kMaxLutInputs) {
-      err << "cell " << c.name << " has too many inputs";
-      return err.str();
-    }
+        static_cast<int>(c.inputs.size()) > kMaxLutInputs)
+      if (report("cell " + c.name + " has too many inputs", cint, -1)) return issues;
     for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
       NetId nid = c.inputs[pin];
       if (!nid.valid()) {
-        err << "cell " << c.name << " pin " << pin << " unconnected";
-        return err.str();
+        if (report("cell " + c.name + " pin " + std::to_string(pin) + " unconnected",
+                   cint, -1))
+          return issues;
+        continue;
+      }
+      if (!net_in_range(nid)) {
+        if (report("cell " + c.name + " pin " + std::to_string(pin) +
+                       " net id out of range",
+                   cint, -1))
+          return issues;
+        continue;
       }
       const Net& n = nets_[nid.index()];
       if (!n.alive) {
-        err << "cell " << c.name << " pin " << pin << " on dead net";
-        return err.str();
+        if (report("cell " + c.name + " pin " + std::to_string(pin) + " on dead net",
+                   cint, nid.value()))
+          return issues;
+        continue;
       }
       bool found = false;
       for (const Sink& s : n.sinks)
         if (s.cell == cid && s.pin == static_cast<int>(pin)) found = true;
-      if (!found) {
-        err << "net " << n.name << " missing back-link to " << c.name << " pin " << pin;
-        return err.str();
-      }
-      if (!cells_[n.driver.index()].alive) {
-        err << "net " << n.name << " driven by dead cell";
-        return err.str();
+      if (!found)
+        if (report("net " + n.name + " missing back-link to " + c.name + " pin " +
+                       std::to_string(pin),
+                   cint, nid.value()))
+          return issues;
+      if (!cell_in_range(n.driver)) {
+        if (report("net " + n.name + " driver id out of range", -1, nid.value()))
+          return issues;
+      } else if (!cells_[n.driver.index()].alive) {
+        if (report("net " + n.name + " driven by dead cell", n.driver.value(),
+                   nid.value()))
+          return issues;
       }
     }
-    if (!eq_classes_[c.eq_class.index()].empty()) {
+    if (c.eq_class.value() < 0 || c.eq_class.index() >= eq_classes_.size()) {
+      if (report("cell " + c.name + " equivalence class id out of range", cint, -1))
+        return issues;
+    } else if (!eq_classes_[c.eq_class.index()].empty()) {
       bool member = false;
       for (CellId m : eq_classes_[c.eq_class.index()])
         if (m == cid) member = true;
-      if (!member) {
-        err << "cell " << c.name << " not listed in its equivalence class";
-        return err.str();
-      }
+      if (!member)
+        if (report("cell " + c.name + " not listed in its equivalence class", cint, -1))
+          return issues;
     }
   }
-  if (live_count != num_live_cells_) {
-    err << "live cell count mismatch: " << live_count << " vs " << num_live_cells_;
-    return err.str();
+  if (live_count != num_live_cells_)
+    if (report("live cell count mismatch: " + std::to_string(live_count) + " vs " +
+                   std::to_string(num_live_cells_),
+               -1, -1))
+      return issues;
+  // Equivalence-class member lists are dereferenced by eq_members(); an
+  // out-of-range id stored there (e.g. from a corrupt snapshot) must be an
+  // issue, not a later out-of-bounds read.
+  for (std::size_t qi = 0; qi < eq_classes_.size(); ++qi) {
+    if (issues.size() >= max_issues) return issues;
+    for (CellId m : eq_classes_[qi])
+      if (!cell_in_range(m)) {
+        if (report("equivalence class " + std::to_string(qi) +
+                       " lists out-of-range cell id " + std::to_string(m.value()),
+                   -1, -1))
+          return issues;
+        break;
+      }
   }
   for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+    if (issues.size() >= max_issues) return issues;
     const Net& n = nets_[ni];
     if (!n.alive) continue;
     NetId nid(static_cast<NetId::value_type>(ni));
+    const std::int64_t nint = static_cast<std::int64_t>(ni);
     for (const Sink& s : n.sinks) {
+      if (!cell_in_range(s.cell)) {
+        if (report("net " + n.name + " sink cell id out of range", -1, nint))
+          return issues;
+        continue;
+      }
       const Cell& c = cells_[s.cell.index()];
       if (!c.alive) {
-        err << "net " << n.name << " has dead sink cell";
-        return err.str();
+        if (report("net " + n.name + " has dead sink cell", s.cell.value(), nint))
+          return issues;
+        continue;
       }
       if (s.pin < 0 || s.pin >= static_cast<int>(c.inputs.size()) ||
-          c.inputs[s.pin] != nid) {
-        err << "net " << n.name << " sink back-link mismatch at " << c.name;
-        return err.str();
-      }
+          c.inputs[s.pin] != nid)
+        if (report("net " + n.name + " sink back-link mismatch at " + c.name,
+                   s.cell.value(), nint))
+          return issues;
     }
   }
-  return {};
+  return issues;
+}
+
+std::string Netlist::validate() const {
+  std::vector<NetlistIssue> issues = validate_issues(1);
+  return issues.empty() ? std::string{} : issues.front().message;
 }
 
 }  // namespace repro

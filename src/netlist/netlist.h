@@ -57,6 +57,17 @@ struct Net {
   bool alive = true;
 };
 
+/// One structural-invariant violation found by Netlist::validate_issues().
+///
+/// Entity ids are plain integers (-1 = not applicable) rather than typed ids
+/// so callers can forward them into audit findings and JSONL without caring
+/// which id space they index.
+struct NetlistIssue {
+  std::string message;
+  std::int64_t cell_id = -1;  ///< Offending cell, or -1.
+  std::int64_t net_id = -1;   ///< Offending net, or -1.
+};
+
 /// Mutable gate-level netlist with the editing operations the replication
 /// engine needs (replicate / rewire / unify / delete-redundant), stable ids,
 /// equivalence-class tracking, and an invariant checker.
@@ -145,8 +156,14 @@ class Netlist {
   // ---- verification ---------------------------------------------------------
 
   /// Checks all structural invariants (driver/sink cross-links, pin ranges,
-  /// liveness consistency, equivalence-class symmetry). Returns an empty
-  /// string on success or a description of the first violation.
+  /// liveness consistency, equivalence-class symmetry) and collects every
+  /// violation up to `max_issues`. All id indirections are bounds-checked
+  /// first, so this is safe to run on a netlist restored from an untrusted
+  /// snapshot: a corrupt id becomes an issue, never an out-of-bounds read.
+  std::vector<NetlistIssue> validate_issues(std::size_t max_issues = 64) const;
+
+  /// Convenience wrapper over validate_issues(): empty string on success or
+  /// the first violation's message.
   std::string validate() const;
 
  private:
@@ -155,6 +172,10 @@ class Netlist {
   /// public construction API cannot recreate, and bit-identical resume
   /// requires the exact id space and eq-class layout.
   friend struct SnapshotAccess;
+  /// The audit subsystem's fault injector (src/audit/fault_inject.h) flips
+  /// private state to prove the auditor catches corruption; nothing else may
+  /// bypass the editing API.
+  friend struct AuditFaultInjector;
 
   NetId new_net(std::string name, CellId driver);
   EqClassId new_eq_class(CellId first);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <stdexcept>
 
 namespace repro {
 
@@ -13,7 +14,15 @@ Placement::Placement(const Netlist& nl, const FpgaGrid& grid) : nl_(&nl), grid_(
 }
 
 void Placement::place(CellId c, Point p) {
-  assert(grid_->in_array(p));
+  // Coordinates can come from untrusted sources (placement files, snapshots);
+  // silently indexing occupants_ out of bounds would corrupt the occupant
+  // lists, so reject instead of assert-only.
+  if (!grid_->in_array(p)) {
+    std::ostringstream err;
+    err << "placement: point " << p << " outside the " << grid_->extent() << "x"
+        << grid_->extent() << " array";
+    throw std::out_of_range(err.str());
+  }
   // Grow per-cell arrays if the netlist gained cells (replication) since
   // this placement was constructed.
   if (c.index() >= loc_.size()) {

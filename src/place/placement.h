@@ -24,10 +24,19 @@ class Placement {
   const Netlist& netlist() const { return *nl_; }
   const FpgaGrid& grid() const { return *grid_; }
 
-  bool placed(CellId c) const { return placed_[c.index()]; }
-  Point location(CellId c) const { return loc_[c.index()]; }
+  /// Cells beyond the tracked range (added to the netlist after this
+  /// placement was built and never placed) read as unplaced rather than
+  /// indexing out of bounds.
+  bool placed(CellId c) const {
+    return c.index() < placed_.size() && placed_[c.index()];
+  }
+  Point location(CellId c) const {
+    return c.index() < loc_.size() ? loc_[c.index()] : Point{-1, -1};
+  }
 
-  /// Places (or moves) a cell. Capacity is NOT enforced here.
+  /// Places (or moves) a cell. Capacity is NOT enforced here, but the point
+  /// must lie inside the grid array (throws std::out_of_range otherwise —
+  /// coordinates may come from untrusted placement files or snapshots).
   void place(CellId c, Point p);
   void unplace(CellId c);
 
@@ -74,6 +83,9 @@ class Placement {
   /// consulted by downstream RNG-driven code (annealer swaps), so resume
   /// restores it exactly instead of re-placing cells in id order.
   friend struct SnapshotAccess;
+  /// Audit fault injection (src/audit/fault_inject.h): corrupts occupant
+  /// lists to prove the auditor's placement checks catch it.
+  friend struct AuditFaultInjector;
 
   const Netlist* nl_;
   const FpgaGrid* grid_;

@@ -169,6 +169,14 @@ class PathFinder {
     res.unrouted_connections = 0;
     for (NetId n : nets_) res.unrouted_connections += net_unrouted_[n.index()];
     res.connection_length = conn_len_;
+    res.channel_capacity = cap == kInfiniteCap ? 0 : cap;
+    res.edge_occupancy.assign(occupancy_.begin(), occupancy_.end());
+    res.net_routed.assign(net_routed_.begin(), net_routed_.end());
+    res.net_unrouted.assign(net_unrouted_.begin(), net_unrouted_.end());
+    res.net_route_edges.assign(nl_.net_capacity(), {});
+    for (NetId n : nets_)
+      res.net_route_edges[n.index()].assign(routes_[n.index()].edges.begin(),
+                                            routes_[n.index()].edges.end());
     res.heap_pushes = pushes_ - pushes0;
     res.heap_pops = pops_ - pops0;
     res.nodes_expanded = expanded_ - expanded0;

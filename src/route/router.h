@@ -153,6 +153,25 @@ struct RoutingResult {
   /// Routed source-to-sink wire length per connection.
   ConnectionLengths connection_length;
 
+  // ---- audit export --------------------------------------------------------
+  // The committed routes and the router's incremental bookkeeping, exported
+  // so the audit subsystem (src/audit) can re-derive occupancy from the
+  // per-net route trees and cross-check the two independently of the
+  // router's internal self_check.
+
+  /// Channel edges used by each net's committed route tree, indexed by net
+  /// id (empty for unrouted or sink-less nets). Edge ids index the channel
+  /// graph of the placement's grid: 2 * extent * (extent - 1) edges total.
+  std::vector<std::vector<std::int32_t>> net_route_edges;
+  /// Per-edge occupancy as tracked incrementally during negotiation.
+  std::vector<std::int32_t> edge_occupancy;
+  /// Per-net flag: the router committed a route for this net.
+  std::vector<char> net_routed;
+  /// Per-net count of sinks the maze search could not reach.
+  std::vector<std::int32_t> net_unrouted;
+  /// Channel capacity this result was produced at (0 = infinite resources).
+  int channel_capacity = 0;
+
   /// Per-pass and whole-run work counters.
   std::vector<RouterPassStats> pass_stats;
   std::uint64_t heap_pushes = 0;

@@ -34,6 +34,8 @@ enum JobErrorCode {
   kJobTimedOut = 2,     ///< a stage deadline expired
   kJobInvalidSpec = 3,  ///< rejected before running (unknown circuit, ...)
   kJobInterrupted = 4,  ///< service shut down before the job finished
+  kJobAuditFailed = 5,  ///< a stage audit found an invariant violation;
+                        ///< deterministic, so quarantined without retry
 };
 
 /// One place -> replicate -> route job, parsed from a JSONL batch line.
@@ -68,6 +70,16 @@ struct JobResult {
   EngineSummary engine;
   bool has_metrics = false;
   CircuitMetrics metrics;
+
+  // Invariant auditing (src/audit). audit_level is "" when auditing was off;
+  // audit_stage names the stage whose battery failed ("" when clean).
+  std::string audit_level;
+  int audit_checks = 0;    ///< checks run across all stage batteries
+  std::string audit_stage;
+  int audit_findings = 0;  ///< findings at kError or worse in the failed stage
+  /// The failed battery's findings, one serialized JSONL object per line
+  /// (AuditReport::to_jsonl_lines); empty when clean.
+  std::string audit_jsonl;
 
   // Wall-clock accounting (volatile across runs; omitted in stable output).
   double queue_seconds = 0;  ///< submit -> first attempt start

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "audit/auditor.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
 
@@ -45,6 +46,15 @@ RunOutcome Scheduler::run_one(const std::function<void(int attempt)>& fn) {
         out.state = JobState::kTimedOut;
         stats_.jobs_timed_out.fetch_add(1, std::memory_order_relaxed);
       }
+      break;
+    } catch (const AuditError& e) {
+      // Deterministic invariant violation: retrying reproduces it bit for
+      // bit, so quarantine immediately and keep the batch moving.
+      out.error = e.what();
+      out.audit_failed = true;
+      out.state = JobState::kFailed;
+      stats_.jobs_quarantined.fetch_add(1, std::memory_order_relaxed);
+      stats_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
       break;
     } catch (const std::exception& e) {
       out.error = e.what();

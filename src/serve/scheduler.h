@@ -29,6 +29,7 @@ struct SchedulerStats {
   std::atomic<std::uint64_t> jobs_failed{0};
   std::atomic<std::uint64_t> jobs_timed_out{0};
   std::atomic<std::uint64_t> jobs_interrupted{0};
+  std::atomic<std::uint64_t> jobs_quarantined{0};  ///< audit failures
   std::atomic<std::uint64_t> retries{0};
   /// Sum/max of submit -> first-attempt-start latency, microseconds.
   std::atomic<std::uint64_t> queue_latency_us_total{0};
@@ -41,6 +42,9 @@ struct RunOutcome {
   JobState state = JobState::kQueued;
   int attempts = 0;
   std::string error;
+  /// The attempt failed its invariant audit (AuditError): the failure is
+  /// deterministic, so the job was quarantined without burning retries.
+  bool audit_failed = false;
   double queue_seconds = 0;
   double run_seconds = 0;
 };
@@ -54,6 +58,10 @@ struct RunOutcome {
 /// Classification of an attempt that throws:
 ///   FlowCancelled (deadline)  -> TIMED_OUT, no retry
 ///   FlowCancelled (kill flag) -> CHECKPOINTED (service shutdown), no retry
+///   AuditError                -> FAILED + audit_failed, no retry: an audit
+///                                violation is deterministic for the input,
+///                                so the job is quarantined and the retry
+///                                budget is spent on the rest of the batch
 ///   any other std::exception  -> retry with exponential backoff while the
 ///                                budget lasts, else FAILED
 class Scheduler {

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
@@ -106,12 +107,13 @@ EngineSummary summarize(const EngineResult& r) {
 std::string ServiceStats::summary() const {
   char buf[512];
   std::snprintf(buf, sizeof buf,
-                "jobs: %llu done, %llu failed, %llu timed out, %llu "
-                "interrupted, %llu invalid | %llu retries, %llu resumed | "
-                "%llu checkpoints (%llu bytes) | queue latency total %.3fs "
-                "max %.3fs",
+                "jobs: %llu done, %llu failed (%llu quarantined), %llu timed "
+                "out, %llu interrupted, %llu invalid | %llu retries, %llu "
+                "resumed | %llu checkpoints (%llu bytes) | queue latency "
+                "total %.3fs max %.3fs",
                 static_cast<unsigned long long>(jobs_completed),
                 static_cast<unsigned long long>(jobs_failed),
+                static_cast<unsigned long long>(jobs_quarantined),
                 static_cast<unsigned long long>(jobs_timed_out),
                 static_cast<unsigned long long>(jobs_interrupted),
                 static_cast<unsigned long long>(jobs_invalid),
@@ -205,6 +207,56 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
   Rng rng;
   rng.set_state(snap.rng_state);
 
+  // ---- invariant auditing (src/audit) -------------------------------------
+  // cfg.audit is process-local (never serialized), so a resumed snapshot is
+  // audited at the CURRENT service's level, not the writer's.
+  snap.cfg.audit = cfg.audit;
+  // Pre-replication golden for the functional-equivalence check. Captured by
+  // copy before the engine mutates the netlist; on resume it is regenerated
+  // from the spec (generation is deterministic in (circuit, scale, seed)).
+  std::unique_ptr<Netlist> golden;
+  auto ensure_golden = [&]() {
+    if (golden) return;
+    const McncCircuit* c = find_circuit(spec.circuit);
+    golden = std::make_unique<Netlist>(
+        generate_circuit(spec_for(*c, cfg.scale, cfg.seed)));
+  };
+  auto record_audit_failure = [&](const AuditError& e) {
+    out.audit_stage = e.stage();
+    out.audit_findings = static_cast<int>(
+        e.report().count_at_least(AuditSeverity::kError));
+    out.audit_jsonl = e.report().to_jsonl_lines();
+  };
+  auto audit_after = [&](const std::string& stage, const Netlist* gold) {
+    if (cfg.audit == AuditLevel::kOff) return;
+    AuditOptions aud;
+    aud.level = cfg.audit;
+    aud.seed = cfg.seed;
+    Auditor auditor(aud);
+    AuditReport rep = auditor.audit_stage(stage, *snap.nl, snap.pl.get(),
+                                          &cfg.delay, gold, nullptr);
+    out.audit_checks += rep.checks_run;
+    if (!rep.clean()) {
+      AuditError err(stage, std::move(rep));
+      record_audit_failure(err);
+      throw err;
+    }
+  };
+  if (cfg.audit != AuditLevel::kOff)
+    out.audit_level = audit_level_name(cfg.audit);
+
+  // A resumed snapshot came from an untrusted file: re-audit the restored
+  // state before building on it. Post-replication states are also checked
+  // for functional equivalence against the regenerated golden.
+  if (resumed && cfg.audit != AuditLevel::kOff) {
+    const Netlist* gold = nullptr;
+    if (snap.stage >= FlowStage::kReplicated && spec.variant != "none") {
+      ensure_golden();
+      gold = golden.get();
+    }
+    audit_after("resume", gold);
+  }
+
   // ---- stage: place (generate + anneal) -----------------------------------
   if (snap.stage < FlowStage::kPlaced) {
     CancelToken token;
@@ -226,6 +278,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     snap.rng_state = rng.state();
     snap.place_seconds = now_seconds() - t0;
     snap.stage = FlowStage::kPlaced;
+    audit_after("place", nullptr);
     write_checkpoint(snap);
   }
   out.place_seconds = snap.place_seconds;
@@ -238,6 +291,8 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     maybe_inject(spec, "replicate", token);
     const double t0 = now_seconds();
     if (spec.variant != "none") {
+      if (cfg.audit != AuditLevel::kOff)
+        golden = std::make_unique<Netlist>(*snap.nl);
       EngineOptions eopt;
       variant_from_name(spec.variant, &eopt.variant);
       eopt.num_threads = cfg.num_threads;
@@ -255,6 +310,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     snap.rng_state = rng.state();
     snap.replicate_seconds = now_seconds() - t0;
     snap.stage = FlowStage::kReplicated;
+    audit_after("replicate", golden.get());
     write_checkpoint(snap);
   }
   out.replicate_seconds = snap.replicate_seconds;
@@ -269,7 +325,14 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     if (spec.route) {
       FlowConfig rcfg = cfg;
       rcfg.router.cancel = &token;
-      snap.metrics = evaluate_routed(spec.circuit, *snap.nl, *snap.pl, rcfg);
+      try {
+        // evaluate_routed runs the route-occupancy audits itself (it owns
+        // the RoutingResult); surface a failure's findings like ours.
+        snap.metrics = evaluate_routed(spec.circuit, *snap.nl, *snap.pl, rcfg);
+      } catch (const AuditError& e) {
+        record_audit_failure(e);
+        throw;
+      }
       snap.has_metrics = true;
     }
     snap.rng_state = rng.state();
@@ -342,7 +405,9 @@ std::vector<JobResult> FlowService::run_batch(
       case JobState::kDone: r.error_code = kJobOk; break;
       case JobState::kTimedOut: r.error_code = kJobTimedOut; break;
       case JobState::kCheckpointed: r.error_code = kJobInterrupted; break;
-      default: r.error_code = kJobFailed; break;
+      default:
+        r.error_code = o.audit_failed ? kJobAuditFailed : kJobFailed;
+        break;
     }
   }
   return results;
@@ -356,6 +421,7 @@ ServiceStats FlowService::stats() const {
     s.jobs_failed = ss.jobs_failed.load(std::memory_order_relaxed);
     s.jobs_timed_out = ss.jobs_timed_out.load(std::memory_order_relaxed);
     s.jobs_interrupted = ss.jobs_interrupted.load(std::memory_order_relaxed);
+    s.jobs_quarantined = ss.jobs_quarantined.load(std::memory_order_relaxed);
     s.jobs_retried = ss.retries.load(std::memory_order_relaxed);
     s.queue_latency_seconds_total =
         static_cast<double>(
@@ -401,14 +467,29 @@ JobSpec parse_job_line(const std::string& line) {
       throw JsonlError("key \"" + key + "\" must be a boolean");
     return v.b;
   };
+  // Range-checked casts: a negative or huge double -> unsigned/int cast is
+  // undefined behaviour, so "seed": -1 must be a JsonlError, not UB.
+  auto u64 = [&num](const JsonValue& v, const std::string& key) {
+    const double d = num(v, key);
+    if (!(d >= 0) || !(d < 18446744073709551616.0) || d != std::floor(d))
+      throw JsonlError("key \"" + key +
+                       "\" must be a non-negative integer < 2^64");
+    return static_cast<std::uint64_t>(d);
+  };
+  auto i32 = [&num](const JsonValue& v, const std::string& key) {
+    const double d = num(v, key);
+    if (!(d >= -2147483648.0) || !(d <= 2147483647.0) || d != std::floor(d))
+      throw JsonlError("key \"" + key + "\" must be a 32-bit integer");
+    return static_cast<int>(d);
+  };
   for (const auto& [key, v] : obj) {
     if (key == "id") spec.id = str(v, key);
     else if (key == "circuit") spec.circuit = str(v, key);
     else if (key == "scale") spec.scale = num(v, key);
-    else if (key == "seed") spec.seed = static_cast<std::uint64_t>(num(v, key));
+    else if (key == "seed") spec.seed = u64(v, key);
     else if (key == "variant") spec.variant = str(v, key);
     else if (key == "route") spec.route = boolean(v, key);
-    else if (key == "engine_threads") spec.engine_threads = static_cast<int>(num(v, key));
+    else if (key == "engine_threads") spec.engine_threads = i32(v, key);
     else if (key == "timeout_seconds") spec.timeout_seconds = num(v, key);
     else if (key == "inject_fail") spec.inject_fail_stage = str(v, key);
     else if (key == "inject_hang") spec.inject_hang_stage = str(v, key);
@@ -428,6 +509,16 @@ std::string format_result_line(const JobResult& r, bool stable) {
   w.field("error_code", r.error_code);
   if (!r.error.empty()) w.field("error", r.error);
   w.field("completed_stage", flow_stage_name(r.completed_stage));
+  // Audit fields appear only when auditing ran, so audit-off batches stay
+  // byte-identical to pre-audit output.
+  if (!r.audit_level.empty()) {
+    w.field("audit_level", r.audit_level);
+    w.field("audit_checks", r.audit_checks);
+    if (!r.audit_stage.empty()) {
+      w.field("audit_stage", r.audit_stage);
+      w.field("audit_findings", r.audit_findings);
+    }
+  }
   if (r.engine.ran) {
     w.field("initial_critical_ns", r.engine.initial_critical);
     w.field("final_critical_ns", r.engine.final_critical);

@@ -51,6 +51,7 @@ struct ServiceStats {
   std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_timed_out = 0;
   std::uint64_t jobs_interrupted = 0;
+  std::uint64_t jobs_quarantined = 0;  ///< failed a stage audit; not retried
   std::uint64_t jobs_invalid = 0;
   std::uint64_t jobs_retried = 0;  ///< retry attempts performed
   std::uint64_t jobs_resumed = 0;  ///< jobs restarted from a checkpoint

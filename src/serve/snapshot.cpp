@@ -1,6 +1,7 @@
 #include "serve/snapshot.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -55,6 +56,15 @@ class ByteReader {
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64() { return std::bit_cast<double>(u64()); }
+  /// Restored state must stay arithmetically sane: a NaN or infinity smuggled
+  /// into a config/metric field would silently poison every downstream
+  /// computation, so reject it at the boundary.
+  double f64_finite(const char* what) {
+    const double v = f64();
+    if (!std::isfinite(v))
+      throw SnapshotError(std::string("snapshot: non-finite value for ") + what);
+    return v;
+  }
   bool boolean() { return u8() != 0; }
   std::string str() {
     const std::uint64_t n = u64();
@@ -148,7 +158,10 @@ struct SnapshotAccess {
     Netlist nl;
     nl.cells_.resize(r.count(24));
     for (Cell& c : nl.cells_) {
-      c.kind = static_cast<CellKind>(r.u8());
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(CellKind::kOutputPad))
+        throw SnapshotError("snapshot: invalid cell kind " + std::to_string(kind));
+      c.kind = static_cast<CellKind>(kind);
       c.name = r.str();
       c.inputs.resize(r.count(4));
       for (NetId& n : c.inputs) n = get_id<NetId>(r);
@@ -202,13 +215,21 @@ struct SnapshotAccess {
       pl.loc_[i].x = r.i32();
       pl.loc_[i].y = r.i32();
       pl.placed_[i] = r.boolean() ? 1 : 0;
+      // A placed coordinate is an index into the occupant grid (slot_at);
+      // accepting an out-of-array point would corrupt every later lookup.
+      if (pl.placed_[i] && !pl.grid_->in_array(pl.loc_[i]))
+        throw SnapshotError("snapshot: placed cell outside the grid array");
     }
     const std::size_t num_slots = r.count(8);
     if (num_slots != pl.occupants_.size())
       throw SnapshotError("snapshot: placement slot count mismatch");
     for (auto& occ : pl.occupants_) {
       occ.resize(r.count(4));
-      for (CellId& c : occ) c = get_id<CellId>(r);
+      for (CellId& c : occ) {
+        c = get_id<CellId>(r);
+        if (c.value() < 0 || c.index() >= num_cells)
+          throw SnapshotError("snapshot: occupant cell id out of range");
+      }
     }
   }
 };
@@ -255,34 +276,34 @@ void save_config(const FlowConfig& cfg, ByteWriter& w) {
 
 FlowConfig load_config(ByteReader& r) {
   FlowConfig cfg;
-  cfg.scale = r.f64();
-  cfg.annealer.lambda = r.f64();
-  cfg.annealer.max_crit_exponent = r.f64();
-  cfg.annealer.inner_num = r.f64();
+  cfg.scale = r.f64_finite("config.scale");
+  cfg.annealer.lambda = r.f64_finite("annealer.lambda");
+  cfg.annealer.max_crit_exponent = r.f64_finite("annealer.max_crit_exponent");
+  cfg.annealer.inner_num = r.f64_finite("annealer.inner_num");
   cfg.annealer.timing_driven = r.boolean();
   cfg.annealer.seed = r.u64();
-  cfg.delay.wire_delay_per_unit = r.f64();
-  cfg.delay.logic_delay = r.f64();
-  cfg.delay.io_delay = r.f64();
-  cfg.delay.ff_delay = r.f64();
+  cfg.delay.wire_delay_per_unit = r.f64_finite("delay.wire_delay_per_unit");
+  cfg.delay.logic_delay = r.f64_finite("delay.logic_delay");
+  cfg.delay.io_delay = r.f64_finite("delay.io_delay");
+  cfg.delay.ff_delay = r.f64_finite("delay.ff_delay");
   RouterOptions& ro = cfg.router;
   ro.channel_width = r.i32();
   ro.max_iterations = r.i32();
-  ro.present_factor_initial = r.f64();
-  ro.present_factor_mult = r.f64();
-  ro.history_increment = r.f64();
+  ro.present_factor_initial = r.f64_finite("router.present_factor_initial");
+  ro.present_factor_mult = r.f64_finite("router.present_factor_mult");
+  ro.history_increment = r.f64_finite("router.history_increment");
   ro.use_astar = r.boolean();
-  ro.astar_factor = r.f64();
+  ro.astar_factor = r.f64_finite("router.astar_factor");
   ro.incremental_reroute = r.boolean();
-  ro.incremental_iterations_mult = r.f64();
+  ro.incremental_iterations_mult = r.f64_finite("router.incremental_iterations_mult");
   ro.warm_start_wmin = r.boolean();
-  ro.warm_history_decay = r.f64();
+  ro.warm_history_decay = r.f64_finite("router.warm_history_decay");
   ro.stall_abort_window = r.i32();
   ro.stall_abort_min_overused = r.i32();
   ro.max_expansions_per_connection = r.i64();
   ro.self_check = r.boolean();
   ro.verify_lookahead = r.boolean();
-  cfg.router_crit_exponent = r.f64();
+  cfg.router_crit_exponent = r.f64_finite("config.router_crit_exponent");
   cfg.route_lowstress = r.boolean();
   cfg.seed = r.u64();
   cfg.num_threads = r.i32();
@@ -308,16 +329,16 @@ void save_metrics(const CircuitMetrics& m, ByteWriter& w) {
 CircuitMetrics load_metrics(ByteReader& r) {
   CircuitMetrics m;
   m.circuit = r.str();
-  m.crit_winf = r.f64();
-  m.crit_wls = r.f64();
+  m.crit_winf = r.f64_finite("metrics.crit_winf");
+  m.crit_wls = r.f64_finite("metrics.crit_wls");
   m.wirelength = r.i64();
   m.wmin = r.i32();
   m.luts = r.u64();
   m.ios = r.u64();
   m.blocks = r.u64();
   m.fpga_n = r.i32();
-  m.density = r.f64();
-  m.route_seconds = r.f64();
+  m.density = r.f64_finite("metrics.density");
+  m.route_seconds = r.f64_finite("metrics.route_seconds");
   m.route_nodes_expanded = r.u64();
   m.route_passes = r.u64();
   return m;
@@ -342,10 +363,10 @@ void save_engine(const EngineSummary& e, ByteWriter& w) {
 EngineSummary load_engine(ByteReader& r) {
   EngineSummary e;
   e.ran = r.boolean();
-  e.initial_critical = r.f64();
-  e.final_critical = r.f64();
-  e.initial_wirelength = r.f64();
-  e.final_wirelength = r.f64();
+  e.initial_critical = r.f64_finite("engine.initial_critical");
+  e.final_critical = r.f64_finite("engine.final_critical");
+  e.initial_wirelength = r.f64_finite("engine.initial_wirelength");
+  e.final_wirelength = r.f64_finite("engine.final_wirelength");
   e.initial_blocks = r.i64();
   e.final_blocks = r.i64();
   e.total_replicated = r.i32();
@@ -353,7 +374,7 @@ EngineSummary load_engine(ByteReader& r) {
   e.iterations = r.i32();
   e.ran_out_of_slots = r.boolean();
   e.reached_lower_bound = r.boolean();
-  e.lower_bound = r.f64();
+  e.lower_bound = r.f64_finite("engine.lower_bound");
   return e;
 }
 
@@ -439,13 +460,23 @@ FlowSnapshot parse_snapshot(std::string_view bytes) {
   s.grid_io_rat = r.i32();
   if (r.boolean()) {
     if (s.grid_n <= 0) throw SnapshotError("snapshot: placement without grid");
+    // Grid dimensions come from the file and size (n+2)^2 allocations; cap
+    // them far above any real design but far below an OOM-as-a-service.
+    constexpr int kMaxGridN = 1 << 14;
+    constexpr int kMaxIoRat = 1 << 10;
+    if (s.grid_n > kMaxGridN)
+      throw SnapshotError("snapshot: implausible grid size " +
+                          std::to_string(s.grid_n));
+    if (s.grid_io_rat <= 0 || s.grid_io_rat > kMaxIoRat)
+      throw SnapshotError("snapshot: implausible io_rat " +
+                          std::to_string(s.grid_io_rat));
     s.nl = std::make_unique<Netlist>(SnapshotAccess::load_netlist(r));
     s.grid = std::make_unique<FpgaGrid>(s.grid_n, s.grid_io_rat);
     s.pl = std::make_unique<Placement>(*s.nl, *s.grid);
     SnapshotAccess::load_into(*s.pl, r);
   }
-  s.place_seconds = r.f64();
-  s.replicate_seconds = r.f64();
+  s.place_seconds = r.f64_finite("place_seconds");
+  s.replicate_seconds = r.f64_finite("replicate_seconds");
   s.engine = load_engine(r);
   s.has_metrics = r.boolean();
   if (s.has_metrics) s.metrics = load_metrics(r);

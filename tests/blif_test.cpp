@@ -145,6 +145,63 @@ TEST(BlifRead, Errors) {
                std::runtime_error);  // duplicate signal
 }
 
+// Malformed input from an untrusted file must surface as a BlifError whose
+// structured fields (file, line, detail) agree with the classic
+// "file:line: detail" message — not as a bare runtime_error or a crash.
+TEST(BlifRead, StructuredErrors) {
+  try {
+    std::istringstream in(
+        ".model m\n.inputs a\n.outputs y\n.model again\n.names a y\n1 1\n.end\n");
+    read_blif(in, "dup.blif");
+    FAIL() << "duplicate .model accepted";
+  } catch (const BlifError& e) {
+    EXPECT_EQ(e.file(), "dup.blif");
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_EQ(e.detail(), "duplicate .model");
+    EXPECT_STREQ(e.what(), "dup.blif:4: duplicate .model");
+  }
+
+  try {
+    std::istringstream in(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n");
+    read_blif(in, "noend.blif");
+    FAIL() << "missing .end accepted";
+  } catch (const BlifError& e) {
+    EXPECT_EQ(e.file(), "noend.blif");
+    EXPECT_EQ(e.detail(), "missing .end");
+  }
+
+  try {
+    // Cover row wider than the declared inputs of the .names.
+    std::istringstream in(
+        ".model m\n.inputs a b\n.outputs y\n.names a b y\n110 1\n.end\n");
+    read_blif(in, "wide.blif");
+    FAIL() << "over-wide cover row accepted";
+  } catch (const BlifError& e) {
+    EXPECT_EQ(e.line(), 4);  // attributed to the .names declaration
+    EXPECT_NE(e.detail().find("cover row width"), std::string::npos);
+  }
+}
+
+TEST(BlifRead, DeepSingleFanoutChainDoesNotOverflowTheStack) {
+  // Regression for a fuzzer-found crash (fuzz/crashes/blif/): collapsing a
+  // latch into its driver deletes a chain of now-redundant single-fanout
+  // LUTs; the deletion used to recurse once per chain link and overflowed
+  // the stack on deep chains. 20k links is far past any default stack if
+  // the recursion comes back.
+  std::ostringstream text;
+  text << ".model deep\n.inputs a\n.outputs q z\n";
+  std::string prev = "a";
+  for (int i = 0; i < 20000; ++i) {
+    const std::string cur = "n" + std::to_string(i);
+    text << ".names " << prev << " " << cur << "\n1 1\n";
+    prev = cur;
+  }
+  text << ".latch " << prev << " q re clk 2\n.names a z\n1 1\n.end\n";
+  BlifResult r = parse(text.str());
+  EXPECT_EQ(r.netlist.num_registered(), 1u);
+  EXPECT_TRUE(r.netlist.validate().empty()) << r.netlist.validate();
+}
+
 TEST(BlifRoundTrip, CombinationalEquivalence) {
   CircuitSpec spec;
   spec.num_logic = 80;

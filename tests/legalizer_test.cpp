@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "audit/auditor.h"
 #include "gen/circuit_gen.h"
 #include "place/annealer.h"
 #include "place/legalizer.h"
@@ -143,6 +146,115 @@ TEST(Legalizer, LargeRandomizedStress) {
   EXPECT_TRUE(r.success);
   EXPECT_TRUE(pl.legal()) << pl.check_legal();
   EXPECT_TRUE(nl.validate().empty()) << nl.validate();
+}
+
+// ---- adversarial seeds: repair or report, never corrupt -------------------
+
+// Occupant-list <-> coordinate agreement, via the audit subsystem's placement
+// battery. Legality findings (over capacity, incompatible kinds) are allowed
+// here — a failed repair may leave the placement illegal — but the occupant
+// lists and the coordinate array must still agree with each other.
+bool occupant_lists_consistent(const Netlist& nl, const Placement& pl) {
+  AuditOptions opt;
+  opt.level = AuditLevel::kStage;
+  const AuditReport rep = Auditor(opt).check_placement(nl, pl, "test");
+  for (const Finding& f : rep.findings) {
+    if (f.severity < AuditSeverity::kError) continue;
+    if (f.message.find("over capacity") != std::string::npos) continue;
+    if (f.message.find("kind-incompatible") != std::string::npos) continue;
+    ADD_FAILURE() << "occupant-list corruption: " << f.to_jsonl();
+    return false;
+  }
+  return true;
+}
+
+TEST(Legalizer, RepairsEveryCellStackedOnOneSlot) {
+  // Worst-case over-capacity seed: the entire logic array's population
+  // dropped on a single location. The legalizer must spread it back out.
+  CircuitSpec spec;
+  spec.num_logic = 60;
+  spec.num_inputs = 8;
+  spec.num_outputs = 8;
+  spec.depth = 6;
+  spec.seed = 99;
+  Netlist nl = generate_circuit(spec);
+  FpgaGrid grid(FpgaGrid::min_grid_for(
+      nl.num_logic() + 10, nl.num_input_pads() + nl.num_output_pads()));
+  Rng rng(5);
+  Placement pl = random_placement(nl, grid, rng);
+  for (CellId c : nl.live_cells())
+    if (nl.cell(c).kind == CellKind::kLogic) pl.place(c, {1, 1});
+  ASSERT_FALSE(pl.legal());
+
+  LinearDelayModel dm;
+  LegalizerResult r = legalize_timing_driven(nl, pl, dm);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(pl.legal()) << pl.check_legal();
+  EXPECT_TRUE(occupant_lists_consistent(nl, pl));
+}
+
+TEST(Legalizer, ReportsFailureWithoutCorruptionWhenHopelesslyOverfull) {
+  // More logic cells than the whole array holds: repair is impossible; the
+  // legalizer must report failure and leave a coherent (if overfull) state.
+  CircuitSpec spec;
+  spec.num_logic = 30;
+  spec.num_inputs = 4;
+  spec.num_outputs = 4;
+  spec.seed = 42;
+  Netlist nl = generate_circuit(spec);
+  FpgaGrid grid(4, 8);  // 16 logic slots for 30 logic cells
+  Placement pl(nl, grid);
+  int i = 0;
+  for (CellId c : nl.live_cells()) {
+    const Cell& cell = nl.cell(c);
+    if (cell.kind == CellKind::kLogic) {
+      pl.place(c, {1 + (i % 4), 1 + ((i / 4) % 4)});
+      ++i;
+    } else {
+      pl.place(c, {0, 1});  // pile the pads on one IO location
+    }
+  }
+  LinearDelayModel dm;
+  LegalizerResult r = legalize_timing_driven(nl, pl, dm);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.failure.empty());
+  EXPECT_TRUE(occupant_lists_consistent(nl, pl));
+}
+
+TEST(Legalizer, ZeroAreaGridFailsCleanly) {
+  // FpgaGrid(0) has no logic slots at all (extent 2, all four locations are
+  // corners). Any logic cell is unplaceable; the legalizer must report, not
+  // loop or crash.
+  Netlist nl;
+  CellId a = nl.add_input_pad("a");
+  CellId g = nl.add_logic("g", {nl.cell(a).output}, 0b10, false);
+  CellId po = nl.add_output_pad("po");
+  nl.connect(nl.cell(g).output, po, 0);
+  FpgaGrid grid(0, 2);
+  EXPECT_TRUE(grid.logic_locations().empty());
+  Placement pl(nl, grid);
+  pl.place(a, {0, 0});
+  pl.place(g, {1, 1});
+  pl.place(po, {0, 1});
+  LinearDelayModel dm;
+  LegalizerResult r = legalize_timing_driven(nl, pl, dm);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(occupant_lists_consistent(nl, pl));
+}
+
+TEST(Placement, RejectsOutOfGridCoordinates) {
+  // Coordinates can come from untrusted placement files and snapshots;
+  // place() must throw instead of indexing out of the occupant array, and a
+  // rejected move must leave the previous state untouched.
+  TinyPlaced t;
+  const Point before = t.pl->location(t.g1);
+  EXPECT_THROW(t.pl->place(t.g1, {-1, 0}), std::out_of_range);
+  EXPECT_THROW(t.pl->place(t.g1, {0, -7}), std::out_of_range);
+  EXPECT_THROW(t.pl->place(t.g1, {t.grid->extent(), 1}), std::out_of_range);
+  EXPECT_THROW(t.pl->place(t.g1, {1, 100000}), std::out_of_range);
+  EXPECT_TRUE(t.pl->placed(t.g1));
+  EXPECT_EQ(t.pl->location(t.g1), before);
+  EXPECT_TRUE(occupant_lists_consistent(t.nl, *t.pl));
 }
 
 }  // namespace

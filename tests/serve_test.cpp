@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -197,6 +199,113 @@ TEST(Snapshot, FileRoundTripAndCorruptedFileRejected) {
   }
   EXPECT_THROW(read_snapshot_file(path), SnapshotError);
   EXPECT_THROW(read_snapshot_file(dir.path + "/missing.ckpt"), SnapshotError);
+}
+
+// Rewrites the header's payload-size and checksum fields to match the
+// (possibly tampered-with) payload, so the tests below get past the outer
+// integrity layer and hit the structural validation — modeling a buggy
+// writer or an attacker who recomputed the checksum.
+std::string refresh_header(std::string bytes) {
+  const std::size_t header = 24;  // magic(4) version(4) size(8) checksum(8)
+  EXPECT_GE(bytes.size(), header);
+  const std::uint64_t size = bytes.size() - header;
+  std::uint64_t sum = 0xcbf29ce484222325ULL;  // FNV-1a, as the writer uses
+  for (std::size_t i = header; i < bytes.size(); ++i) {
+    sum ^= static_cast<unsigned char>(bytes[i]);
+    sum *= 0x100000001b3ULL;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bytes[8 + i] = static_cast<char>((size >> (8 * i)) & 0xFF);
+    bytes[16 + i] = static_cast<char>((sum >> (8 * i)) & 0xFF);
+  }
+  return bytes;
+}
+
+TEST(Snapshot, RejectsTrailingGarbage) {
+  const FlowSnapshot s = make_placed_snapshot("tseng", 0.05, 5);
+  const std::string bytes = serialize_snapshot(s);
+
+  // Appended garbage the header does not account for: size mismatch.
+  try {
+    parse_snapshot(bytes + "extra");
+    FAIL() << "snapshot with unaccounted trailing bytes accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("size mismatch"), std::string::npos);
+  }
+
+  // Garbage folded into the declared payload with a recomputed checksum:
+  // the reader must notice undecoded bytes remain, not silently accept.
+  try {
+    parse_snapshot(refresh_header(bytes + "extra"));
+    FAIL() << "snapshot with checksummed trailing bytes accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing bytes"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, RejectsNonFiniteDoubles) {
+  // A NaN or infinity in any double field (a writer-side bug) must be
+  // rejected on read: resumed arithmetic would silently poison every
+  // downstream metric.
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    FlowSnapshot s = make_placed_snapshot("tseng", 0.05, 5);
+    s.place_seconds = bad;
+    try {
+      parse_snapshot(serialize_snapshot(s));
+      FAIL() << "snapshot with non-finite place_seconds accepted";
+    } catch (const SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+    }
+    FlowSnapshot s2 = make_placed_snapshot("tseng", 0.05, 5);
+    s2.cfg.scale = bad;
+    EXPECT_THROW(parse_snapshot(serialize_snapshot(s2)), SnapshotError);
+  }
+}
+
+TEST(Snapshot, RejectsOutOfRangeOccupantId) {
+  // Checksum-valid snapshot whose placement section holds an occupant cell
+  // id beyond the netlist's range — before validation was added this
+  // overread the heap (see fuzz/crashes/snapshot/). The occupant lists sit
+  // near the end of the payload; corrupt 4-byte windows back-to-front with
+  // an implausible id until the reader trips over one.
+  const std::string bytes = serialize_snapshot(make_placed_snapshot("tseng", 0.05, 5));
+  bool rejected = false;
+  const std::size_t first =
+      bytes.size() > 1024 + 4 ? bytes.size() - 1024 - 4 : 24;
+  for (std::size_t off = bytes.size() - 4; off > first && !rejected; --off) {
+    std::string bad = bytes;
+    const std::uint32_t huge = 0x7FFFFF7Fu;
+    std::memcpy(&bad[off], &huge, 4);
+    try {
+      parse_snapshot(refresh_header(std::move(bad)));
+    } catch (const SnapshotError& e) {
+      if (std::string(e.what()).find("occupant cell id out of range") !=
+          std::string::npos)
+        rejected = true;
+    }
+  }
+  EXPECT_TRUE(rejected)
+      << "no corrupted occupant id was rejected by the structured check";
+}
+
+TEST(Jsonl, ParseJobLineRejectsNonIntegralNumbers) {
+  // Narrowing a negative, huge, or fractional double into seed/threads is
+  // undefined behaviour; the parser must reject with a structured error
+  // (see fuzz/crashes/jsonl/).
+  EXPECT_NO_THROW(parse_job_line(R"({"id":"x","circuit":"tseng","seed":0})"));
+  EXPECT_THROW(parse_job_line(R"({"id":"x","circuit":"tseng","seed":-1})"),
+               JsonlError);
+  EXPECT_THROW(parse_job_line(R"({"id":"x","circuit":"tseng","seed":1.5})"),
+               JsonlError);
+  EXPECT_THROW(parse_job_line(R"({"id":"x","circuit":"tseng","seed":1e300})"),
+               JsonlError);
+  EXPECT_THROW(
+      parse_job_line(R"({"id":"x","circuit":"tseng","engine_threads":2147483648})"),
+      JsonlError);
+  EXPECT_THROW(
+      parse_job_line(R"({"id":"x","circuit":"tseng","engine_threads":0.5})"),
+      JsonlError);
 }
 
 // ---- scheduler ------------------------------------------------------------

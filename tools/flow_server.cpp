@@ -43,6 +43,7 @@ struct Args {
   bool stable = false;
   bool quiet = false;
   int crash_after_checkpoints = 0;
+  std::string audit;  // "" = leave to REPRO_AUDIT / config default
 };
 
 int usage() {
@@ -59,12 +60,15 @@ int usage() {
                "  --max-retries N      retries for failed (not timed-out) jobs\n"
                "  --stable             omit wall-clock fields from results so\n"
                "                       resumed and straight runs compare equal\n"
+               "  --audit LEVEL        invariant auditing after every stage:\n"
+               "                       off | stage | paranoid (default off);\n"
+               "                       audit-failing jobs are quarantined\n"
                "  --quiet              no stats summary on stderr\n"
                "  --crash-after-checkpoints N\n"
                "                       CI hook: stop after N checkpoints and\n"
                "                       exit 42 without writing results\n"
                "Env: REPRO_SERVE_THREADS, REPRO_SERVE_JOB_TIMEOUT,\n"
-               "     REPRO_SERVE_MAX_RETRIES (flags win).\n");
+               "     REPRO_SERVE_MAX_RETRIES, REPRO_AUDIT (flags win).\n");
   return 2;
 }
 
@@ -104,6 +108,9 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (!std::strcmp(arg, "--max-retries")) {
       if (!(v = need(arg))) return false;
       a.max_retries = std::atoi(v);
+    } else if (!std::strcmp(arg, "--audit")) {
+      if (!(v = need(arg))) return false;
+      a.audit = v;
     } else if (!std::strcmp(arg, "--stable")) {
       a.stable = true;
     } else if (!std::strcmp(arg, "--quiet")) {
@@ -165,6 +172,12 @@ int main(int argc, char** argv) {
     // ---- run the batch ----------------------------------------------------
     ServiceOptions sopt = service_options_from_env();
     sopt.base = config_from_env();
+    if (!args.audit.empty() &&
+        !parse_audit_level(args.audit, &sopt.base.audit)) {
+      std::fprintf(stderr, "flow_server: bad --audit level '%s'\n",
+                   args.audit.c_str());
+      return usage();
+    }
     if (args.threads >= 0) sopt.threads = args.threads;
     sopt.engine_threads = args.engine_threads;
     if (args.job_timeout > 0) sopt.job_timeout_seconds = args.job_timeout;
@@ -199,8 +212,13 @@ int main(int argc, char** argv) {
         }
       }
       std::ostream& out = use_stdout ? std::cout : file;
-      for (const JobResult& r : results)
+      for (const JobResult& r : results) {
         out << format_result_line(r, args.stable) << '\n';
+        // Quarantined jobs: findings go to stderr as JSONL so the result
+        // stream stays one line per job.
+        if (r.error_code == kJobAuditFailed && !r.audit_jsonl.empty())
+          std::fprintf(stderr, "%s\n", r.audit_jsonl.c_str());
+      }
     }
 
     if (!args.quiet)

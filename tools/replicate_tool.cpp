@@ -47,6 +47,7 @@ struct Args {
   int route_astar = -1;
   int route_incremental = -1;
   int route_warm = -1;
+  std::string audit;  // "" = leave to REPRO_AUDIT / config default
   bool verbose = false;
 };
 
@@ -66,6 +67,9 @@ int usage() {
       "  --route-astar 0|1        A* lookahead in the maze router (default 1)\n"
       "  --route-incremental 0|1  rip up only illegal nets per pass (default 1)\n"
       "  --route-warm 0|1         warm-started W_min binary search (default 1)\n"
+      "  --audit LEVEL      invariant auditing after place/replicate/route:\n"
+      "                     off | stage | paranoid (default off, or\n"
+      "                     REPRO_AUDIT); exit 3 on an audit failure\n"
       "  --out-blif FILE    write the optimized netlist\n"
       "  --out-place FILE   write the final placement\n"
       "  --svg FILE         write a placement/criticality SVG\n"
@@ -116,6 +120,9 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (!std::strcmp(arg, "--route-warm")) {
       if (!(v = need(arg))) return false;
       a.route_warm = std::atoi(v);
+    } else if (!std::strcmp(arg, "--audit")) {
+      if (!(v = need(arg))) return false;
+      a.audit = v;
     } else if (!std::strcmp(arg, "--out-blif")) {
       if (!(v = need(arg))) return false;
       a.out_blif = v;
@@ -151,6 +158,10 @@ int main(int argc, char** argv) {
   // unhandled-exception traceback.
   try {
     return run(args);
+  } catch (const AuditError& e) {
+    std::fprintf(stderr, "replicate_tool: audit failed: %s\n", e.what());
+    std::fprintf(stderr, "%s\n", e.report().to_jsonl_lines().c_str());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "replicate_tool: error: %s\n", e.what());
     return 1;
@@ -168,6 +179,15 @@ int run(const Args& args) {
   if (args.route_incremental >= 0)
     cfg.router.incremental_reroute = args.route_incremental != 0;
   if (args.route_warm >= 0) cfg.router.warm_start_wmin = args.route_warm != 0;
+  if (!args.audit.empty() && !parse_audit_level(args.audit, &cfg.audit)) {
+    std::fprintf(stderr, "replicate_tool: bad --audit level '%s'\n",
+                 args.audit.c_str());
+    return usage();
+  }
+  AuditOptions audit_opt;
+  audit_opt.level = cfg.audit;
+  audit_opt.seed = cfg.seed;
+  const Auditor auditor(audit_opt);
 
   // ---- obtain a netlist -----------------------------------------------------
   std::unique_ptr<Netlist> nl;
@@ -223,6 +243,9 @@ int run(const Args& args) {
     std::printf("placed on %dx%d; critical path estimate %.2f ns\n", n, n,
                 tg.critical_delay());
   }
+  if (cfg.audit != AuditLevel::kOff)
+    Auditor::require_clean(
+        "place", auditor.audit_stage("place", *nl, pl.get(), &cfg.delay));
 
   // ---- optimize ---------------------------------------------------------------
   if (args.variant == "local") {
@@ -263,6 +286,10 @@ int run(const Args& args) {
                  pl->check_legal().c_str());
     return 1;
   }
+  if (cfg.audit != AuditLevel::kOff)
+    Auditor::require_clean(
+        "replicate",
+        auditor.audit_stage("replicate", *nl, pl.get(), &cfg.delay, &golden));
 
   // ---- route / outputs ----------------------------------------------------------
   if (args.do_route) {
