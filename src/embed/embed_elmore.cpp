@@ -181,9 +181,8 @@ int ElmoreEmbedder::pick_fastest() const {
   return best;
 }
 
-std::unordered_map<TreeNodeId, EmbedVertexId> ElmoreEmbedder::extract(
-    int tradeoff_index) const {
-  std::unordered_map<TreeNodeId, EmbedVertexId> out;
+TreeEmbedding ElmoreEmbedder::extract(int tradeoff_index) const {
+  TreeEmbedding out(tree_.size());
   EmbedVertexId rv = graph_.vertex_at(tree_.node(tree_.root()).fixed_loc);
   struct Frame {
     TreeNodeId node;
@@ -198,13 +197,13 @@ std::unordered_map<TreeNodeId, EmbedVertexId> ElmoreEmbedder::extract(
     const ElmoreLabel& l = a_[f.node.index()][f.vertex.index()][f.label];
     switch (l.kind) {
       case ElmoreLabel::Kind::kInitial:
-        out[f.node] = f.vertex;
+        out.set(f.node, f.vertex);
         break;
       case ElmoreLabel::Kind::kAugment:
         stack.push_back(Frame{f.node, l.from, l.pred});
         break;
       case ElmoreLabel::Kind::kJoin: {
-        out[f.node] = f.vertex;
+        out.set(f.node, f.vertex);
         const FaninTreeNode& node = tree_.node(f.node);
         for (std::size_t k = 0; k < node.children.size(); ++k)
           stack.push_back(Frame{node.children[k], f.vertex, l.child_labels[k]});

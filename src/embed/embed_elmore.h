@@ -7,6 +7,7 @@
 #include "arch/delay_model.h"
 #include "embed/embedding_graph.h"
 #include "embed/fanin_tree.h"
+#include "embed/tree_embedding.h"
 #include "util/ids.h"
 
 namespace repro {
@@ -61,7 +62,7 @@ class ElmoreEmbedder {
   int pick_cheapest_within(double t_bound) const;
   int pick_fastest() const;
 
-  std::unordered_map<TreeNodeId, EmbedVertexId> extract(int tradeoff_index) const;
+  TreeEmbedding extract(int tradeoff_index) const;
 
  private:
   bool insert(std::vector<ElmoreLabel>& list, ElmoreLabel l, std::uint32_t* idx);

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "util/log.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace repro {
@@ -33,6 +34,13 @@ FaninTreeEmbedder::FaninTreeEmbedder(const FaninTree& tree, const EmbeddingGraph
 
 FaninTreeEmbedder::~FaninTreeEmbedder() {
   if (scratch_) {
+    std::size_t bytes = a_.capacity() * sizeof(a_[0]);
+    for (const auto& per_vertex : a_) {
+      bytes += per_vertex.capacity() * sizeof(std::vector<Label>);
+      for (const auto& list : per_vertex) bytes += list.capacity() * sizeof(Label);
+    }
+    for (const auto& pool : spill_) bytes += pool.capacity() * sizeof(std::uint32_t);
+    arena_record_peak(arena_counters().embed_scratch_bytes, bytes);
     scratch_->a = std::move(a_);
     scratch_->spill = std::move(spill_);
   }
@@ -386,9 +394,8 @@ int FaninTreeEmbedder::pick_fastest() const {
   return best;
 }
 
-std::unordered_map<TreeNodeId, EmbedVertexId> FaninTreeEmbedder::extract(
-    int tradeoff_index) const {
-  std::unordered_map<TreeNodeId, EmbedVertexId> out;
+TreeEmbedding FaninTreeEmbedder::extract(int tradeoff_index) const {
+  TreeEmbedding out(tree_.size());
   assert(tradeoff_index >= 0 &&
          tradeoff_index < static_cast<int>(tradeoff_.size()));
   const RootSolution& rs = tradeoff_[tradeoff_index];
@@ -405,13 +412,13 @@ std::unordered_map<TreeNodeId, EmbedVertexId> FaninTreeEmbedder::extract(
     const Label& l = a_[f.node.index()][f.vertex.index()][f.label];
     switch (l.prov.kind) {
       case Provenance::Kind::kInitial:
-        out[f.node] = f.vertex;
+        out.set(f.node, f.vertex);
         break;
       case Provenance::Kind::kAugment:
         stack.push_back(Frame{f.node, l.prov.from, l.prov.pred_label});
         break;
       case Provenance::Kind::kJoin: {
-        out[f.node] = f.vertex;
+        out.set(f.node, f.vertex);
         const FaninTreeNode& node = tree_.node(f.node);
         const std::uint32_t* child_idx =
             l.prov.spill_index >= 0 ? spill_[l.prov.spill_index].data()

@@ -8,6 +8,7 @@
 #include "embed/embedding_graph.h"
 #include "embed/fanin_tree.h"
 #include "embed/signature.h"
+#include "embed/tree_embedding.h"
 
 namespace repro {
 
@@ -114,7 +115,7 @@ class FaninTreeEmbedder {
 
   /// Recovers the vertex of every tree node (leaves at their fixed vertices,
   /// internal nodes and root where the chosen solution placed them).
-  std::unordered_map<TreeNodeId, EmbedVertexId> extract(int tradeoff_index) const;
+  TreeEmbedding extract(int tradeoff_index) const;
 
   /// Diagnostics.
   std::size_t labels_created() const { return labels_created_; }

@@ -7,6 +7,8 @@
 #include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
+#include "util/mem.h"
+#include "util/stats.h"
 
 namespace repro {
 namespace {
@@ -82,6 +84,7 @@ PlacedCircuit prepare_circuit(const McncCircuit& c, const FlowConfig& cfg) {
   out.pl = std::make_unique<Placement>(
       anneal_placement(*out.nl, *out.grid, cfg.delay, aopt));
   out.anneal_seconds = now_seconds() - t0;
+  out.peak_rss_bytes = peak_rss_bytes();
 
   if (cfg.audit != AuditLevel::kOff) {
     AuditOptions aud;
@@ -190,6 +193,8 @@ CircuitMetrics evaluate_routed(const std::string& name, const Netlist& nl,
     m.crit_wls = m.crit_winf;
   }
   m.route_seconds = now_seconds() - t0;
+  m.peak_rss_bytes = peak_rss_bytes();
+  m.arena_bytes = arena_counters().total_bytes();
   return m;
 }
 

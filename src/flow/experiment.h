@@ -64,6 +64,9 @@ struct PlacedCircuit {
   std::unique_ptr<FpgaGrid> grid;
   std::unique_ptr<Placement> pl;
   double anneal_seconds = 0;
+  /// Process peak RSS sampled after the anneal (0 if unreadable). Volatile
+  /// across machines — never folded into deterministic outputs.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 PlacedCircuit prepare_circuit(const McncCircuit& c, const FlowConfig& cfg);
@@ -85,6 +88,11 @@ struct CircuitMetrics {
   /// passes across every route()/W_min call of this evaluation.
   std::uint64_t route_nodes_expanded = 0;
   std::uint64_t route_passes = 0;
+  /// Memory trajectory (volatile across machines/runs; omitted in the flow
+  /// service's --stable output): process peak RSS sampled after routing and
+  /// the high-water mark of the scratch arenas (util/stats.h ArenaCounters).
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t arena_bytes = 0;
 };
 
 /// Routes and times the design in both modes of Section VII.

@@ -1,8 +1,11 @@
 #include "gen/circuit_gen.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -20,11 +23,59 @@ std::uint64_t random_function(Rng& rng, int k) {
   return f;
 }
 
+/// Order-statistics multiset over {0..n-1}, all initially present, backed by
+/// a Fenwick tree. Replaces the PO-selection vector whose erase() made
+/// output hookup quadratic in circuit size: select(k) returns the (k+1)-th
+/// smallest remaining element — exactly what indexing the sorted, erase-
+/// compacted vector returned — so the generated netlist is byte-identical.
+class OrderStatSet {
+ public:
+  explicit OrderStatSet(std::size_t n) : n_(n), tree_(n + 1, 0), size_(n) {
+    for (std::size_t i = 1; i <= n_; ++i) {
+      tree_[i] += 1;
+      std::size_t j = i + (i & (~i + 1));
+      if (j <= n_) tree_[j] += tree_[i];
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// (k+1)-th smallest remaining element (0-based rank), removed from the set.
+  std::size_t take(std::size_t k) {
+    assert(k < size_);
+    std::size_t pos = 0;
+    std::size_t rank = k + 1;  // 1-based
+    std::size_t mask = std::bit_floor(n_);
+    for (; mask != 0; mask >>= 1) {
+      std::size_t next = pos + mask;
+      if (next <= n_ && tree_[next] < rank) {
+        pos = next;
+        rank -= tree_[next];
+      }
+    }
+    // pos is now the count of elements strictly before the answer; the
+    // element itself is pos (0-based) since the universe is {0..n-1}.
+    for (std::size_t i = pos + 1; i <= n_; i += i & (~i + 1)) tree_[i] -= 1;
+    --size_;
+    return pos;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> tree_;
+  std::size_t size_;
+};
+
 }  // namespace
 
 Netlist generate_circuit(const CircuitSpec& spec) {
   Rng rng(spec.seed);
   Netlist nl;
+  const std::size_t est_cells = static_cast<std::size_t>(spec.num_inputs) +
+                                static_cast<std::size_t>(spec.num_logic) +
+                                static_cast<std::size_t>(spec.num_outputs);
+  nl.reserve(est_cells, est_cells);
 
   const int num_clusters =
       std::max(1, (spec.num_logic + spec.cluster_size - 1) / spec.cluster_size);
@@ -39,6 +90,8 @@ Netlist generate_circuit(const CircuitSpec& spec) {
       spec.depth + 1,
       std::vector<std::vector<std::size_t>>(num_clusters + 1));
 
+  signals.reserve(est_cells);
+  fanout_count.reserve(est_cells);
   auto push_signal = [&](NetId n, int layer, int cluster) {
     pools[layer][cluster].push_back(signals.size());
     pools[layer][num_clusters].push_back(signals.size());
@@ -78,6 +131,7 @@ Netlist generate_circuit(const CircuitSpec& spec) {
   };
 
   std::vector<CellId> luts;
+  luts.reserve(static_cast<std::size_t>(spec.num_logic));
   for (int i = 0; i < spec.num_logic; ++i) {
     // Clusters are contiguous runs of cells; each spreads over all layers.
     const int cluster = std::min(i / spec.cluster_size, num_clusters - 1);
@@ -123,9 +177,11 @@ Netlist generate_circuit(const CircuitSpec& spec) {
     }
   }
 
-  // Primary outputs: prefer deep (late) signals.
-  std::vector<std::size_t> po_pool;
-  for (std::size_t i = 0; i < signals.size(); ++i) po_pool.push_back(i);
+  // Primary outputs: prefer deep (late) signals. The pool starts as the full
+  // sorted signal-index set; taking the pick-th smallest remaining element
+  // from the Fenwick set is exactly what indexing (and erasing from) the
+  // sorted vector used to do, without the O(n) erase per output.
+  OrderStatSet po_pool(signals.size());
   for (int i = 0; i < spec.num_outputs; ++i) {
     CellId pad = nl.add_output_pad("po" + std::to_string(i));
     std::size_t idx;
@@ -134,8 +190,7 @@ Netlist generate_circuit(const CircuitSpec& spec) {
       double u = rng.next_double();
       std::size_t pick = static_cast<std::size_t>(
           std::sqrt(u) * static_cast<double>(po_pool.size() - 1));
-      idx = po_pool[pick];
-      po_pool.erase(po_pool.begin() + static_cast<long>(pick));
+      idx = po_pool.take(pick);
     } else {
       idx = rng.next_below(signals.size());
     }

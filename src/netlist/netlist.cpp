@@ -111,6 +111,13 @@ std::vector<NetId> Netlist::live_nets() const {
   return out;
 }
 
+std::size_t Netlist::num_live_nets() const {
+  std::size_t n = 0;
+  for (const Net& net : nets_)
+    if (net.alive) ++n;
+  return n;
+}
+
 std::size_t Netlist::num_logic() const {
   std::size_t n = 0;
   for (const Cell& c : cells_)

@@ -78,6 +78,15 @@ class Netlist {
 
   // ---- construction -------------------------------------------------------
 
+  /// Pre-sizes the cell/net stores. Purely a capacity hint — the generator
+  /// calls this so building a 10^6-cell netlist does not relocate the stores
+  /// a few dozen times on the way up.
+  void reserve(std::size_t num_cells, std::size_t num_nets) {
+    cells_.reserve(num_cells);
+    nets_.reserve(num_nets);
+    eq_classes_.reserve(num_cells);
+  }
+
   CellId add_input_pad(std::string name);
   CellId add_output_pad(std::string name);
   /// Adds a BLE. `inputs` may contain invalid NetIds to be connected later
@@ -112,9 +121,67 @@ class Netlist {
   bool cell_alive(CellId id) const { return cells_[id.index()].alive; }
   bool net_alive(NetId id) const { return nets_[id.index()].alive; }
 
-  /// All ids of live cells (in id order).
+  /// Lazily-filtered view over the live ids of one store: no vector is
+  /// materialized, iteration skips dead entries in place. Order is identical
+  /// to live_cells()/live_nets() (ascending id), so switching a call site
+  /// between the two never changes behavior. The view is invalidated by any
+  /// edit that adds or removes cells/nets.
+  template <typename Id, typename Entry>
+  class LiveIdRange {
+   public:
+    class iterator {
+     public:
+      using value_type = Id;
+      Id operator*() const {
+        return Id(static_cast<typename Id::value_type>(i_));
+      }
+      iterator& operator++() {
+        ++i_;
+        skip();
+        return *this;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.i_ == b.i_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return a.i_ != b.i_;
+      }
+
+     private:
+      friend class LiveIdRange;
+      iterator(const std::vector<Entry>* store, std::size_t i)
+          : store_(store), i_(i) {
+        skip();
+      }
+      void skip() {
+        while (i_ < store_->size() && !(*store_)[i_].alive) ++i_;
+      }
+      const std::vector<Entry>* store_;
+      std::size_t i_;
+    };
+
+    iterator begin() const { return iterator(store_, 0); }
+    iterator end() const { return iterator(store_, store_->size()); }
+
+   private:
+    friend class Netlist;
+    explicit LiveIdRange(const std::vector<Entry>* store) : store_(store) {}
+    const std::vector<Entry>* store_;
+  };
+
+  /// All ids of live cells (in id order). Materializes a vector — prefer
+  /// live_cell_ids()/live_net_ids() on hot paths that only iterate.
   std::vector<CellId> live_cells() const;
   std::vector<NetId> live_nets() const;
+
+  /// Allocation-free equivalents of live_cells()/live_nets().
+  LiveIdRange<CellId, Cell> live_cell_ids() const {
+    return LiveIdRange<CellId, Cell>(&cells_);
+  }
+  LiveIdRange<NetId, Net> live_net_ids() const {
+    return LiveIdRange<NetId, Net>(&nets_);
+  }
+  std::size_t num_live_nets() const;
 
   std::size_t num_live_cells() const { return num_live_cells_; }
   std::size_t num_logic() const;

@@ -1,7 +1,10 @@
 #include "netlist/sim.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+
+#include "util/stats.h"
 
 namespace repro {
 
@@ -9,6 +12,24 @@ Simulator::Simulator(const Netlist& nl) : nl_(nl) {
   value_.resize(nl.net_capacity(), 0);
   computed_.resize(nl.net_capacity(), 0);
   state_.resize(nl.cell_capacity(), 0);
+  next_state_.resize(nl.cell_capacity(), 0);
+  pi_slot_.resize(nl.cell_capacity(), 0);
+  for (CellId cid : nl.live_cell_ids()) {
+    const Cell& c = nl.cell(cid);
+    if (c.kind == CellKind::kInputPad) {
+      pi_slot_[cid.index()] = static_cast<std::uint32_t>(pi_pads_.size());
+      pi_slot_by_name_[c.name] = pi_pads_.size();
+      pi_pads_.push_back(cid);
+    } else if (c.kind == CellKind::kOutputPad) {
+      po_pads_.push_back(cid);
+    }
+  }
+  arena_record_peak(arena_counters().sim_buffer_bytes,
+                    value_.capacity() * sizeof(std::uint64_t) +
+                        computed_.capacity() +
+                        (state_.capacity() + next_state_.capacity()) *
+                            sizeof(std::uint64_t) +
+                        pi_slot_.capacity() * sizeof(std::uint32_t));
 }
 
 void Simulator::reset() {
@@ -21,18 +42,17 @@ std::uint64_t Simulator::eval_net(NetId n) {
     throw std::runtime_error("combinational loop detected during simulation");
   computed_[n.index()] = 1;
 
-  const Cell& drv = nl_.cell(nl_.net(n).driver);
+  const CellId drv_id = nl_.net(n).driver;
+  const Cell& drv = nl_.cell(drv_id);
   std::uint64_t v = 0;
   switch (drv.kind) {
-    case CellKind::kInputPad: {
-      auto it = pi_.find(drv.name);
-      v = (it != pi_.end()) ? it->second : 0;
+    case CellKind::kInputPad:
+      v = (*cur_pi_)[pi_slot_[drv_id.index()]];
       break;
-    }
     case CellKind::kLogic: {
       if (drv.registered) {
         // The BLE flip-flop drives the net; its D input is evaluated later.
-        v = state_[nl_.net(n).driver.index()];
+        v = state_[drv_id.index()];
       } else {
         // Bitwise LUT evaluation: for each of the 64 vectors, assemble the
         // input index and look it up in the truth table.
@@ -56,18 +76,18 @@ std::uint64_t Simulator::eval_net(NetId n) {
   return v;
 }
 
-std::unordered_map<std::string, std::uint64_t> Simulator::step(
-    const std::unordered_map<std::string, std::uint64_t>& pi_values) {
-  pi_ = pi_values;
-  for (auto& c : computed_) c = 0;
+void Simulator::step_flat(const std::vector<std::uint64_t>& pi_words,
+                          std::vector<std::uint64_t>& po_words) {
+  assert(pi_words.size() == pi_pads_.size());
+  cur_pi_ = &pi_words;
+  std::fill(computed_.begin(), computed_.end(), 0);
+  po_words.clear();
+  next_state_ = state_;
 
-  std::unordered_map<std::string, std::uint64_t> po;
-  std::vector<std::uint64_t> next_state = state_;
-
-  for (CellId cid : nl_.live_cells()) {
+  for (CellId cid : nl_.live_cell_ids()) {
     const Cell& c = nl_.cell(cid);
     if (c.kind == CellKind::kOutputPad) {
-      po[c.name] = eval_net(c.inputs[0]);
+      po_words.push_back(eval_net(c.inputs[0]));
     } else if (c.kind == CellKind::kLogic && c.registered) {
       // Compute the D value = LUT function of the inputs (combinational).
       const int k = static_cast<int>(c.inputs.size());
@@ -79,52 +99,84 @@ std::unordered_map<std::string, std::uint64_t> Simulator::step(
         for (int p = 0; p < k; ++p) idx |= static_cast<unsigned>((in[p] >> bit) & 1) << p;
         d |= ((c.function >> idx) & 1) << bit;
       }
-      next_state[cid.index()] = d;
+      next_state_[cid.index()] = d;
     }
   }
-  state_ = std::move(next_state);
+  std::swap(state_, next_state_);
+  cur_pi_ = nullptr;
+  assert(po_words.size() == po_pads_.size());
+}
+
+std::unordered_map<std::string, std::uint64_t> Simulator::step(
+    const std::unordered_map<std::string, std::uint64_t>& pi_values) {
+  pi_scratch_.assign(pi_pads_.size(), 0);
+  for (const auto& [name, v] : pi_values) {
+    auto it = pi_slot_by_name_.find(name);
+    if (it != pi_slot_by_name_.end()) pi_scratch_[it->second] = v;
+  }
+  step_flat(pi_scratch_, po_scratch_);
+  std::unordered_map<std::string, std::uint64_t> po;
+  for (std::size_t i = 0; i < po_pads_.size(); ++i)
+    po[nl_.cell(po_pads_[i]).name] = po_scratch_[i];
   return po;
 }
 
 bool functionally_equivalent(const Netlist& a, const Netlist& b, int cycles,
                              std::uint64_t seed, std::string* why) {
-  // Collect pad name sets.
-  std::vector<std::string> pis;
-  std::vector<std::string> pos_a;
-  for (CellId id : a.live_cells()) {
-    const Cell& c = a.cell(id);
-    if (c.kind == CellKind::kInputPad) pis.push_back(c.name);
-    if (c.kind == CellKind::kOutputPad) pos_a.push_back(c.name);
-  }
-  std::size_t pis_b = 0;
-  std::size_t pos_b = 0;
-  for (CellId id : b.live_cells()) {
-    const Cell& c = b.cell(id);
-    if (c.kind == CellKind::kInputPad) ++pis_b;
-    if (c.kind == CellKind::kOutputPad) ++pos_b;
-  }
-  if (pis.size() != pis_b || pos_a.size() != pos_b) {
+  Simulator sa(a);
+  Simulator sb(b);
+  if (sa.input_pads().size() != sb.input_pads().size() ||
+      sa.output_pads().size() != sb.output_pads().size()) {
     if (why) *why = "primary I/O count mismatch";
     return false;
   }
 
-  Simulator sa(a);
-  Simulator sb(b);
+  // Name-based pad permutations a -> b, built once (the per-cycle loop is
+  // map-free). A missing output name fails exactly like the per-cycle name
+  // lookup used to; an input name missing in b means b's pad reads 0, which
+  // is what stuffing a name-keyed stimulus map gave it as well.
+  std::unordered_map<std::string, std::size_t> b_pi_slot;
+  std::unordered_map<std::string, std::size_t> b_po_slot;
+  for (std::size_t i = 0; i < sb.input_pads().size(); ++i)
+    b_pi_slot[b.cell(sb.input_pads()[i]).name] = i;
+  for (std::size_t i = 0; i < sb.output_pads().size(); ++i)
+    b_po_slot[b.cell(sb.output_pads()[i]).name] = i;
+
+  std::vector<int> pi_perm(sa.input_pads().size(), -1);
+  for (std::size_t i = 0; i < sa.input_pads().size(); ++i) {
+    auto it = b_pi_slot.find(a.cell(sa.input_pads()[i]).name);
+    if (it != b_pi_slot.end()) pi_perm[i] = static_cast<int>(it->second);
+  }
+  std::vector<std::size_t> po_perm(sa.output_pads().size(), 0);
+  for (std::size_t i = 0; i < sa.output_pads().size(); ++i) {
+    const std::string& name = a.cell(sa.output_pads()[i]).name;
+    auto it = b_po_slot.find(name);
+    if (it == b_po_slot.end()) {
+      if (why) *why = "output pad " + name + " missing in second netlist";
+      return false;
+    }
+    po_perm[i] = it->second;
+  }
+
   Rng rng(seed);
+  std::vector<std::uint64_t> wa(sa.input_pads().size(), 0);
+  std::vector<std::uint64_t> wb(sb.input_pads().size(), 0);
+  std::vector<std::uint64_t> oa;
+  std::vector<std::uint64_t> ob;
   for (int cyc = 0; cyc < cycles; ++cyc) {
-    std::unordered_map<std::string, std::uint64_t> stim;
-    for (const auto& name : pis) stim[name] = rng.next_u64();
-    auto oa = sa.step(stim);
-    auto ob = sb.step(stim);
-    for (const auto& [name, va] : oa) {
-      auto it = ob.find(name);
-      if (it == ob.end()) {
-        if (why) *why = "output pad " + name + " missing in second netlist";
-        return false;
-      }
-      if (it->second != va) {
+    // Stimulus draw order is a's input pads in id order — the exact sequence
+    // the name-keyed implementation used, so seeds reproduce bit-identically.
+    for (std::size_t i = 0; i < wa.size(); ++i) wa[i] = rng.next_u64();
+    std::fill(wb.begin(), wb.end(), 0);
+    for (std::size_t i = 0; i < wa.size(); ++i)
+      if (pi_perm[i] >= 0) wb[static_cast<std::size_t>(pi_perm[i])] = wa[i];
+    sa.step_flat(wa, oa);
+    sb.step_flat(wb, ob);
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      if (ob[po_perm[i]] != oa[i]) {
         if (why)
-          *why = "output " + name + " differs at cycle " + std::to_string(cyc);
+          *why = "output " + a.cell(sa.output_pads()[i]).name +
+                 " differs at cycle " + std::to_string(cyc);
         return false;
       }
     }

@@ -17,6 +17,11 @@ namespace repro {
 /// flip-flop of a registered BLE samples the LUT output at each clock edge.
 /// The simulator is the ground truth for checking that replication /
 /// unification / redundancy-removal edits preserve circuit function.
+///
+/// The per-cycle interface is flat: input/output words travel in vectors
+/// ordered like input_pads()/output_pads() (live pads in id order at
+/// construction). The name-keyed step() wrapper remains for callers that
+/// address pads symbolically (tests, the auditor's equivalence probes).
 class Simulator {
  public:
   explicit Simulator(const Netlist& nl);
@@ -24,10 +29,18 @@ class Simulator {
   /// Resets all flip-flop state to 0 (vector-wise).
   void reset();
 
-  /// Applies one clock cycle: evaluates all combinational logic with the
-  /// given primary-input words (keyed by input-pad name), samples the
-  /// flip-flops, and returns the primary-output words keyed by
-  /// output-pad name.
+  /// Live input/output pads in id order; the positional contract of
+  /// step_flat(). Valid while the netlist is not edited.
+  const std::vector<CellId>& input_pads() const { return pi_pads_; }
+  const std::vector<CellId>& output_pads() const { return po_pads_; }
+
+  /// Applies one clock cycle without touching any map: pi_words[i] drives
+  /// input_pads()[i]; po_words is filled with one word per output_pads()[i].
+  void step_flat(const std::vector<std::uint64_t>& pi_words,
+                 std::vector<std::uint64_t>& po_words);
+
+  /// Name-keyed convenience wrapper around step_flat: pads absent from
+  /// `pi_values` read as 0, unknown names are ignored.
   std::unordered_map<std::string, std::uint64_t> step(
       const std::unordered_map<std::string, std::uint64_t>& pi_values);
 
@@ -40,7 +53,19 @@ class Simulator {
   std::vector<std::uint8_t> computed_;  // 0 = no, 1 = in progress, 2 = done
   /// Flip-flop state per cell (indexed by cell id; only registered cells used).
   std::vector<std::uint64_t> state_;
-  std::unordered_map<std::string, std::uint64_t> pi_;
+  std::vector<std::uint64_t> next_state_;  // reused across cycles
+
+  std::vector<CellId> pi_pads_;
+  std::vector<CellId> po_pads_;
+  /// cell index -> slot in pi_pads_ (input pads only).
+  std::vector<std::uint32_t> pi_slot_;
+  /// Input words of the cycle in flight (points at the step_flat argument).
+  const std::vector<std::uint64_t>* cur_pi_ = nullptr;
+
+  // step() wrapper state, built once.
+  std::unordered_map<std::string, std::size_t> pi_slot_by_name_;
+  std::vector<std::uint64_t> pi_scratch_;
+  std::vector<std::uint64_t> po_scratch_;
 };
 
 /// Drives both netlists with the same random stimulus for `cycles` cycles and

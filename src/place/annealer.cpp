@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "arch/wirelength.h"
 #include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
@@ -24,7 +25,7 @@ Placement random_placement(const Netlist& nl, const FpgaGrid& grid, Rng& rng) {
 
   std::size_t li = 0;
   std::size_t ii = 0;
-  for (CellId c : nl.live_cells()) {
+  for (CellId c : nl.live_cell_ids()) {
     if (nl.cell(c).kind == CellKind::kLogic) {
       assert(li < logic_slots.size() && "grid too small for logic blocks");
       pl.place(c, logic_slots[li++]);
@@ -38,6 +39,81 @@ Placement random_placement(const Netlist& nl, const FpgaGrid& grid, Rng& rng) {
 
 namespace {
 
+/// Exactly-maintained net bounding box: the Rect plus the number of terminal
+/// instances sitting on each boundary. Unlike VPR's approximate incremental
+/// bbox, a move that vacates a boundary (count drops to zero) triggers a full
+/// rescan of the net's terminals, so `bb` is always the true terminal bbox —
+/// which is what keeps the incremental path bit-identical to recomputation.
+///
+/// Only nets with at least kIncrementalTerms terminals are maintained this
+/// way: for the small nets that dominate the distribution, a direct
+/// allocation-free scan is cheaper than the bookkeeping (a 2-terminal net
+/// vacates a boundary on almost every move), while the heavy-tail fanout
+/// nets — exactly the ones whose rescans are expensive — update in O(moved
+/// instances).
+struct NetBB {
+  Rect bb;
+  int on_xmin = 0;
+  int on_xmax = 0;
+  int on_ymin = 0;
+  int on_ymax = 0;
+};
+
+/// Adds a terminal instance at p. Exact: bb stays the true bbox.
+void bb_add(NetBB& t, Point p) {
+  if (t.bb.empty()) {
+    t.bb = Rect::around(p);
+    t.on_xmin = t.on_xmax = t.on_ymin = t.on_ymax = 1;
+    return;
+  }
+  if (p.x < t.bb.xmin) {
+    t.bb.xmin = p.x;
+    t.on_xmin = 1;
+  } else if (p.x == t.bb.xmin) {
+    ++t.on_xmin;
+  }
+  if (p.x > t.bb.xmax) {
+    t.bb.xmax = p.x;
+    t.on_xmax = 1;
+  } else if (p.x == t.bb.xmax) {
+    ++t.on_xmax;
+  }
+  if (p.y < t.bb.ymin) {
+    t.bb.ymin = p.y;
+    t.on_ymin = 1;
+  } else if (p.y == t.bb.ymin) {
+    ++t.on_ymin;
+  }
+  if (p.y > t.bb.ymax) {
+    t.bb.ymax = p.y;
+    t.on_ymax = 1;
+  } else if (p.y == t.bb.ymax) {
+    ++t.on_ymax;
+  }
+}
+
+/// Removes a terminal instance at p. Returns false when the removal vacates a
+/// boundary — the caller must rescan the net's terminals from the placement.
+bool bb_remove(NetBB& t, Point p) {
+  if (p.x == t.bb.xmin && --t.on_xmin == 0) return false;
+  if (p.x == t.bb.xmax && --t.on_xmax == 0) return false;
+  if (p.y == t.bb.ymin && --t.on_ymin == 0) return false;
+  if (p.y == t.bb.ymax && --t.on_ymax == 0) return false;
+  return true;
+}
+
+/// One pin instance displaced by the current proposal. A cell contributes one
+/// Nets with fewer terminals than this take the direct-scan path.
+constexpr std::size_t kIncrementalTerms = 10;
+
+/// instance per pin (output plus every input occurrence), so nets connected
+/// to a cell more than once are counted with the right multiplicity.
+struct InstanceMove {
+  NetId net;
+  Point from;
+  Point to;
+};
+
 /// Incremental cost bookkeeping for the annealer.
 class AnnealState {
  public:
@@ -45,17 +121,48 @@ class AnnealState {
               const AnnealerOptions& opt)
       : nl_(nl), pl_(pl), eng_(eng), tg_(eng.graph()), opt_(opt) {
     net_wl_.resize(nl.net_capacity(), 0.0);
-    for (NetId n : nl.live_nets()) {
+    for (NetId n : nl.live_net_ids()) {
       net_wl_[n.index()] = pl.net_wirelength(n);
       wiring_cost_ += net_wl_[n.index()];
     }
-    edge_delay_.resize(tg_.num_edges(), 0.0);
-    edge_weight_.resize(tg_.num_edges(), 0.0);
-    cell_edges_.resize(nl.cell_capacity());
-    for (std::size_t e = 0; e < tg_.num_edges(); ++e) {
-      const TimingEdge& ed = tg_.edge(e);
-      cell_edges_[tg_.node(ed.from).cell.index()].push_back(e);
-      cell_edges_[tg_.node(ed.to).cell.index()].push_back(e);
+    if (opt.incremental_bbox) {
+      net_bb_.resize(nl.net_capacity());
+      for (NetId n : nl.live_net_ids())
+        if (nl.net(n).sinks.size() + 1 >= kIncrementalTerms)
+          net_bb_[n.index()] = scan_net(n);
+      // CSR of each cell's pins on incrementally-maintained nets (output
+      // first, then inputs in pin order — the order inst_moves_ saw before),
+      // so note_move on the hot path never probes net sizes.
+      big_pin_offset_.assign(nl.cell_capacity() + 1, 0);
+      std::vector<NetId> pins;
+      for (std::size_t i = 0; i < nl.cell_capacity(); ++i) {
+        big_pin_offset_[i] = static_cast<std::uint32_t>(big_pin_net_.size());
+        CellId c{static_cast<CellId::value_type>(i)};
+        if (!nl.cell_alive(c)) continue;
+        const Cell& cell = nl.cell(c);
+        if (cell.output.valid() &&
+            nl.net(cell.output).sinks.size() + 1 >= kIncrementalTerms)
+          big_pin_net_.push_back(cell.output);
+        for (NetId n : cell.inputs)
+          if (n.valid() && nl.net(n).sinks.size() + 1 >= kIncrementalTerms)
+            big_pin_net_.push_back(n);
+      }
+      big_pin_offset_[nl.cell_capacity()] =
+          static_cast<std::uint32_t>(big_pin_net_.size());
+      arena_record_peak(arena_counters().annealer_bbox_bytes,
+                        net_bb_.capacity() * sizeof(NetBB) +
+                            big_pin_offset_.capacity() * sizeof(std::uint32_t) +
+                            big_pin_net_.capacity() * sizeof(NetId));
+    }
+    if (opt.timing_driven) {
+      edge_delay_.resize(tg_.num_edges(), 0.0);
+      edge_weight_.resize(tg_.num_edges(), 0.0);
+      cell_edges_.resize(nl.cell_capacity());
+      for (std::size_t e = 0; e < tg_.num_edges(); ++e) {
+        const TimingEdge& ed = tg_.edge(e);
+        cell_edges_[tg_.node(ed.from).cell.index()].push_back(e);
+        cell_edges_[tg_.node(ed.to).cell.index()].push_back(e);
+      }
     }
     refresh_criticalities(1.0);
   }
@@ -63,12 +170,17 @@ class AnnealState {
   /// Incrementally re-times the accumulated accepted moves and recomputes
   /// criticality weights with the given exponent.
   void refresh_criticalities(double crit_exponent) {
-    eng_.update();
-    timing_cost_ = 0;
-    for (std::size_t e = 0; e < tg_.num_edges(); ++e) {
-      edge_delay_[e] = tg_.edge(e).delay;
-      edge_weight_[e] = criticality_weight(tg_.edge_criticality(e), crit_exponent);
-      timing_cost_ += edge_delay_[e] * edge_weight_[e];
+    // Wirelength-driven anneals never read the timing term (dt is always 0),
+    // so they skip the incremental STA entirely — the trajectory depends
+    // only on wiring_norm_.
+    if (opt_.timing_driven) {
+      eng_.update();
+      timing_cost_ = 0;
+      for (std::size_t e = 0; e < tg_.num_edges(); ++e) {
+        edge_delay_[e] = tg_.edge(e).delay;
+        edge_weight_[e] = criticality_weight(tg_.edge_criticality(e), crit_exponent);
+        timing_cost_ += edge_delay_[e] * edge_weight_[e];
+      }
     }
     wiring_norm_ = std::max(wiring_cost_, 1e-9);
     timing_norm_ = std::max(timing_cost_, 1e-9);
@@ -77,18 +189,74 @@ class AnnealState {
   double wiring_cost() const { return wiring_cost_; }
   double timing_cost() const { return timing_cost_; }
 
+  /// Starts recording the pin-instance displacements of a new proposal.
+  void begin_proposal() { inst_moves_.clear(); }
+
+  /// Records that cell c moved from -> to: one instance per connected pin of
+  /// an incrementally-maintained (high-fanout) net.
+  void note_move(CellId c, Point from, Point to) {
+    if (!opt_.incremental_bbox) return;
+    const std::uint32_t b0 = big_pin_offset_[c.index()];
+    const std::uint32_t b1 = big_pin_offset_[c.index() + 1];
+    for (std::uint32_t i = b0; i < b1; ++i)
+      inst_moves_.push_back({big_pin_net_[i], from, to});
+  }
+
   /// Normalized composite delta for moving cells (already moved in pl_);
   /// `touched_nets` and `touched_cells` describe the move.
   double evaluate_delta(const std::vector<NetId>& touched_nets,
                         const std::vector<CellId>& touched_cells,
                         std::vector<double>& new_wl, std::vector<double>& new_delay,
-                        std::vector<std::size_t>& touched_edges) const {
+                        std::vector<std::size_t>& touched_edges) {
     double dw = 0;
     new_wl.clear();
-    for (NetId n : touched_nets) {
-      double wl = pl_.net_wirelength(n);
-      new_wl.push_back(wl);
-      dw += wl - net_wl_[n.index()];
+    if (opt_.incremental_bbox) {
+      new_bb_.clear();
+      for (NetId n : touched_nets) {
+        const Net& net = nl_.net(n);
+        double wl = 0.0;
+        if (net.sinks.size() + 1 < kIncrementalTerms) {
+          // Small net: a direct allocation-free scan beats the bookkeeping.
+          new_bb_.emplace_back();
+          if (!net.sinks.empty())
+            wl = estimate_wirelength(pl_.net_bbox(n), net.sinks.size() + 1);
+        } else {
+          NetBB t = net_bb_[n.index()];
+          for (const InstanceMove& mv : inst_moves_) {
+            if (mv.net != n) continue;
+            if (!bb_remove(t, mv.from)) {
+              // A boundary emptied out. pl_ already holds every cell at its
+              // proposed position, so one rescan yields the exact final bbox;
+              // the remaining instance updates are already folded in.
+              t = scan_net(n);
+              break;
+            }
+            bb_add(t, mv.to);
+          }
+          new_bb_.push_back(t);
+          wl = estimate_wirelength(t.bb, net.sinks.size() + 1);
+        }
+        new_wl.push_back(wl);
+        dw += wl - net_wl_[n.index()];
+      }
+    } else {
+      // Pre-PR layout, kept as the baseline configuration of
+      // bench/microbench_scale: the original annealer recomputed each
+      // touched net's bbox from a materialized terminal list, paying one
+      // vector allocation per touched net per proposal. Bit-identical to
+      // the incremental path (same bbox, same estimate).
+      for (NetId n : touched_nets) {
+        const Net& net = nl_.net(n);
+        double wl = 0.0;
+        if (!net.sinks.empty()) {
+          std::vector<Point> pts = pl_.net_terminals(n);
+          Rect bb;
+          for (Point p : pts) bb.include(p);
+          wl = estimate_wirelength(bb, pts.size());
+        }
+        new_wl.push_back(wl);
+        dw += wl - net_wl_[n.index()];
+      }
     }
     double dt = 0;
     new_delay.clear();
@@ -121,22 +289,39 @@ class AnnealState {
     for (std::size_t i = 0; i < touched_nets.size(); ++i) {
       wiring_cost_ += new_wl[i] - net_wl_[touched_nets[i].index()];
       net_wl_[touched_nets[i].index()] = new_wl[i];
+      if (opt_.incremental_bbox &&
+          nl_.net(touched_nets[i]).sinks.size() + 1 >= kIncrementalTerms)
+        net_bb_[touched_nets[i].index()] = new_bb_[i];
     }
     for (std::size_t i = 0; i < touched_edges.size(); ++i) {
       timing_cost_ += (new_delay[i] - edge_delay_[touched_edges[i]]) *
                       edge_weight_[touched_edges[i]];
       edge_delay_[touched_edges[i]] = new_delay[i];
     }
-    eng_.on_cells_moved(touched_cells);
+    if (opt_.timing_driven) eng_.on_cells_moved(touched_cells);
   }
 
  private:
+  /// Exact bbox + boundary counts of net n scanned from the placement.
+  NetBB scan_net(NetId n) const {
+    NetBB t;
+    const Net& net = nl_.net(n);
+    bb_add(t, pl_.location(net.driver));
+    for (const Sink& s : net.sinks) bb_add(t, pl_.location(s.cell));
+    return t;
+  }
+
   const Netlist& nl_;
   Placement& pl_;
   TimingEngine& eng_;
   const TimingGraph& tg_;
   const AnnealerOptions& opt_;
   std::vector<double> net_wl_;
+  std::vector<NetBB> net_bb_;        ///< committed boxes (incremental_bbox)
+  std::vector<std::uint32_t> big_pin_offset_;  ///< CSR: cell -> big-net pins
+  std::vector<NetId> big_pin_net_;
+  std::vector<NetBB> new_bb_;        ///< tentative boxes of the open proposal
+  std::vector<InstanceMove> inst_moves_;
   std::vector<double> edge_delay_;
   std::vector<double> edge_weight_;
   std::vector<std::vector<std::size_t>> cell_edges_;
@@ -213,11 +398,14 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
 
     touched_nets.clear();
     touched_cells.clear();
+    state.begin_proposal();
     touched_cells.push_back(a);
     collect_nets(nl, a, touched_nets);
+    state.note_move(a, a_from, target);
     if (b.valid()) {
       touched_cells.push_back(b);
       collect_nets(nl, b, touched_nets);
+      state.note_move(b, b_from, a_from);
       pl.place(b, a_from);
     }
     pl.place(a, target);
@@ -246,7 +434,7 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
   double temperature = 20.0 * std::max(probe.stddev(), 1e-6);
   state.refresh_criticalities(crit_exp());
 
-  const double num_nets = std::max<double>(1.0, static_cast<double>(nl.live_nets().size()));
+  const double num_nets = std::max<double>(1.0, static_cast<double>(nl.num_live_nets()));
   int temp_iter = 0;
   while (true) {
     if (opt.cancel) opt.cancel->check("anneal");

@@ -51,7 +51,7 @@ bool Placement::compatible(CellId c, Point p) const {
 
 std::string Placement::check_legal() const {
   std::ostringstream err;
-  for (CellId c : nl_->live_cells()) {
+  for (CellId c : nl_->live_cell_ids()) {
     if (c.index() >= placed_.size() || !placed_[c.index()]) {
       err << "cell " << nl_->cell(c).name << " unplaced";
       return err.str();
@@ -108,8 +108,16 @@ std::vector<Point> Placement::net_terminals(NetId n) const {
 }
 
 Rect Placement::net_bbox(NetId n) const {
+  // Allocation-free: this sits on the annealer's per-move hot path, so it
+  // must not materialize the terminal list the way net_terminals() does.
+  const Net& net = nl_->net(n);
   Rect bb;
-  for (Point p : net_terminals(n)) bb.include(p);
+  assert(placed_[net.driver.index()]);
+  bb.include(loc_[net.driver.index()]);
+  for (const Sink& s : net.sinks) {
+    assert(placed_[s.cell.index()]);
+    bb.include(loc_[s.cell.index()]);
+  }
   return bb;
 }
 
@@ -132,7 +140,7 @@ Placement Placement::with_netlist(const Netlist& nl) const {
 
 double Placement::total_wirelength() const {
   double total = 0;
-  for (NetId n : nl_->live_nets()) total += net_wirelength(n);
+  for (NetId n : nl_->live_net_ids()) total += net_wirelength(n);
   return total;
 }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -134,6 +136,28 @@ struct SpecKeyHash {
   }
 };
 
+/// Dense CellId-indexed replacement for the engine's old
+/// unordered_map<CellId, double> of parked sinks: NaN marks "not parked",
+/// and the array grows on demand (replication keeps extending the id space).
+struct StuckSinks {
+  std::vector<double> arrival;
+
+  bool contains(CellId c) const {
+    return static_cast<std::size_t>(c.index()) < arrival.size() &&
+           !std::isnan(arrival[c.index()]);
+  }
+  double at(CellId c) const { return arrival[c.index()]; }
+  void erase(CellId c) {
+    if (static_cast<std::size_t>(c.index()) < arrival.size())
+      arrival[c.index()] = std::numeric_limits<double>::quiet_NaN();
+  }
+  void set(CellId c, double v) {
+    if (static_cast<std::size_t>(c.index()) >= arrival.size())
+      arrival.resize(c.index() + 1, std::numeric_limits<double>::quiet_NaN());
+    arrival[c.index()] = v;
+  }
+};
+
 /// Everything one iteration's read-only pipeline produces. Status mirrors
 /// the serial engine's early-out ladder so the main loop can replay the
 /// exact bookkeeping transitions without recomputing anything.
@@ -143,7 +167,7 @@ struct SpecOutcome {
   std::size_t tree_internal = 0;
   ReplicationTree rt;
   EmbeddingGraph graph;
-  std::unordered_map<TreeNodeId, EmbedVertexId> embedding;
+  TreeEmbedding embedding;
   double picked_primary = 0;
   double picked_cost = 0;
   double fastest_primary = 0;
@@ -164,7 +188,8 @@ SpecOutcome compute_speculation(const Netlist& nl, const Placement& pl,
   SpecOutcome out;
   const double crit = tg.critical_delay();
 
-  Spt spt = extract_eps_spt(tg, sp.sink, sp.epsilon);
+  Spt spt = opt.flat_scratch ? extract_eps_spt(tg, sp.sink, sp.epsilon)
+                             : extract_eps_spt_legacy(tg, sp.sink, sp.epsilon);
   ReplicationTree rt = build_replication_tree(tg, spt);
   out.tree_internal = rt.num_internal();
   if (rt.num_internal() == 0) {
@@ -190,6 +215,39 @@ SpecOutcome compute_speculation(const Netlist& nl, const Placement& pl,
   region = region.inflated(opt.region_margin, n, n);
   region.xmin = std::max(region.xmin, 1);
   region.ymin = std::max(region.ymin, 1);
+
+  // Region guard: the embedding DP costs O(tree nodes x region points x
+  // labels) time and memory, and a tree whose terminals span the chip gets a
+  // chip-sized region — at 1e5 cells that is gigabytes for a single
+  // embedding. Oversized regions are shrunk to a ~sqrt(cap)^2 window around
+  // the root sink (where replicas have timing leverage); terminals left
+  // outside are spliced back with straight-line edges below, the same
+  // mechanism that handles I/O-ring terminals.
+  if (opt.max_region_points > 0) {
+    const std::int64_t pts =
+        static_cast<std::int64_t>(region.xmax - region.xmin + 1) *
+        static_cast<std::int64_t>(region.ymax - region.ymin + 1);
+    if (pts > opt.max_region_points) {
+      const int side = std::max(
+          1, static_cast<int>(std::sqrt(static_cast<double>(opt.max_region_points))));
+      Point root_loc = rt.tree.node(rt.tree.root()).fixed_loc;
+      const int rx = std::clamp(root_loc.x, 1, n);
+      const int ry = std::clamp(root_loc.y, 1, n);
+      Rect w;
+      w.xmin = std::clamp(rx - side / 2, 1, n);
+      w.xmax = std::min(n, w.xmin + side - 1);
+      w.xmin = std::max(1, w.xmax - side + 1);
+      w.ymin = std::clamp(ry - side / 2, 1, n);
+      w.ymax = std::min(n, w.ymin + side - 1);
+      w.ymin = std::max(1, w.ymax - side + 1);
+      // The root's clamped location is in both rects, so the intersection is
+      // never empty.
+      region.xmin = std::max(region.xmin, w.xmin);
+      region.xmax = std::min(region.xmax, w.xmax);
+      region.ymin = std::max(region.ymin, w.ymin);
+      region.ymax = std::min(region.ymax, w.ymax);
+    }
+  }
 
   EmbeddingGraph graph = EmbeddingGraph::make_grid(
       region, opt.wire_cost_per_unit, dm.wire_delay_per_unit);
@@ -459,7 +517,8 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
   {
     const TimingGraph& tg = eng.graph();
     res.initial_critical = tg.critical_delay();
-    lower_bound = monotone_lower_bound(tg);
+    lower_bound = opt.flat_scratch ? monotone_lower_bound(tg)
+                                   : monotone_lower_bound_legacy(tg);
     best.take(nl, pl, res.initial_critical);
   }
   res.lower_bound = lower_bound;
@@ -475,7 +534,9 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
   // be pinned by a reconvergent cell whose slowest-path tree belongs to a
   // *different* tied sink; rotating over the near-critical band breaks that
   // deadlock. A stuck sink becomes eligible again once its arrival changes.
-  std::unordered_map<CellId, double> stuck_at;
+  // Dense over the cell-id space (NaN = not parked), grown on demand as
+  // replication extends the id space.
+  StuckSinks stuck_at;
   // Adaptive backpressure on replication: every legalization failure (out of
   // free slots) rolls the iteration back and doubles the effective
   // replication cost, steering the embedder toward relocation/unification;
@@ -533,12 +594,12 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
       TimingNodeId s = band[b];
       if (tg.arrival(s) < crit * 0.75) break;
       CellId c = tg.node(s).cell;
-      auto it = stuck_at.find(c);
       // Retry a parked sink only on a meaningful arrival change; a 1e-9
       // threshold lets unification-induced wiggles re-arm sinks forever.
-      if (it != stuck_at.end() && tg.arrival(s) >= it->second - 0.002 * crit)
-        continue;
-      if (it != stuck_at.end()) stuck_at.erase(it);
+      if (stuck_at.contains(c)) {
+        if (tg.arrival(s) >= stuck_at.at(c) - 0.002 * crit) continue;
+        stuck_at.erase(c);
+      }
       sink = s;
       sink_band_pos = b;
       break;
@@ -564,7 +625,7 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
     if (nonimprove_for_sink > opt.max_eps_steps) {
       // This sink is pinned at its current arrival; move on to the next
       // near-critical sink (Section V-B's widening has run its course).
-      stuck_at[sink_cell] = tg.arrival(sink);
+      stuck_at.set(sink_cell, tg.arrival(sink));
       nonimprove_for_sink = 0;
       epsilon = 0;
       res.history.push_back(is);
@@ -609,8 +670,7 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
         TimingNodeId s = band[b];
         if (tg.arrival(s) < crit * 0.75) break;
         CellId c = tg.node(s).cell;
-        auto it = stuck_at.find(c);
-        if (it != stuck_at.end() && tg.arrival(s) >= it->second - 0.002 * crit)
+        if (stuck_at.contains(c) && tg.arrival(s) >= stuck_at.at(c) - 0.002 * crit)
           continue;
         predictions.push_back(SpecParams{s, c, 0.0, false, repl_cost_mult});
       }
@@ -626,7 +686,7 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
     if (oc.status == SpecOutcome::Status::kTreeTooBig) {
       // Too large to embed within the runtime budget; park this sink (other
       // near-critical sinks may have smaller cones) and move on.
-      stuck_at[sink_cell] = tg.arrival(sink);
+      stuck_at.set(sink_cell, tg.arrival(sink));
       nonimprove_for_sink = 0;
       epsilon = 0;
       res.history.push_back(is);
@@ -696,7 +756,8 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
 
     if (ff_relocation) {
       // The register moved; the monotone bound must be refreshed.
-      lower_bound = monotone_lower_bound(eng.updated());
+      lower_bound = opt.flat_scratch ? monotone_lower_bound(eng.updated())
+                                     : monotone_lower_bound_legacy(eng.updated());
       res.lower_bound = std::min(res.lower_bound, lower_bound);
     }
     assert(nl.validate().empty());

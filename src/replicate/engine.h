@@ -70,9 +70,24 @@ struct EngineOptions {
   /// Trees with more internal nodes than this are not embedded (runtime
   /// guard; the paper saw trees up to ~1000 cells).
   int max_tree_internal = 600;
+  /// Embedding-region size cap in grid points (0 = unlimited). The DP is
+  /// O(tree nodes x region points x labels) in time and memory, so a
+  /// chip-spanning tree on a large array costs gigabytes per embedding.
+  /// Oversized regions are shrunk to a ~sqrt(cap)^2 window around the root
+  /// sink; terminals outside the window are spliced in with straight-line
+  /// edges (the I/O-ring mechanism), so replication still happens at scale,
+  /// scoped to where it has timing leverage. Off by default: results at
+  /// paper scales are pinned with the guard off.
+  int max_region_points = 0;
 
   bool aggressive_unification = true;  ///< Section V-C / VII-B strategy
   bool enable_ff_relocation = true;    ///< Section V-D
+
+  /// Use the generation-stamped arena implementations of SPT extraction and
+  /// the monotone lower bound (DESIGN.md §9). false selects the legacy
+  /// unordered_map code paths — bit-identical results, allocation churn per
+  /// call — kept as the baseline configuration of bench/microbench_scale.
+  bool flat_scratch = true;
   LegalizerOptions legalizer;
 
   /// Threads for speculative embedding and the parallel embedder join

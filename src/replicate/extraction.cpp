@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "timing/timing_engine.h"
 #include "timing/timing_graph.h"
@@ -20,10 +22,10 @@ CellId equivalent_cell_at(const Netlist& nl, const Placement& pl, Point p, CellI
 
 }  // namespace
 
-ExtractionStats apply_embedding(
-    Netlist& nl, Placement& pl, const ReplicationTree& rt,
-    const std::unordered_map<TreeNodeId, EmbedVertexId>& embedding,
-    const EmbeddingGraph& graph, TimingEngine* eng) {
+ExtractionStats apply_embedding(Netlist& nl, Placement& pl,
+                                const ReplicationTree& rt,
+                                const TreeEmbedding& embedding,
+                                const EmbeddingGraph& graph, TimingEngine* eng) {
   ExtractionStats stats;
   auto note_moved = [&](CellId c) {
     if (eng) eng->on_cell_moved(c);
@@ -32,28 +34,33 @@ ExtractionStats apply_embedding(
     if (eng) eng->on_cell_rewired(c);
   };
 
-  // Tree-parent connection of each internal node: (parent cell, pin). Used
-  // for the relocate-instead-of-replicate test.
-  std::unordered_map<TreeNodeId, std::pair<CellId, int>> parent_conn;
+  const std::size_t num_tree_nodes = rt.tree.size();
+
+  // Tree-parent connection of each internal node: (parent cell, pin), dense
+  // over the tree's node-id space. Used for the relocate-instead-of-replicate
+  // test.
+  std::vector<CellId> parent_cell(num_tree_nodes, CellId::invalid());
+  std::vector<int> parent_pin(num_tree_nodes, -1);
   auto record_parent = [&](const ReplicationTree::InternalInfo& info) {
     for (std::size_t pin = 0; pin < info.pin_child.size(); ++pin)
-      if (info.pin_is_internal[pin])
-        parent_conn[info.pin_child[pin]] = {info.cell, static_cast<int>(pin)};
+      if (info.pin_is_internal[pin]) {
+        parent_cell[info.pin_child[pin].index()] = info.cell;
+        parent_pin[info.pin_child[pin].index()] = static_cast<int>(pin);
+      }
   };
   for (const auto& info : rt.internals) record_parent(info);
   record_parent(rt.root_info);
 
   // Realized signal source per tree node. Leaves realize to their original
   // driver cells.
-  std::unordered_map<TreeNodeId, CellId> realized;
+  std::vector<CellId> realized(num_tree_nodes, CellId::invalid());
   for (TreeNodeId n : rt.tree.post_order())
-    if (rt.tree.node(n).is_leaf()) realized[n] = rt.tree.node(n).cell;
+    if (rt.tree.node(n).is_leaf()) realized[n.index()] = rt.tree.node(n).cell;
 
   // Internal nodes are listed children-before-parents.
   for (const auto& info : rt.internals) {
-    auto it = embedding.find(info.node);
-    assert(it != embedding.end());
-    const Point target = graph.point(it->second);
+    assert(embedding.contains(info.node));
+    const Point target = graph.point(embedding[info.node]);
     const Cell& orig = nl.cell(info.cell);
     (void)orig;
 
@@ -72,11 +79,11 @@ ExtractionStats apply_embedding(
       // tree-parent connection (replicating would leave the original
       // fanout-free anyway).
       bool relocate = false;
-      auto pc = parent_conn.find(info.node);
-      if (pc != parent_conn.end()) {
+      if (parent_cell[info.node.index()].valid()) {
         const auto& sinks = nl.net(nl.cell(info.cell).output).sinks;
-        relocate = sinks.size() == 1 && sinks[0].cell == pc->second.first &&
-                   sinks[0].pin == pc->second.second;
+        relocate = sinks.size() == 1 &&
+                   sinks[0].cell == parent_cell[info.node.index()] &&
+                   sinks[0].pin == parent_pin[info.node.index()];
       }
       if (relocate) {
         cell_to_use = info.cell;
@@ -94,21 +101,21 @@ ExtractionStats apply_embedding(
     // the drivers the cell already has — logically equivalent by class).
     for (std::size_t pin = 0; pin < info.pin_child.size(); ++pin) {
       if (!info.pin_is_internal[pin]) continue;
-      CellId child = realized.at(info.pin_child[pin]);
+      CellId child = realized[info.pin_child[pin].index()];
+      assert(child.valid());
       nl.reassign_input(cell_to_use, static_cast<int>(pin),
                         nl.cell(child).output);
       note_rewired(cell_to_use);
     }
-    realized[info.node] = cell_to_use;
+    realized[info.node.index()] = cell_to_use;
   }
 
   // Root: rewire its tree pins in place; move it only if the embedding chose
   // a different root vertex (FF relocation).
   {
     const auto& info = rt.root_info;
-    auto it = embedding.find(rt.tree.root());
-    if (it != embedding.end()) {
-      Point root_target = graph.point(it->second);
+    if (embedding.contains(rt.tree.root())) {
+      Point root_target = graph.point(embedding[rt.tree.root()]);
       if (root_target != pl.location(info.cell)) {
         pl.place(info.cell, root_target);
         note_moved(info.cell);
@@ -116,7 +123,8 @@ ExtractionStats apply_embedding(
     }
     for (std::size_t pin = 0; pin < info.pin_child.size(); ++pin) {
       if (!info.pin_is_internal[pin]) continue;
-      CellId child = realized.at(info.pin_child[pin]);
+      CellId child = realized[info.pin_child[pin].index()];
+      assert(child.valid());
       nl.reassign_input(info.cell, static_cast<int>(pin), nl.cell(child).output);
       note_rewired(info.cell);
     }
@@ -154,7 +162,7 @@ UnificationStats postprocess_unification(Netlist& nl, Placement& pl,
 
   // Collect equivalence classes with more than one live member.
   std::unordered_map<EqClassId, std::vector<CellId>> classes;
-  for (CellId c : nl.live_cells()) {
+  for (CellId c : nl.live_cell_ids()) {
     const Cell& cell = nl.cell(c);
     if (cell.kind != CellKind::kLogic) continue;
     classes[cell.eq_class].push_back(c);

@@ -1,7 +1,5 @@
 #pragma once
 
-#include <unordered_map>
-
 #include "arch/delay_model.h"
 #include "embed/embedder.h"
 #include "netlist/netlist.h"
@@ -43,10 +41,11 @@ struct ExtractionStats {
 /// With `eng`, every structural change (replicas, rewired receivers, deleted
 /// originals) and relocation is reported to the shared incremental timing
 /// engine so the caller's next update() splices instead of rebuilding.
-ExtractionStats apply_embedding(
-    Netlist& nl, Placement& pl, const ReplicationTree& rt,
-    const std::unordered_map<TreeNodeId, EmbedVertexId>& embedding,
-    const EmbeddingGraph& graph, TimingEngine* eng = nullptr);
+ExtractionStats apply_embedding(Netlist& nl, Placement& pl,
+                                const ReplicationTree& rt,
+                                const TreeEmbedding& embedding,
+                                const EmbeddingGraph& graph,
+                                TimingEngine* eng = nullptr);
 
 struct UnificationStats {
   int fanouts_moved = 0;

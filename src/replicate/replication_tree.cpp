@@ -50,13 +50,10 @@ struct Builder {
 
     // Internal: find which pin each SPT tree child feeds.
     std::vector<TimingNodeId> pin_feed(cell.inputs.size(), TimingNodeId::invalid());
-    auto ch = spt.children.find(v);
-    if (ch != spt.children.end()) {
-      for (TimingNodeId u : ch->second) {
-        int pin = spt.parent_pin.at(u);
-        assert(pin >= 0 && pin < static_cast<int>(pin_feed.size()));
-        pin_feed[pin] = u;
-      }
+    for (TimingNodeId u : spt.children(v)) {
+      int pin = spt.parent_pin(u);
+      assert(pin >= 0 && pin < static_cast<int>(pin_feed.size()));
+      pin_feed[pin] = u;
     }
 
     ReplicationTree::InternalInfo info;

@@ -76,7 +76,7 @@ class PathFinder {
     stamp_.assign(g_.e * g_.e, 0);
     tree_depth_.assign(g_.e * g_.e, 0);
     tree_stamp_.assign(g_.e * g_.e, 0);
-    for (NetId n : nl.live_nets())
+    for (NetId n : nl.live_net_ids())
       if (!nl.net(n).sinks.empty()) nets_.push_back(n);
   }
 
@@ -560,7 +560,7 @@ int cut_lower_bound(const Netlist& nl, const Placement& pl) {
   const int e = pl.grid().extent();
   if (e < 2) return 1;
   std::vector<int> vcut(e - 1, 0), hcut(e - 1, 0);
-  for (NetId n : nl.live_nets()) {
+  for (NetId n : nl.live_net_ids()) {
     const Net& net = nl.net(n);
     if (net.sinks.empty()) continue;
     Rect bbox = Rect::around(pl.location(net.driver));

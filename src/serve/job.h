@@ -87,6 +87,15 @@ struct JobResult {
   double place_seconds = 0;
   double replicate_seconds = 0;
   double route_seconds = 0;
+
+  // Memory accounting, equally volatile and equally omitted in stable
+  // output. Per-stage process peak RSS (util/mem.h; 0 when a stage was
+  // skipped/resumed or the kernel refused the reset) and the scratch-arena
+  // high-water mark (util/stats.h ArenaCounters) after the job.
+  std::uint64_t place_peak_rss_bytes = 0;
+  std::uint64_t replicate_peak_rss_bytes = 0;
+  std::uint64_t route_peak_rss_bytes = 0;
+  std::uint64_t arena_bytes = 0;
 };
 
 }  // namespace repro

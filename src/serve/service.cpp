@@ -1,5 +1,8 @@
 #include "serve/service.h"
 
+#include "util/mem.h"
+#include "util/stats.h"
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -262,6 +265,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     CancelToken token;
     make_token(token);
     maybe_inject(spec, "place", token);
+    reset_peak_rss();
     const double t0 = now_seconds();
     const McncCircuit* c = find_circuit(spec.circuit);
     snap.nl = std::make_unique<Netlist>(
@@ -277,6 +281,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
         anneal_placement(*snap.nl, *snap.grid, cfg.delay, aopt));
     snap.rng_state = rng.state();
     snap.place_seconds = now_seconds() - t0;
+    out.place_peak_rss_bytes = peak_rss_bytes();
     snap.stage = FlowStage::kPlaced;
     audit_after("place", nullptr);
     write_checkpoint(snap);
@@ -289,6 +294,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     CancelToken token;
     make_token(token);
     maybe_inject(spec, "replicate", token);
+    reset_peak_rss();
     const double t0 = now_seconds();
     if (spec.variant != "none") {
       if (cfg.audit != AuditLevel::kOff)
@@ -309,6 +315,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     }
     snap.rng_state = rng.state();
     snap.replicate_seconds = now_seconds() - t0;
+    out.replicate_peak_rss_bytes = peak_rss_bytes();
     snap.stage = FlowStage::kReplicated;
     audit_after("replicate", golden.get());
     write_checkpoint(snap);
@@ -322,6 +329,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     CancelToken token;
     make_token(token);
     maybe_inject(spec, "route", token);
+    reset_peak_rss();
     if (spec.route) {
       FlowConfig rcfg = cfg;
       rcfg.router.cancel = &token;
@@ -336,9 +344,11 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
       snap.has_metrics = true;
     }
     snap.rng_state = rng.state();
+    out.route_peak_rss_bytes = peak_rss_bytes();
     snap.stage = FlowStage::kRouted;
     write_checkpoint(snap);
   }
+  out.arena_bytes = arena_counters().total_bytes();
   out.has_metrics = snap.has_metrics;
   out.metrics = snap.metrics;
   out.route_seconds = snap.has_metrics ? snap.metrics.route_seconds : 0;
@@ -548,6 +558,10 @@ std::string format_result_line(const JobResult& r, bool stable) {
     w.field("place_seconds", r.place_seconds);
     w.field("replicate_seconds", r.replicate_seconds);
     w.field("route_seconds", r.route_seconds);
+    w.field("place_peak_rss_bytes", r.place_peak_rss_bytes);
+    w.field("replicate_peak_rss_bytes", r.replicate_peak_rss_bytes);
+    w.field("route_peak_rss_bytes", r.route_peak_rss_bytes);
+    w.field("arena_bytes", r.arena_bytes);
   }
   return w.take();
 }

@@ -507,7 +507,7 @@ void TimingEngine::verify_against_oracle() const {
   if (!close(tg_.critical_delay_, oracle.critical_delay()))
     mismatch("critical delay", tg_.nodes_[0].cell, tg_.critical_delay_,
              oracle.critical_delay());
-  for (CellId c : tg_.nl_->live_cells()) {
+  for (CellId c : tg_.nl_->live_cell_ids()) {
     TimingNodeId eo = tg_.out_node_[c.index()];
     TimingNodeId oo = oracle.out_node(c);
     if (eo.valid() != oo.valid())

@@ -27,7 +27,7 @@ void TimingGraph::build() {
     return id;
   };
 
-  for (CellId c : nl_->live_cells()) {
+  for (CellId c : nl_->live_cell_ids()) {
     const Cell& cell = nl_->cell(c);
     switch (cell.kind) {
       case CellKind::kInputPad:
@@ -50,7 +50,7 @@ void TimingGraph::build() {
   fanin_.resize(nodes_.size());
   fanout_.resize(nodes_.size());
 
-  for (CellId c : nl_->live_cells()) {
+  for (CellId c : nl_->live_cell_ids()) {
     const Cell& cell = nl_->cell(c);
     // The receiving node of cell c: for combinational logic its output node,
     // for registered logic / output pads its sink node.

@@ -1,0 +1,59 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define REPRO_HAVE_GETRUSAGE 1
+#endif
+
+namespace repro {
+namespace {
+
+/// Reads a "Vm...:  <kB> kB" field from /proc/self/status. Returns 0 when the
+/// file or the field is missing (non-Linux, restricted procfs).
+std::uint64_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, field, field_len) != 0 || line[field_len] != ':') continue;
+    unsigned long long v = 0;
+    if (std::sscanf(line + field_len + 1, "%llu", &v) == 1) kb = v;
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+std::uint64_t peak_rss_bytes() {
+  if (std::uint64_t kb = proc_status_kb("VmHWM")) return kb * 1024;
+#ifdef REPRO_HAVE_GETRUSAGE
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#ifdef __APPLE__
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (!f) return false;
+  // "5" resets the peak-RSS watermark (Documentation/filesystems/proc.rst).
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace repro

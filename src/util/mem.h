@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+/// Process memory introspection for the scale benches and the per-stage
+/// observability counters (CircuitMetrics / JobResult).
+///
+/// Linux: parsed from /proc/self/status (VmRSS / VmHWM), falling back to
+/// getrusage(RUSAGE_SELF).ru_maxrss for the peak when procfs is unavailable.
+/// Unsupported platforms return 0 — callers treat 0 as "not measured" and the
+/// stable output modes omit the fields entirely.
+
+/// Current resident set size in bytes (0 if unavailable).
+std::uint64_t current_rss_bytes();
+
+/// Peak resident set size in bytes since process start, or since the last
+/// successful reset_peak_rss() (0 if unavailable).
+std::uint64_t peak_rss_bytes();
+
+/// Resets the kernel's peak-RSS watermark (Linux: writes "5" to
+/// /proc/self/clear_refs) so per-stage peaks can be measured. Returns false
+/// when the platform does not support resetting; callers then fall back to
+/// reporting the monotone process-wide peak.
+bool reset_peak_rss();
+
+}  // namespace repro

@@ -36,6 +36,37 @@ TimingCounterSuppressor::~TimingCounterSuppressor() {
 
 bool TimingCounterSuppressor::active() { return g_timing_counters_suppressed; }
 
+namespace {
+ArenaCounters g_arena_counters;
+}  // namespace
+
+void ArenaCounters::reset() {
+  spt_scratch_bytes = 0;
+  monotone_scratch_bytes = 0;
+  embed_scratch_bytes = 0;
+  sim_buffer_bytes = 0;
+  annealer_bbox_bytes = 0;
+  scratch_reuses = 0;
+  scratch_growths = 0;
+}
+
+std::uint64_t ArenaCounters::total_bytes() const {
+  return spt_scratch_bytes.load(std::memory_order_relaxed) +
+         monotone_scratch_bytes.load(std::memory_order_relaxed) +
+         embed_scratch_bytes.load(std::memory_order_relaxed) +
+         sim_buffer_bytes.load(std::memory_order_relaxed) +
+         annealer_bbox_bytes.load(std::memory_order_relaxed);
+}
+
+ArenaCounters& arena_counters() { return g_arena_counters; }
+
+void arena_record_peak(std::atomic<std::uint64_t>& field, std::uint64_t bytes) {
+  std::uint64_t cur = field.load(std::memory_order_relaxed);
+  while (cur < bytes &&
+         !field.compare_exchange_weak(cur, bytes, std::memory_order_relaxed)) {
+  }
+}
+
 double mean_of(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double s = 0;

@@ -81,6 +81,34 @@ class TimingCounterSuppressor {
   bool prev_;
 };
 
+/// Process-global high-water counters for the generation-stamped scratch
+/// arenas introduced by the million-cell scale pass (DESIGN.md §9). Each
+/// field records the peak capacity, in bytes, that one arena family ever
+/// reached in this process; reuse/growth counts show how often a call was
+/// served without any allocation. Like TimingCounters these are atomics —
+/// the replication engine's speculation workers run SPT extraction and
+/// embedding on worker threads with thread-local arenas, all reporting here.
+struct ArenaCounters {
+  std::atomic<std::uint64_t> spt_scratch_bytes{0};       ///< SPT extraction arenas
+  std::atomic<std::uint64_t> monotone_scratch_bytes{0};  ///< monotone-bound arenas
+  std::atomic<std::uint64_t> embed_scratch_bytes{0};     ///< embedder DP arenas
+  std::atomic<std::uint64_t> sim_buffer_bytes{0};        ///< simulator flat buffers
+  std::atomic<std::uint64_t> annealer_bbox_bytes{0};     ///< incremental net bboxes
+  std::atomic<std::uint64_t> scratch_reuses{0};   ///< calls served with no growth
+  std::atomic<std::uint64_t> scratch_growths{0};  ///< calls that grew an arena
+
+  void reset();
+  /// Sum of the per-arena peaks (a cheap upper bound on arena footprint).
+  std::uint64_t total_bytes() const;
+};
+
+/// The global arena counter instance (thread-safe: atomic fields).
+ArenaCounters& arena_counters();
+
+/// Monotone fetch-max: raises `field` to `bytes` if larger (memory_order
+/// relaxed — the counters are observability, never synchronization).
+void arena_record_peak(std::atomic<std::uint64_t>& field, std::uint64_t bytes);
+
 /// Arithmetic mean of a vector (0 for empty).
 double mean_of(const std::vector<double>& v);
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gen/circuit_gen.h"
 #include "place/placement.h"
 #include "test_helpers.h"
@@ -33,33 +35,35 @@ TEST_F(SptFixture, ZeroEpsilonKeepsOnlySlowestSpine) {
 
 TEST_F(SptFixture, ParentPointsTowardRoot) {
   Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 0.0);
-  EXPECT_EQ(spt.parent.at(tg.out_node(t.g3)), tg.sink_node(t.po0));
-  EXPECT_EQ(spt.parent.at(tg.out_node(t.g1)), tg.out_node(t.g3));
-  EXPECT_EQ(spt.parent.at(tg.out_node(t.pi0)), tg.out_node(t.g1));
-  EXPECT_EQ(spt.parent.count(spt.root), 0u);
+  EXPECT_EQ(spt.parent(tg.out_node(t.g3)), tg.sink_node(t.po0));
+  EXPECT_EQ(spt.parent(tg.out_node(t.g1)), tg.out_node(t.g3));
+  EXPECT_EQ(spt.parent(tg.out_node(t.pi0)), tg.out_node(t.g1));
+  EXPECT_FALSE(spt.parent(spt.root).valid());
 }
 
 TEST_F(SptFixture, ParentPinsMatchNetlist) {
   Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 0.0);
   // g1 drives pin 0 of g3; g2 drives pin 1.
-  EXPECT_EQ(spt.parent_pin.at(tg.out_node(t.g1)), 0);
-  EXPECT_EQ(spt.parent_pin.at(tg.out_node(t.g2)), 1);
+  EXPECT_EQ(spt.parent_pin(tg.out_node(t.g1)), 0);
+  EXPECT_EQ(spt.parent_pin(tg.out_node(t.g2)), 1);
 }
 
 TEST_F(SptFixture, DistToRootIsTreePathDelay) {
   Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 0.0);
   // g3 -> po0: wire 3 + pad 0.5.
-  EXPECT_DOUBLE_EQ(spt.dist_to_root.at(tg.out_node(t.g3)), 3.5);
+  EXPECT_DOUBLE_EQ(spt.dist_to_root(tg.out_node(t.g3)), 3.5);
   // g1 -> g3 -> po0: (2 + 1) + 3.5.
-  EXPECT_DOUBLE_EQ(spt.dist_to_root.at(tg.out_node(t.g1)), 6.5);
+  EXPECT_DOUBLE_EQ(spt.dist_to_root(tg.out_node(t.g1)), 6.5);
 }
 
 TEST_F(SptFixture, NodesOrderedParentsFirst) {
   Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 2.0);
   std::unordered_map<TimingNodeId, std::size_t> pos;
   for (std::size_t i = 0; i < spt.nodes.size(); ++i) pos[spt.nodes[i]] = i;
-  for (const auto& [child, parent] : spt.parent)
-    EXPECT_LT(pos.at(parent), pos.at(child));
+  for (TimingNodeId n : spt.nodes) {
+    if (n == spt.root) continue;
+    EXPECT_LT(pos.at(spt.parent(n)), pos.at(n));
+  }
 }
 
 TEST_F(SptFixture, EpsilonWidensTheTree) {
@@ -99,9 +103,26 @@ TEST_F(SptFixture, RootOnlyForSinkWithoutCone) {
 
 TEST_F(SptFixture, ChildrenInverseOfParent) {
   Spt spt = extract_eps_spt(tg, tg.sink_node(t.po0), 2.0);
-  for (const auto& [child, parent] : spt.parent) {
-    const auto& kids = spt.children.at(parent);
-    EXPECT_NE(std::find(kids.begin(), kids.end(), child), kids.end());
+  for (TimingNodeId n : spt.nodes) {
+    if (n == spt.root) continue;
+    auto kids = spt.children(spt.parent(n));
+    EXPECT_NE(std::find(kids.begin(), kids.end(), n), kids.end());
+  }
+  // And the other way: every listed child points back at its parent.
+  for (TimingNodeId p : spt.nodes)
+    for (TimingNodeId kid : spt.children(p)) EXPECT_EQ(spt.parent(kid), p);
+}
+
+TEST_F(SptFixture, LegacyExtractionIsIdentical) {
+  for (double eps : {0.0, 0.99, 1.5, 2.0}) {
+    Spt flat = extract_eps_spt(tg, tg.sink_node(t.po0), eps);
+    Spt legacy = extract_eps_spt_legacy(tg, tg.sink_node(t.po0), eps);
+    ASSERT_EQ(flat.nodes, legacy.nodes);
+    for (TimingNodeId n : flat.nodes) {
+      EXPECT_EQ(flat.parent(n), legacy.parent(n));
+      EXPECT_EQ(flat.parent_pin(n), legacy.parent_pin(n));
+      EXPECT_EQ(flat.dist_to_root(n), legacy.dist_to_root(n));
+    }
   }
 }
 
@@ -135,9 +156,9 @@ TEST(SptGenerated, TreePropertyOnGeneratedCircuit) {
     // membership respects the eps threshold.
     for (TimingNodeId n : spt.nodes) {
       if (n == spt.root) continue;
-      ASSERT_TRUE(spt.parent.count(n));
-      EXPECT_TRUE(spt.contains(spt.parent.at(n)));
-      double through = tg.arrival(n) + spt.dist_to_root.at(n);
+      ASSERT_TRUE(spt.parent(n).valid());
+      EXPECT_TRUE(spt.contains(spt.parent(n)));
+      double through = tg.arrival(n) + spt.dist_to_root(n);
       EXPECT_GE(through, tg.arrival(spt.root) - eps - 1e-9);
       EXPECT_LE(through, tg.arrival(spt.root) + 1e-9);
     }
@@ -145,7 +166,7 @@ TEST(SptGenerated, TreePropertyOnGeneratedCircuit) {
     // contains the critical path).
     double max_through = 0;
     for (TimingNodeId n : spt.nodes)
-      max_through = std::max(max_through, tg.arrival(n) + spt.dist_to_root.at(n));
+      max_through = std::max(max_through, tg.arrival(n) + spt.dist_to_root(n));
     EXPECT_NEAR(max_through, tg.arrival(spt.root), 1e-9);
   }
 }

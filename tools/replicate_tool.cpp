@@ -24,6 +24,8 @@
 #include "place/place_io.h"
 #include "replicate/engine.h"
 #include "replicate/local_replication.h"
+#include "util/mem.h"
+#include "util/stats.h"
 #include "timing/timing_graph.h"
 #include "util/log.h"
 
@@ -319,6 +321,23 @@ int run(const Args& args) {
                  e.what());
     return 1;
   }
+
+  // Memory trajectory: process peak RSS plus the scratch-arena high-water
+  // marks (DESIGN.md §9). Diagnostic only — values vary across machines.
+  const ArenaCounters& ac = arena_counters();
+  std::printf(
+      "memory: peak rss %.1f MiB | arenas %.1f MiB "
+      "(spt %zu, monotone %zu, embed %zu, sim %zu, bbox %zu bytes; "
+      "%llu reuses, %llu growths)\n",
+      static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0),
+      static_cast<double>(ac.total_bytes()) / (1024.0 * 1024.0),
+      static_cast<std::size_t>(ac.spt_scratch_bytes.load()),
+      static_cast<std::size_t>(ac.monotone_scratch_bytes.load()),
+      static_cast<std::size_t>(ac.embed_scratch_bytes.load()),
+      static_cast<std::size_t>(ac.sim_buffer_bytes.load()),
+      static_cast<std::size_t>(ac.annealer_bbox_bytes.load()),
+      static_cast<unsigned long long>(ac.scratch_reuses.load()),
+      static_cast<unsigned long long>(ac.scratch_growths.load()));
   return 0;
 }
 
