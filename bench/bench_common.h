@@ -4,6 +4,8 @@
 // copy of a prepared circuit and evaluate it post-routing.
 
 #include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <memory>
 #include <string>
 
@@ -16,6 +18,22 @@ namespace repro::bench {
 inline double now_seconds() {
   using clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Emits the `summary` block every BENCH_*.json opens with (schema in
+/// EXPERIMENTS.md): benchmark name, one headline speedup figure, run date.
+/// Call immediately after writing the opening "{\n".
+inline void emit_summary(std::FILE* out, const char* name,
+                         double aggregate_speedup) {
+  char date[16];
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  std::strftime(date, sizeof date, "%Y-%m-%d", &tm_buf);
+  std::fprintf(out,
+               "  \"summary\": {\"name\": \"%s\", \"aggregate_speedup\": "
+               "%.2f, \"date\": \"%s\"},\n",
+               name, aggregate_speedup, date);
 }
 
 /// A netlist+placement copy that can be optimized independently.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "audit/auditor.h"
+#include "bench_common.h"
 #include "flow/experiment.h"
 #include "gen/circuit_gen.h"
 #include "serve/service.h"
@@ -153,8 +154,13 @@ int main() {
     std::fprintf(stderr, "cannot open BENCH_audit.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  // The audit bench has no speedup to headline — its figure of merit is the
+  // worst-case overhead of the stage-level battery, expressed here as the
+  // flow-throughput ratio vs audit-off (1.0 = free, smaller = slower).
+  bench::emit_summary(out, "audit", 1.0 / (1.0 + max_stage_pct / 100.0));
   std::fprintf(out,
-               "{\n  \"benchmark\": \"audit\",\n"
+               "  \"benchmark\": \"audit\",\n"
                "  \"scale\": %.2f,\n"
                "  \"note\": \"flow seconds are best-of-%d full "
                "place->replicate->route runs via FlowService; battery_ms "

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "gen/circuit_gen.h"
 #include "place/annealer.h"
 #include "timing/timing_engine.h"
@@ -189,7 +190,9 @@ int main() {
     std::fprintf(stderr, "cannot open BENCH_incremental_sta.json\n");
     return 1;
   }
-  std::fprintf(out, "{\n  \"benchmark\": \"incremental_sta\",\n  \"sizes\": [\n");
+  std::fprintf(out, "{\n");
+  bench::emit_summary(out, "incremental_sta", results.back().move_speedup);
+  std::fprintf(out, "  \"benchmark\": \"incremental_sta\",\n  \"sizes\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
     std::fprintf(out,

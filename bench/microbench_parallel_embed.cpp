@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "gen/circuit_gen.h"
 #include "place/annealer.h"
 #include "replicate/engine.h"
@@ -136,8 +137,11 @@ int main() {
     std::fprintf(stderr, "cannot open BENCH_parallel_embed.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::emit_summary(out, "parallel_embed",
+                      results.back().per_thread.back().speedup);
   std::fprintf(out,
-               "{\n  \"benchmark\": \"parallel_embed\",\n"
+               "  \"benchmark\": \"parallel_embed\",\n"
                "  \"hardware_threads\": %u,\n"
                "  \"note\": \"trajectory is bit-identical across thread counts "
                "by design; wall-clock speedup requires hardware_threads > 1 "

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "gen/circuit_gen.h"
 #include "place/annealer.h"
 #include "route/router.h"
@@ -265,8 +266,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open BENCH_router.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::emit_summary(out, "router", reduction);
   std::fprintf(out,
-               "{\n  \"benchmark\": \"router\",\n  \"smoke\": %s,\n"
+               "  \"benchmark\": \"router\",\n  \"smoke\": %s,\n"
                "  \"wmin_expansion_reduction\": %.2f,\n"
                "  \"ls_wirelength_geomean_vs_baseline\": %.4f,\n"
                "  \"ls_delay_geomean_vs_baseline\": %.4f,\n"

@@ -380,8 +380,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open BENCH_scale.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::emit_summary(out, "scale", speedup);
   std::fprintf(out,
-               "{\n  \"benchmark\": \"scale\",\n  \"smoke\": %s,\n"
+               "  \"benchmark\": \"scale\",\n  \"smoke\": %s,\n"
                "  \"largest_common_size\": %d,\n"
                "  \"aggregate_place_replicate_speedup\": %.2f,\n"
                "  \"smoke_gate\": {\"smoke_speedup\": %.2f, "

@@ -58,6 +58,14 @@ FlowConfig config_from_env() {
     // not abort a batch.
     LOG_WARN() << e.what() << "; auditing stays " << audit_level_name(cfg.audit);
   }
+  if (const char* v = std::getenv("REPRO_PLACER"); v && *v) {
+    PlacerBackend b;
+    if (parse_placer_backend(v, &b))
+      cfg.placer = b;
+    else
+      LOG_WARN() << "REPRO_PLACER=" << v << " not one of annealer|analytic|hybrid; "
+                 << "placer stays " << placer_backend_name(cfg.placer);
+  }
   if (const char* v = std::getenv("REPRO_ROUTE_ASTAR"))
     cfg.router.use_astar = v[0] != '0';
   if (const char* v = std::getenv("REPRO_ROUTE_INCREMENTAL"))
@@ -78,11 +86,16 @@ PlacedCircuit prepare_circuit(const McncCircuit& c, const FlowConfig& cfg) {
                                            out.nl->num_output_pads());
   out.grid = std::make_unique<FpgaGrid>(n);
 
-  AnnealerOptions aopt = cfg.annealer;
-  aopt.seed = cfg.seed * 977 + 13;
+  PlacerOptions popt;
+  popt.backend = cfg.placer;
+  popt.annealer = cfg.annealer;
+  popt.annealer.seed = cfg.seed * 977 + 13;
+  popt.analytic = cfg.analytic;
+  popt.audit = cfg.audit;
+  popt.audit_seed = cfg.seed;
   const double t0 = now_seconds();
   out.pl = std::make_unique<Placement>(
-      anneal_placement(*out.nl, *out.grid, cfg.delay, aopt));
+      place_circuit(*out.nl, *out.grid, cfg.delay, popt, &out.placer_stats));
   out.anneal_seconds = now_seconds() - t0;
   out.peak_rss_bytes = peak_rss_bytes();
 

@@ -10,6 +10,7 @@
 #include "netlist/netlist.h"
 #include "place/annealer.h"
 #include "place/placement.h"
+#include "place/placer.h"
 #include "route/router.h"
 
 namespace repro {
@@ -21,7 +22,15 @@ struct FlowConfig {
   /// the shapes of Tables II/III are scale-stable (see EXPERIMENTS.md).
   /// Override with REPRO_SCALE.
   double scale = 0.15;
+  /// Placement backend (DESIGN.md §10): the T-VPlace annealer baseline, the
+  /// gradient/density analytic placer, or the hybrid pipeline (analytic
+  /// global + full-budget polish). Serialized into snapshots and job specs;
+  /// override with REPRO_PLACER=annealer|analytic|hybrid.
+  PlacerBackend placer = PlacerBackend::kAnnealer;
   AnnealerOptions annealer;
+  /// Analytic-backend knobs (ignored by the annealer backend). The seed and
+  /// cancel token are inherited from `annealer` when left at their defaults.
+  AnalyticPlacerOptions analytic;
   LinearDelayModel delay;
   RouterOptions router;
   /// Exponent applied to connection criticalities fed to the timing-driven
@@ -63,6 +72,8 @@ struct PlacedCircuit {
   std::unique_ptr<Netlist> nl;
   std::unique_ptr<FpgaGrid> grid;
   std::unique_ptr<Placement> pl;
+  /// Backend used and its deterministic work counters (PlacerStats).
+  PlacerStats placer_stats;
   double anneal_seconds = 0;
   /// Process peak RSS sampled after the anneal (0 if unreadable). Volatile
   /// across machines — never folded into deterministic outputs.
@@ -88,6 +99,10 @@ struct CircuitMetrics {
   /// passes across every route()/W_min call of this evaluation.
   std::uint64_t route_nodes_expanded = 0;
   std::uint64_t route_passes = 0;
+  /// Engine iterations whose embedding region hit the max_region_points cap
+  /// (EngineResult::region_truncations, copied in by callers that run the
+  /// replication engine; 0 when the guard is off or replication didn't run).
+  std::uint64_t embed_region_truncations = 0;
   /// Memory trajectory (volatile across machines/runs; omitted in the flow
   /// service's --stable output): process peak RSS sampled after routing and
   /// the high-water mark of the scratch arenas (util/stats.h ArenaCounters).

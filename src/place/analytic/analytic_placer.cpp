@@ -1,0 +1,266 @@
+#include "place/analytic/analytic_placer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "place/analytic/density.h"
+#include "place/analytic/net_model.h"
+#include "timing/timing_graph.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace repro {
+
+namespace {
+
+/// Deterministic capacity-aware snap: each cell rounds to its nearest slot;
+/// cells whose slot is already full (in ascending movable order) walk
+/// Chebyshev rings outward in a fixed scan order to the nearest free slot.
+/// O(overflowing cells * ring area) — tiny once the density step has done
+/// its job.
+std::uint64_t snap_to_grid(const FpgaGrid& grid, const std::vector<CellId>& cell_of,
+                           const std::vector<double>& x, const std::vector<double>& y,
+                           Placement& pl) {
+  const int n = grid.n();
+  std::vector<int> occ(static_cast<std::size_t>(n) * n, 0);
+  std::vector<int> cap(occ.size());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      cap[static_cast<std::size_t>(j) * n + i] = grid.capacity(Point{i + 1, j + 1});
+
+  const std::size_t num = cell_of.size();
+  std::vector<Point> target(num);
+  std::vector<std::size_t> deferred;
+  for (std::size_t m = 0; m < num; ++m) {
+    const int tx = static_cast<int>(std::llround(std::clamp(x[m], 1.0, static_cast<double>(n))));
+    const int ty = static_cast<int>(std::llround(std::clamp(y[m], 1.0, static_cast<double>(n))));
+    const std::size_t idx = static_cast<std::size_t>(ty - 1) * n + (tx - 1);
+    target[m] = Point{tx, ty};
+    if (occ[idx] < cap[idx]) {
+      ++occ[idx];
+    } else {
+      deferred.push_back(m);
+    }
+  }
+  for (std::size_t m : deferred) {
+    const Point c = target[m];
+    bool found = false;
+    for (int r = 1; r <= 2 * n && !found; ++r) {
+      for (int dy = -r; dy <= r && !found; ++dy) {
+        const int ty = c.y + dy;
+        if (ty < 1 || ty > n) continue;
+        const bool edge_row = dy == -r || dy == r;
+        const int step = edge_row ? 1 : 2 * r;
+        for (int dx = -r; dx <= r; dx += step) {
+          const int tx = c.x + dx;
+          if (tx < 1 || tx > n) continue;
+          const std::size_t idx = static_cast<std::size_t>(ty - 1) * n + (tx - 1);
+          if (occ[idx] < cap[idx]) {
+            ++occ[idx];
+            target[m] = Point{tx, ty};
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+    assert(found && "grid too small for logic blocks");
+  }
+  for (std::size_t m = 0; m < num; ++m) pl.place(cell_of[m], target[m]);
+  return deferred.size();
+}
+
+}  // namespace
+
+Placement analytic_place(const Netlist& nl, const FpgaGrid& grid,
+                         const LinearDelayModel& dm,
+                         const AnalyticPlacerOptions& opt, AnalyticStats* stats) {
+  Rng rng(opt.seed);
+  Placement pl(nl, grid);
+  const int n = grid.n();
+
+  // I/O pads: seeded random ring assignment, pinned for the whole run
+  // (mirrors random_placement's I/O path).
+  std::vector<Point> io_slots;
+  for (Point p : grid.io_locations())
+    for (int k = 0; k < grid.io_rat(); ++k) io_slots.push_back(p);
+  rng.shuffle(io_slots);
+
+  std::vector<std::uint32_t> movable_of_cell(nl.cell_capacity(), NetModel::kFixed);
+  std::vector<double> fixed_x(nl.cell_capacity(), 0.0);
+  std::vector<double> fixed_y(nl.cell_capacity(), 0.0);
+  std::vector<CellId> cell_of;
+  std::size_t ii = 0;
+  for (CellId c : nl.live_cell_ids()) {
+    if (nl.cell(c).kind == CellKind::kLogic) {
+      movable_of_cell[c.index()] = static_cast<std::uint32_t>(cell_of.size());
+      cell_of.push_back(c);
+    } else {
+      assert(ii < io_slots.size() && "grid too small for I/O pads");
+      const Point p = io_slots[ii++];
+      pl.place(c, p);
+      fixed_x[c.index()] = p.x;
+      fixed_y[c.index()] = p.y;
+    }
+  }
+  const std::size_t num = cell_of.size();
+
+  AnalyticStats local;
+  AnalyticStats& st = stats ? *stats : local;
+  st = AnalyticStats{};
+  if (num == 0) return pl;
+
+  // Initial state: jittered cluster around the die center (the ePlace
+  // discipline). Wirelength orders the cluster while the density ramp pushes
+  // it outward, so overflow decreases monotonically toward the target — a
+  // uniform random start instead begins at low overflow with all netlist
+  // locality destroyed, and the optimizer stalls in a high-wirelength
+  // equilibrium.
+  std::vector<double> x(num);
+  std::vector<double> y(num);
+  const double mid = (1.0 + n) * 0.5;
+  const double jitter = std::max(1.0, n / 8.0);
+  for (std::size_t m = 0; m < num; ++m) {
+    x[m] = std::clamp(mid + (rng.next_double() - 0.5) * jitter, 1.0, static_cast<double>(n));
+    y[m] = std::clamp(mid + (rng.next_double() - 0.5) * jitter, 1.0, static_cast<double>(n));
+  }
+
+  ThreadPool pool(opt.num_threads == 0 ? ThreadPool::hardware_threads()
+                                       : static_cast<unsigned>(opt.num_threads));
+  NetModel model(nl, movable_of_cell, num, fixed_x, fixed_y);
+  DensityMap density(n, opt.blur_radius, opt.blur_passes);
+
+  std::vector<double> gwx;
+  std::vector<double> gwy;
+  std::vector<double> gdx(num, 0.0);
+  std::vector<double> gdy(num, 0.0);
+  std::vector<double> mx(num, 0.0);
+  std::vector<double> vx(num, 0.0);
+  std::vector<double> my(num, 0.0);
+  std::vector<double> vy(num, 0.0);
+
+  // The learning rate is in grid units per iteration; larger dies need
+  // proportionally longer steps to spread within the iteration budget.
+  const double lr = std::max(opt.learning_rate, 0.002 * n);
+
+  std::vector<double> reweight_ema(nl.net_capacity(), 1.0);
+  double lambda = 0.0;
+  double b1t = 1.0;  // beta1^t, maintained incrementally
+  double b2t = 1.0;
+  double smooth_wl = 0.0;
+  double ovf = 1.0;
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    if (opt.cancel) opt.cancel->check("analytic_place");
+    density.build(x, y, pool);
+    ovf = density.overflow(num);
+    // Smoothing schedule: track the overflow (ePlace's gamma update in
+    // spirit) — wide smoothing while the placement is dense and far from
+    // legal, tightening toward opt.gamma as spreading completes so the WA
+    // model converges on true HPWL.
+    const double gamma =
+        std::max(opt.gamma, opt.gamma_max_fraction * n * std::min(1.0, ovf));
+    smooth_wl = model.gradient(x, y, gamma, pool, gwx, gwy);
+    pool.parallel_for(num, 256, [&](std::size_t m) {
+      density.potential_gradient(x[m], y[m], &gdx[m], &gdy[m]);
+    });
+    if (iter == 0) {
+      // Balance the two gradient families once, then ramp geometrically:
+      // wirelength dominates early (global order), spreading late
+      // (legalizability). Fixed-order serial sums keep this deterministic.
+      double swl = 0.0;
+      double sden = 0.0;
+      for (std::size_t m = 0; m < num; ++m) {
+        swl += std::abs(gwx[m]) + std::abs(gwy[m]);
+        sden += std::abs(gdx[m]) + std::abs(gdy[m]);
+      }
+      lambda = sden > 1e-12 ? opt.density_weight_initial * swl / sden : 1.0;
+    }
+    b1t *= opt.beta1;
+    b2t *= opt.beta2;
+    const double corr1 = 1.0 / (1.0 - b1t);
+    const double corr2 = 1.0 / (1.0 - b2t);
+    const double lam = lambda;
+    pool.parallel_for(num, 256, [&](std::size_t m) {
+      const double gx = gwx[m] + lam * gdx[m];
+      const double gy = gwy[m] + lam * gdy[m];
+      mx[m] = opt.beta1 * mx[m] + (1.0 - opt.beta1) * gx;
+      vx[m] = opt.beta2 * vx[m] + (1.0 - opt.beta2) * gx * gx;
+      my[m] = opt.beta1 * my[m] + (1.0 - opt.beta1) * gy;
+      vy[m] = opt.beta2 * vy[m] + (1.0 - opt.beta2) * gy * gy;
+      const double sx = lr * (mx[m] * corr1) / (std::sqrt(vx[m] * corr2) + 1e-12);
+      const double sy = lr * (my[m] * corr1) / (std::sqrt(vy[m] * corr2) + 1e-12);
+      x[m] = std::clamp(x[m] - sx, 1.0, static_cast<double>(n));
+      y[m] = std::clamp(y[m] - sy, 1.0, static_cast<double>(n));
+    });
+    // Ramp the density weight only while spreading is still needed; once
+    // overflow hits the target the field is flat enough and further growth
+    // would let quantization noise in psi dominate the wirelength force.
+    if (ovf > opt.target_overflow) lambda *= opt.density_weight_mult;
+    // Timing-aware reweighting: STA over the rounded (overlap-tolerant)
+    // positions, then pull near-critical nets tighter. Runs on a throwaway
+    // placement copy; deterministic because the rounded positions are.
+    if (opt.reweight_interval > 0 && (iter + 1) % opt.reweight_interval == 0 &&
+        ovf < opt.reweight_start_overflow) {
+      Placement probe = pl;  // I/O pads already placed
+      for (std::size_t m = 0; m < num; ++m) {
+        const int tx = static_cast<int>(
+            std::llround(std::clamp(x[m], 1.0, static_cast<double>(n))));
+        const int ty = static_cast<int>(
+            std::llround(std::clamp(y[m], 1.0, static_cast<double>(n))));
+        probe.place(cell_of[m], Point{tx, ty});
+      }
+      TimingGraph tg(nl, probe, dm);
+      tg.run_sta();
+      // Criticality exponent ramps with progress like T-VPlace's: broad
+      // timing pressure early, sharply focused on the worst paths late.
+      const double progress =
+          static_cast<double>(iter + 1) / static_cast<double>(opt.max_iterations);
+      const double exponent = 1.0 + progress * (opt.crit_exponent - 1.0);
+      std::vector<double> target(nl.net_capacity(), 1.0);
+      for (std::size_t e = 0; e < tg.num_edges(); ++e) {
+        if (!tg.edge_live(e)) continue;
+        const TimingEdge& ed = tg.edge(e);
+        const Cell& to = nl.cell(tg.node(ed.to).cell);
+        if (ed.pin < 0 || static_cast<std::size_t>(ed.pin) >= to.inputs.size())
+          continue;
+        const NetId net = to.inputs[ed.pin];
+        if (!net.valid()) continue;
+        const double w = 1.0 + opt.crit_weight *
+                                   criticality_weight(tg.edge_criticality(e),
+                                                      exponent);
+        target[net.index()] = std::max(target[net.index()], w);
+      }
+      // Exponential moving average: criticalities measured on a still-moving
+      // placement are noisy, and replacing the weights outright makes the
+      // optimizer chase a different critical path every probe.
+      for (std::size_t i = 0; i < target.size(); ++i)
+        reweight_ema[i] = 0.6 * reweight_ema[i] + 0.4 * target[i];
+      model.set_timing_factors(reweight_ema);
+      ++st.timing_reweights;
+    }
+    if (iter + 1 >= opt.min_iterations && ovf <= opt.target_overflow) {
+      ++iter;
+      break;
+    }
+  }
+
+  st.iterations = iter;
+  st.gradient_pin_evals =
+      static_cast<std::uint64_t>(iter) * static_cast<std::uint64_t>(model.num_pins());
+  st.final_overflow = ovf;
+  st.final_smooth_wl = smooth_wl;
+  st.snap_displaced = snap_to_grid(grid, cell_of, x, y, pl);
+  st.hpwl_after_snap = pl.total_wirelength();
+
+  LOG_INFO() << "analytic placer: " << iter << " iterations, overflow "
+             << ovf << ", snap displaced " << st.snap_displaced << ", hpwl "
+             << st.hpwl_after_snap;
+  assert(pl.legal());
+  return pl;
+}
+
+}  // namespace repro

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/delay_model.h"
+#include "arch/fpga_grid.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+#include "util/cancel.h"
+
+namespace repro {
+
+/// Options for the gradient/density global placer (DESIGN.md §10).
+///
+/// The optimizer minimizes  WA(x, y) + lambda * sum_i psi(x_i, y_i)  with
+/// Adam over the movable logic cells' continuous coordinates, ramping lambda
+/// geometrically each iteration so wirelength dominates early (global order)
+/// and spreading dominates late (legalizability). I/O pads are pinned to a
+/// seeded random ring assignment before optimization, mirroring the
+/// annealer's random_placement I/O path.
+struct AnalyticPlacerOptions {
+  int max_iterations = 500;
+  /// Never stop on the overflow test before this many iterations (the
+  /// density field is meaningless while cells still sit near their random
+  /// init).
+  int min_iterations = 40;
+  /// Stop once the bin-overflow fraction drops below this value (fraction of
+  /// movable area above bin capacity).
+  double target_overflow = 0.10;
+
+  /// Adam hyperparameters. The learning rate is in grid units — each step
+  /// moves a coordinate by about this distance while gradients stay
+  /// saturated.
+  double learning_rate = 0.35;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+
+  /// Final WA smoothing parameter (grid units). Smaller tracks HPWL
+  /// tighter; larger spreads gradient influence beyond the bounding-box
+  /// pins. The effective gamma each iteration is
+  /// max(gamma, gamma_max_fraction * n * overflow) — wide smoothing while
+  /// the placement is dense, tight once spread.
+  double gamma = 1.5;
+  double gamma_max_fraction = 0.15;
+
+  /// Initial density weight, as a fraction of the wirelength/density
+  /// gradient-magnitude balance measured at iteration 0, and its
+  /// per-iteration multiplier.
+  double density_weight_initial = 0.05;
+  double density_weight_mult = 1.04;
+
+  /// Density filter shape (see DensityMap). 0 = auto radius.
+  int blur_radius = 0;
+  int blur_passes = 2;
+
+  /// Timing-aware net reweighting: every `reweight_interval` iterations
+  /// (once overflow < 0.6 — earlier the positions carry no timing signal),
+  /// the movable cells are rounded onto the grid, an STA runs over the
+  /// resulting placement, and each net's weight becomes
+  ///   q(k) * (1 + crit_weight * criticality^crit_exponent),
+  /// pulling near-critical nets tighter at the expense of slack ones — the
+  /// analytic counterpart of T-VPlace's criticality-weighted timing cost.
+  /// 0 disables reweighting (pure wirelength-driven).
+  int reweight_interval = 10;
+  double crit_weight = 48.0;
+  double crit_exponent = 8.0;
+  /// Reweighting only starts once bin overflow falls below this value —
+  /// earlier the rounded positions carry no timing signal, and weighting
+  /// nets before the wirelength structure has formed costs HPWL for no
+  /// criticality benefit.
+  double reweight_start_overflow = 0.6;
+
+  /// Seeds the I/O ring assignment and the initial scatter of the movable
+  /// cells.
+  std::uint64_t seed = 1;
+  /// Threads for the gradient phases (0 = hardware concurrency, 1 = serial).
+  /// The trajectory is bit-identical for every value.
+  int num_threads = 0;
+  /// Checked once per iteration; throws FlowCancelled.
+  const CancelToken* cancel = nullptr;
+};
+
+/// Deterministic work counters and quality probes for one analytic_place
+/// run. `iterations` and `gradient_pin_evals` are pure functions of the
+/// input (netlist, grid, options) — identical on every run, thread count,
+/// and platform — which is what the CI bench gate keys on.
+struct AnalyticStats {
+  int iterations = 0;
+  std::uint64_t gradient_pin_evals = 0;  ///< iterations * pin slots
+  int timing_reweights = 0;              ///< STA-driven net reweight passes
+  double final_overflow = 0.0;           ///< bin overflow at stop
+  double final_smooth_wl = 0.0;          ///< WA objective at stop
+  std::uint64_t snap_displaced = 0;      ///< cells ring-searched during snap
+  double hpwl_after_snap = 0.0;          ///< q(k)-HPWL of the legal snap
+};
+
+/// Runs gradient-based global placement and returns a *legal* placement:
+/// continuous optimization, then a deterministic capacity-aware snap (cells
+/// whose rounded target is full walk outward over Chebyshev rings in fixed
+/// scan order to the nearest free slot). Handing the result to
+/// legalize_timing_driven is a cheap no-op pass that double-checks legality.
+Placement analytic_place(const Netlist& nl, const FpgaGrid& grid,
+                         const LinearDelayModel& dm,
+                         const AnalyticPlacerOptions& opt,
+                         AnalyticStats* stats = nullptr);
+
+}  // namespace repro

@@ -1,0 +1,139 @@
+#include "place/analytic/density.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace repro {
+
+DensityMap::DensityMap(int n, int blur_radius, int blur_passes)
+    : n_(n),
+      radius_(blur_radius > 0 ? blur_radius : std::max(2, n / 16)),
+      passes_(blur_passes) {
+  assert(n_ >= 1);
+  rho_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  psi_.assign(rho_.size(), 0.0);
+  tmp_.assign(rho_.size(), 0.0);
+  arena_record_peak(arena_counters().analytic_density_bytes, arena_bytes());
+}
+
+std::size_t DensityMap::arena_bytes() const {
+  return (rho_.capacity() + psi_.capacity() + tmp_.capacity()) * sizeof(double);
+}
+
+void DensityMap::build(const std::vector<double>& x,
+                       const std::vector<double>& y, ThreadPool& pool) {
+  std::fill(rho_.begin(), rho_.end(), 0.0);
+  const std::size_t cells = x.size();
+  // Serial bilinear splat in fixed cell order: O(4 * cells), a tiny slice of
+  // the iteration, and the only stage where parallel writes would collide.
+  for (std::size_t m = 0; m < cells; ++m) {
+    if (n_ == 1) {
+      rho_[0] += 1.0;
+      continue;
+    }
+    const double u = std::clamp(x[m], 1.0, static_cast<double>(n_)) - 1.0;
+    const double v = std::clamp(y[m], 1.0, static_cast<double>(n_)) - 1.0;
+    const int i0 = std::min(static_cast<int>(u), n_ - 2);
+    const int j0 = std::min(static_cast<int>(v), n_ - 2);
+    const double fu = u - i0;
+    const double fv = v - j0;
+    double* row0 = &rho_[static_cast<std::size_t>(j0) * n_ + i0];
+    double* row1 = row0 + n_;
+    row0[0] += (1.0 - fu) * (1.0 - fv);
+    row0[1] += fu * (1.0 - fv);
+    row1[0] += (1.0 - fu) * fv;
+    row1[1] += fu * fv;
+  }
+  psi_ = rho_;
+  for (int p = 0; p < passes_; ++p) blur_pass(pool);
+}
+
+void DensityMap::blur_pass(ThreadPool& pool) {
+  const int n = n_;
+  const int r = std::min(radius_, n - 1);
+  if (r <= 0) return;
+  // Horizontal pass psi_ -> tmp_: each output row is owned by one task and
+  // filled by a fixed-order sliding window (clamped windows renormalize by
+  // the true window size — Neumann-style boundaries, no artificial wall
+  // gradient).
+  pool.parallel_for(static_cast<std::size_t>(n), 8, [&](std::size_t j) {
+    const double* in = &psi_[j * n];
+    double* out = &tmp_[j * n];
+    double sum = 0.0;
+    for (int c = 0; c <= std::min(r, n - 1); ++c) sum += in[c];
+    int lo = 0;
+    int hi = std::min(r, n - 1);
+    for (int c = 0; c < n; ++c) {
+      out[c] = sum / (hi - lo + 1);
+      if (c + 1 + r <= n - 1) {
+        ++hi;
+        sum += in[c + 1 + r];
+      }
+      if (c + 1 - r > 0) {
+        sum -= in[c - r];
+        ++lo;
+      }
+    }
+  });
+  // Vertical pass tmp_ -> psi_: each output column owned by one task.
+  pool.parallel_for(static_cast<std::size_t>(n), 8, [&](std::size_t i) {
+    double sum = 0.0;
+    for (int c = 0; c <= std::min(r, n - 1); ++c) sum += tmp_[static_cast<std::size_t>(c) * n + i];
+    int lo = 0;
+    int hi = std::min(r, n - 1);
+    for (int c = 0; c < n; ++c) {
+      psi_[static_cast<std::size_t>(c) * n + i] = sum / (hi - lo + 1);
+      if (c + 1 + r <= n - 1) {
+        ++hi;
+        sum += tmp_[static_cast<std::size_t>(c + 1 + r) * n + i];
+      }
+      if (c + 1 - r > 0) {
+        sum -= tmp_[static_cast<std::size_t>(c - r) * n + i];
+        ++lo;
+      }
+    }
+  });
+}
+
+double DensityMap::overflow(std::size_t num_movable) const {
+  double over = 0.0;
+  for (double d : rho_)
+    if (d > 1.0) over += d - 1.0;
+  return over / static_cast<double>(std::max<std::size_t>(num_movable, 1));
+}
+
+void DensityMap::potential_gradient(double px, double py, double* gx,
+                                    double* gy) const {
+  if (n_ == 1) {
+    *gx = 0.0;
+    *gy = 0.0;
+    return;
+  }
+  const int n = n_;
+  const double u = std::clamp(px, 1.0, static_cast<double>(n)) - 1.0;
+  const double v = std::clamp(py, 1.0, static_cast<double>(n)) - 1.0;
+  const int i0 = std::min(static_cast<int>(u), n - 2);
+  const int j0 = std::min(static_cast<int>(v), n - 2);
+  const double fu = u - i0;
+  const double fv = v - j0;
+  auto at = [&](int i, int j) {
+    i = std::clamp(i, 0, n - 1);
+    j = std::clamp(j, 0, n - 1);
+    return psi_[static_cast<std::size_t>(j) * n + i];
+  };
+  // Central-difference field at each of the four surrounding bins,
+  // bilinearly interpolated — the same stencil for every caller, in the same
+  // order, so the force is a pure function of the (deterministic) psi field.
+  auto dx_at = [&](int i, int j) { return (at(i + 1, j) - at(i - 1, j)) * 0.5; };
+  auto dy_at = [&](int i, int j) { return (at(i, j + 1) - at(i, j - 1)) * 0.5; };
+  *gx = (1.0 - fu) * (1.0 - fv) * dx_at(i0, j0) + fu * (1.0 - fv) * dx_at(i0 + 1, j0) +
+        (1.0 - fu) * fv * dx_at(i0, j0 + 1) + fu * fv * dx_at(i0 + 1, j0 + 1);
+  *gy = (1.0 - fu) * (1.0 - fv) * dy_at(i0, j0) + fu * (1.0 - fv) * dy_at(i0 + 1, j0) +
+        (1.0 - fu) * fv * dy_at(i0, j0 + 1) + fu * fv * dy_at(i0 + 1, j0 + 1);
+}
+
+}  // namespace repro

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace repro {
+
+class ThreadPool;
+
+/// Binned density model with an electrostatic-style spreading force
+/// (DESIGN.md §10).
+///
+/// The logic area [1, n] x [1, n] is covered by an n x n grid of unit bins
+/// (one per logic slot, capacity 1 block). Each movable cell splats one unit
+/// of charge bilinearly onto the four bins around its continuous position.
+/// The spreading potential is a diffusion approximation of the electrostatic
+/// (Poisson) potential used by ePlace-family placers: psi = blur^k(rho),
+/// where blur is a separable box filter. Cells feel the force -grad(psi),
+/// bilinearly interpolated at their positions — downhill on the smoothed
+/// density, i.e. from crowded regions toward free space — without needing an
+/// FFT/Poisson solver dependency. Clamped windows renormalize by the true
+/// window size (Neumann-style boundaries), so a uniform density field blurs
+/// to itself and the force vanishes exactly when spreading is complete.
+///
+/// Determinism: the splat is serial (O(4 * movable), a tiny fraction of the
+/// iteration), each blur pass parallelizes over rows then columns with every
+/// output line owned by exactly one task and reduced in fixed order, and the
+/// per-cell force interpolation is a read-only gather. Bit-identical for
+/// every thread count.
+class DensityMap {
+ public:
+  /// blur_radius 0 = auto (max(2, n/16)).
+  DensityMap(int n, int blur_radius = 0, int blur_passes = 2);
+
+  int n() const { return n_; }
+  int blur_radius() const { return radius_; }
+
+  std::size_t arena_bytes() const;
+
+  /// Rebuilds the density field from the movable cells' positions
+  /// (coordinates in [1, n], dense arrays), then the potential and force
+  /// fields. Serial splat + deterministic parallel blur.
+  void build(const std::vector<double>& x, const std::vector<double>& y,
+             ThreadPool& pool);
+
+  /// Fraction of total movable area sitting above bin capacity:
+  /// sum_b max(0, rho_b - cap_b) / num_movable. 0 = perfectly spread.
+  double overflow(std::size_t num_movable) const;
+
+  /// Gradient of the spreading potential at position (px, py) (coordinates
+  /// in [1, n]): the objective term is sum_i psi(x_i), so gradient *descent*
+  /// moves cells toward -grad(psi), away from congestion.
+  void potential_gradient(double px, double py, double* gx, double* gy) const;
+
+ private:
+  void blur_pass(ThreadPool& pool);
+
+  int n_;
+  int radius_;
+  int passes_;
+  std::vector<double> rho_;   ///< splatted density, n*n row-major
+  std::vector<double> psi_;   ///< smoothed potential
+  std::vector<double> tmp_;   ///< blur ping-pong buffer
+};
+
+}  // namespace repro

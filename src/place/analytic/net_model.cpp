@@ -1,0 +1,166 @@
+#include "place/analytic/net_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "arch/wirelength.h"
+#include "place/analytic/smooth_math.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace repro {
+
+NetModel::NetModel(const Netlist& nl,
+                   const std::vector<std::uint32_t>& movable_of_cell,
+                   std::size_t num_movable, const std::vector<double>& fixed_x,
+                   const std::vector<double>& fixed_y)
+    : num_movable_(num_movable) {
+  net_pin_offset_.push_back(0);
+  for (NetId n : nl.live_net_ids()) {
+    const Net& net = nl.net(n);
+    if (net.sinks.empty()) continue;  // < 2 terminals: no extent
+    auto add_pin = [&](CellId c) {
+      const std::uint32_t owner = movable_of_cell[c.index()];
+      pin_owner_.push_back(owner);
+      pin_fx_.push_back(owner == kFixed ? fixed_x[c.index()] : 0.0);
+      pin_fy_.push_back(owner == kFixed ? fixed_y[c.index()] : 0.0);
+    };
+    add_pin(net.driver);
+    for (const Sink& s : net.sinks) add_pin(s.cell);
+    net_pin_offset_.push_back(static_cast<std::uint32_t>(pin_owner_.size()));
+    net_ids_.push_back(n);
+    // Weight each net by the same q(k) fanout coefficient the annealer's
+    // estimate_wirelength applies, so both backends minimize the same
+    // objective.
+    base_weight_.push_back(net_size_coefficient(net.sinks.size() + 1));
+  }
+  net_weight_ = base_weight_;
+
+  // Transpose: movable cell -> its pin slots, ascending slot order.
+  cell_pin_offset_.assign(num_movable_ + 1, 0);
+  for (std::uint32_t owner : pin_owner_)
+    if (owner != kFixed) ++cell_pin_offset_[owner + 1];
+  for (std::size_t i = 1; i <= num_movable_; ++i)
+    cell_pin_offset_[i] += cell_pin_offset_[i - 1];
+  cell_pin_slot_.resize(cell_pin_offset_[num_movable_]);
+  std::vector<std::uint32_t> cursor(cell_pin_offset_.begin(),
+                                    cell_pin_offset_.end() - 1);
+  for (std::size_t s = 0; s < pin_owner_.size(); ++s)
+    if (pin_owner_[s] != kFixed)
+      cell_pin_slot_[cursor[pin_owner_[s]]++] = static_cast<std::uint32_t>(s);
+
+  pin_grad_x_.assign(pin_owner_.size(), 0.0);
+  pin_grad_y_.assign(pin_owner_.size(), 0.0);
+  pin_eplus_.assign(pin_owner_.size(), 0.0);
+  pin_eminus_.assign(pin_owner_.size(), 0.0);
+  net_wl_.assign(num_nets(), 0.0);
+  arena_record_peak(arena_counters().analytic_net_model_bytes, arena_bytes());
+}
+
+void NetModel::set_timing_factors(const std::vector<double>& factor_by_net) {
+  for (std::size_t i = 0; i < net_ids_.size(); ++i)
+    net_weight_[i] = base_weight_[i] * factor_by_net[net_ids_[i].index()];
+}
+
+std::size_t NetModel::arena_bytes() const {
+  return net_pin_offset_.capacity() * sizeof(std::uint32_t) +
+         pin_owner_.capacity() * sizeof(std::uint32_t) +
+         (pin_fx_.capacity() + pin_fy_.capacity()) * sizeof(double) +
+         (cell_pin_offset_.capacity() + cell_pin_slot_.capacity()) *
+             sizeof(std::uint32_t) +
+         (pin_grad_x_.capacity() + pin_grad_y_.capacity() +
+          pin_eplus_.capacity() + pin_eminus_.capacity() +
+          net_wl_.capacity()) *
+             sizeof(double);
+}
+
+double NetModel::gradient(const std::vector<double>& x,
+                          const std::vector<double>& y, double gamma,
+                          ThreadPool& pool, std::vector<double>& grad_x,
+                          std::vector<double>& grad_y) {
+  assert(x.size() == num_movable_ && y.size() == num_movable_);
+  const double inv_gamma = 1.0 / gamma;
+  const std::size_t nets = num_nets();
+
+  // Phase A (parallel over nets): each task owns its net's pin slots — every
+  // per-pin write below lands in a slot written by exactly this task, and
+  // net_wl_[i] is written only by net i's task.
+  pool.parallel_for(nets, 32, [&](std::size_t i) {
+    const std::uint32_t p0 = net_pin_offset_[i];
+    const std::uint32_t p1 = net_pin_offset_[i + 1];
+    double wl = 0.0;
+    // One axis at a time; the e+/e- scratch slots are reused across axes
+    // within this task.
+    for (int axis = 0; axis < 2; ++axis) {
+      const std::vector<double>& pos = axis == 0 ? x : y;
+      const std::vector<double>& fpos = axis == 0 ? pin_fx_ : pin_fy_;
+      std::vector<double>& pgrad = axis == 0 ? pin_grad_x_ : pin_grad_y_;
+      double lo = 0.0;
+      double hi = 0.0;
+      for (std::uint32_t p = p0; p < p1; ++p) {
+        const std::uint32_t owner = pin_owner_[p];
+        const double v = owner == kFixed ? fpos[p] : pos[owner];
+        if (p == p0) {
+          lo = hi = v;
+        } else {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+      // Shifted exponentials: both arguments are <= 0, the max-side and
+      // min-side sums each contain a term equal to 1, so the denominators
+      // never vanish.
+      double sum_ep = 0.0;
+      double sum_xep = 0.0;
+      double sum_em = 0.0;
+      double sum_xem = 0.0;
+      for (std::uint32_t p = p0; p < p1; ++p) {
+        const std::uint32_t owner = pin_owner_[p];
+        const double v = owner == kFixed ? fpos[p] : pos[owner];
+        const double ep = exp_neg((v - hi) * inv_gamma);
+        const double em = exp_neg((lo - v) * inv_gamma);
+        pin_eplus_[p] = ep;
+        pin_eminus_[p] = em;
+        sum_ep += ep;
+        sum_xep += v * ep;
+        sum_em += em;
+        sum_xem += v * em;
+      }
+      const double f = sum_xep / sum_ep;  // smooth max
+      const double g = sum_xem / sum_em;  // smooth min
+      const double w = net_weight_[i];
+      for (std::uint32_t p = p0; p < p1; ++p) {
+        const std::uint32_t owner = pin_owner_[p];
+        const double v = owner == kFixed ? fpos[p] : pos[owner];
+        const double dmax = pin_eplus_[p] / sum_ep * (1.0 + (v - f) * inv_gamma);
+        const double dmin = pin_eminus_[p] / sum_em * (1.0 - (v - g) * inv_gamma);
+        pgrad[p] = w * (dmax - dmin);
+      }
+      wl += w * (f - g);
+    }
+    net_wl_[i] = wl;
+  });
+
+  // Phase B (parallel over movable cells): fixed ascending-slot reduction
+  // per cell — the sum order never depends on the worker count.
+  grad_x.assign(num_movable_, 0.0);
+  grad_y.assign(num_movable_, 0.0);
+  pool.parallel_for(num_movable_, 128, [&](std::size_t m) {
+    double gx = 0.0;
+    double gy = 0.0;
+    for (std::uint32_t i = cell_pin_offset_[m]; i < cell_pin_offset_[m + 1]; ++i) {
+      const std::uint32_t slot = cell_pin_slot_[i];
+      gx += pin_grad_x_[slot];
+      gy += pin_grad_y_[slot];
+    }
+    grad_x[m] = gx;
+    grad_y[m] = gy;
+  });
+
+  // Fixed-order serial sum: bit-identical for every thread count.
+  double total = 0.0;
+  for (std::size_t i = 0; i < nets; ++i) total += net_wl_[i];
+  return total;
+}
+
+}  // namespace repro

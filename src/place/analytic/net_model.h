@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace repro {
+
+class ThreadPool;
+
+/// Flat-CSR smooth wirelength model for the analytic placer (DESIGN.md §10).
+///
+/// Holds the netlist's connectivity in two flat arrays, following the SoA
+/// layout discipline of the PR 7 scale pass:
+///
+///  * a net->pin CSR (`net_pin_offset_` / per-pin slot arrays), covering
+///    every live net with >= 2 terminals, pin order = driver first then
+///    sinks in pin order;
+///  * a movable-cell->pin-slot transpose CSR (`cell_pin_offset_` /
+///    `cell_pin_slot_`), listing — in ascending slot order — the pin slots
+///    owned by each movable cell.
+///
+/// The weighted-average (WA) wirelength of net e along one axis with
+/// smoothing parameter gamma is
+///
+///   WA_x(e) = sum_i x_i e^{x_i/g} / sum_i e^{x_i/g}
+///           - sum_i x_i e^{-x_i/g} / sum_i e^{-x_i/g}
+///
+/// a smooth overestimate of max_i x_i - min_i x_i that converges to HPWL as
+/// gamma -> 0. Its gradient w.r.t. each pin coordinate is closed-form
+/// (Hsu et al., TDP-WA; used by ePlace/DREAMPlace and descendants).
+///
+/// Determinism across thread counts (ISSUE 8 requirement): `gradient()` runs
+/// two phases on the pool. Phase A parallelizes over nets; each net's task
+/// writes the per-pin partial derivatives into this net's own pin slots —
+/// every slot is written by exactly one task. Phase B parallelizes over
+/// movable cells; each cell's task reduces its pin slots in fixed ascending
+/// slot order. No atomics, no scatter races, no order-dependent FP sums —
+/// the result is bit-identical for every worker count, and exponentials go
+/// through the portable exp_neg() so it is bit-identical across platforms
+/// too.
+class NetModel {
+ public:
+  static constexpr std::uint32_t kFixed = 0xFFFFFFFFu;
+
+  /// `movable_of_cell[cell index]` maps to a dense movable index, or kFixed
+  /// for cells whose position is pinned (I/O pads). `fixed_x/fixed_y` give
+  /// the pinned coordinates, indexed by cell index (only read for fixed
+  /// cells).
+  NetModel(const Netlist& nl, const std::vector<std::uint32_t>& movable_of_cell,
+           std::size_t num_movable, const std::vector<double>& fixed_x,
+           const std::vector<double>& fixed_y);
+
+  std::size_t num_nets() const { return net_pin_offset_.size() - 1; }
+  std::size_t num_pins() const { return pin_owner_.size(); }
+  std::size_t num_movable() const { return num_movable_; }
+
+  /// Model-net-index -> NetId (live nets with >= 2 terminals, ascending).
+  const std::vector<NetId>& net_ids() const { return net_ids_; }
+
+  /// Sets each net's weight to q(k) * factor[NetId::index] — the hook for
+  /// criticality-driven reweighting (timing-aware analytic placement).
+  /// Factors default to 1 for every net.
+  void set_timing_factors(const std::vector<double>& factor_by_net);
+
+  /// Arena footprint in bytes (observability, util/stats.h pattern).
+  std::size_t arena_bytes() const;
+
+  /// Evaluates the WA wirelength and its gradient w.r.t. the movable cells'
+  /// coordinates. `x`/`y` are dense over movable cells; `grad_x`/`grad_y`
+  /// are resized and fully overwritten. Returns the total smooth wirelength
+  /// (sum over nets, accumulated in fixed net order).
+  double gradient(const std::vector<double>& x, const std::vector<double>& y,
+                  double gamma, ThreadPool& pool, std::vector<double>& grad_x,
+                  std::vector<double>& grad_y);
+
+ private:
+  std::size_t num_movable_ = 0;
+
+  // Net -> pin CSR. pin_owner_ holds the dense movable index (or kFixed);
+  // pin_fx_/pin_fy_ hold the pinned coordinate for fixed pins (0 otherwise).
+  std::vector<std::uint32_t> net_pin_offset_;
+  std::vector<std::uint32_t> pin_owner_;
+  std::vector<double> pin_fx_;
+  std::vector<double> pin_fy_;
+  std::vector<NetId> net_ids_;
+  std::vector<double> base_weight_;  ///< q(k) fanout coefficient per net
+  std::vector<double> net_weight_;   ///< base * timing factor
+
+  // Movable cell -> pin slot transpose CSR (ascending slot order per cell).
+  std::vector<std::uint32_t> cell_pin_offset_;
+  std::vector<std::uint32_t> cell_pin_slot_;
+
+  // Per-pin gradient scratch (phase A writes, phase B reads), per-pin
+  // shifted-exponential scratch (private to the owning net's task within
+  // phase A), and per-net wirelength scratch (phase A writes, serial
+  // fixed-order sum reads).
+  std::vector<double> pin_grad_x_;
+  std::vector<double> pin_grad_y_;
+  std::vector<double> pin_eplus_;
+  std::vector<double> pin_eminus_;
+  std::vector<double> net_wl_;
+};
+
+}  // namespace repro

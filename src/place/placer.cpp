@@ -1,0 +1,95 @@
+#include "place/placer.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace repro {
+
+const char* placer_backend_name(PlacerBackend b) {
+  switch (b) {
+    case PlacerBackend::kAnnealer:
+      return "annealer";
+    case PlacerBackend::kAnalytic:
+      return "analytic";
+    case PlacerBackend::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+bool parse_placer_backend(const std::string& text, PlacerBackend* out) {
+  if (text == "annealer") {
+    *out = PlacerBackend::kAnnealer;
+  } else if (text == "analytic") {
+    *out = PlacerBackend::kAnalytic;
+  } else if (text == "hybrid") {
+    *out = PlacerBackend::kHybrid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Satellite battery: the same place.occupancy + sta.drift checks the
+/// annealer path gets from the flow run after each stage of the analytic
+/// pipeline.
+void audit_analytic_stage(const PlacerOptions& opt, const Netlist& nl,
+                          const Placement& pl, const LinearDelayModel& dm,
+                          const std::string& stage) {
+  if (opt.audit == AuditLevel::kOff) return;
+  AuditOptions aopt;
+  aopt.level = opt.audit;
+  aopt.seed = opt.audit_seed;
+  Auditor auditor(aopt);
+  AuditReport report = auditor.check_placement(nl, pl, stage);
+  report.merge(auditor.check_sta(nl, pl, dm, stage));
+  Auditor::require_clean(stage, std::move(report));
+}
+
+}  // namespace
+
+Placement place_circuit(Netlist& nl, const FpgaGrid& grid,
+                        const LinearDelayModel& dm, const PlacerOptions& opt,
+                        PlacerStats* stats) {
+  PlacerStats local;
+  PlacerStats& st = stats ? *stats : local;
+  st = PlacerStats{};
+  st.backend = opt.backend;
+
+  if (opt.backend == PlacerBackend::kAnnealer)
+    return anneal_placement(nl, grid, dm, opt.annealer, &st.anneal);
+
+  // Analytic pipeline: gradient/density global placement (returns a legal
+  // snap), the existing legalizer as a belt-and-braces pass, then a short
+  // low-temperature anneal polish. Hybrid = same pipeline, bigger polish
+  // budget.
+  AnalyticPlacerOptions aopt = opt.analytic;
+  aopt.seed = aopt.seed ? aopt.seed : opt.annealer.seed;
+  aopt.cancel = aopt.cancel ? aopt.cancel : opt.annealer.cancel;
+  Placement pl = analytic_place(nl, grid, dm, aopt, &st.analytic);
+
+  LegalizerResult lr = legalize_timing_driven(nl, pl, dm, opt.legalizer);
+  st.legalizer_passes = lr.overlaps_resolved;
+  if (!lr.success)
+    throw std::runtime_error("analytic placement legalization failed: " + lr.failure);
+  audit_analytic_stage(opt, nl, pl, dm, "place.analytic");
+
+  PolishOptions popt;
+  if (opt.backend == PlacerBackend::kHybrid) {
+    popt.temperature_fraction = 0.25;
+    popt.max_temperatures = 60;
+    popt.rlim = 10.0;
+    popt.inner_scale = 1.0;
+  }
+  anneal_polish(nl, grid, dm, pl, opt.annealer, popt, &st.polish);
+  audit_analytic_stage(opt, nl, pl, dm, "place.polish");
+
+  LOG_INFO() << "placer backend " << placer_backend_name(opt.backend)
+             << ": work units " << st.work_units();
+  return pl;
+}
+
+}  // namespace repro

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/delay_model.h"
+#include "arch/fpga_grid.h"
+#include "audit/auditor.h"
+#include "netlist/netlist.h"
+#include "place/analytic/analytic_placer.h"
+#include "place/annealer.h"
+#include "place/legalizer.h"
+#include "place/placement.h"
+
+namespace repro {
+
+/// Which placement engine produces the initial legal placement
+/// (DESIGN.md §10):
+///
+///  * kAnnealer — the T-VPlace simulated annealer. Best quality at small
+///    sizes; wall time grows ~n^(4/3) per temperature and dominates every
+///    flow stage beyond ~1e5 cells.
+///  * kAnalytic — gradient/density global placement (WA wirelength +
+///    electrostatic-style spreading), deterministic snap, legalizer pass,
+///    then a short low-temperature annealer polish. Orders faster at scale.
+///  * kHybrid — the analytic pipeline with a longer, hotter polish budget:
+///    annealer-class quality at mid sizes for a fraction of the anneal.
+enum class PlacerBackend : std::uint8_t {
+  kAnnealer = 0,
+  kAnalytic = 1,
+  kHybrid = 2,
+};
+
+const char* placer_backend_name(PlacerBackend b);
+/// Parses "annealer" / "analytic" / "hybrid". Returns false on anything else.
+bool parse_placer_backend(const std::string& text, PlacerBackend* out);
+
+struct PlacerOptions {
+  PlacerBackend backend = PlacerBackend::kAnnealer;
+  AnnealerOptions annealer;
+  AnalyticPlacerOptions analytic;
+  LegalizerOptions legalizer;
+  /// Post-stage invariant batteries (place.occupancy + sta.drift) run after
+  /// analytic placement + legalization and again after polish, at this
+  /// level. kOff = no checks. Failures throw AuditError.
+  AuditLevel audit = AuditLevel::kOff;
+  std::uint64_t audit_seed = 0xA0D17ULL;
+};
+
+/// Deterministic per-run work counters, aggregated across whichever stages
+/// the chosen backend executed. `work_units` is the cross-backend comparison
+/// scalar the bench gates on: annealer moves evaluated + analytic gradient
+/// pin evaluations (both ~one net-cost evaluation's worth of work).
+struct PlacerStats {
+  PlacerBackend backend = PlacerBackend::kAnnealer;
+  AnnealStats anneal;       ///< main anneal (kAnnealer only)
+  AnalyticStats analytic;   ///< gradient stage (kAnalytic / kHybrid)
+  AnnealStats polish;       ///< polish stage (kAnalytic / kHybrid)
+  int legalizer_passes = 0;
+  std::uint64_t work_units() const {
+    return anneal.moves_proposed + polish.moves_proposed +
+           analytic.gradient_pin_evals;
+  }
+};
+
+/// Places the netlist with the selected backend and returns a legal
+/// placement. The analytic pipeline may consult the legalizer, which can
+/// unify coincident logically-equivalent cells — hence the mutable netlist
+/// (on a fresh pre-replication netlist every equivalence class is a
+/// singleton, so in practice the netlist passes through unchanged).
+Placement place_circuit(Netlist& nl, const FpgaGrid& grid,
+                        const LinearDelayModel& dm, const PlacerOptions& opt,
+                        PlacerStats* stats = nullptr);
+
+}  // namespace repro

@@ -172,6 +172,8 @@ struct SpecOutcome {
   double picked_cost = 0;
   double fastest_primary = 0;
   std::size_t curve_size = 0;
+  /// The max_region_points guard shrank this iteration's embedding region.
+  bool region_truncated = false;
 };
 
 /// The read-only half of one engine iteration: SPT extraction, replication
@@ -246,6 +248,7 @@ SpecOutcome compute_speculation(const Netlist& nl, const Placement& pl,
       region.xmax = std::min(region.xmax, w.xmax);
       region.ymin = std::max(region.ymin, w.ymin);
       region.ymax = std::min(region.ymax, w.ymax);
+      out.region_truncated = true;
     }
   }
 
@@ -679,6 +682,17 @@ EngineResult run_replication_engine(Netlist& nl, Placement& pl,
 
     SpecOutcome oc = spec.obtain(nl, pl, tg, current, lower_bound);
     is.tree_internal = oc.tree_internal;
+    if (oc.region_truncated) {
+      // Counted on consumption, not computation: speculative prefetches that
+      // are never obtained don't perturb the counter, so it is a pure
+      // function of the serial trajectory (identical for any thread count).
+      if (res.region_truncations == 0)
+        LOG_WARN() << "embedding region truncated to max_region_points="
+                   << opt.max_region_points
+                   << " (replication scoped to a window around the critical "
+                      "sink; further truncations logged in the counter only)";
+      ++res.region_truncations;
+    }
     if (oc.status == SpecOutcome::Status::kEmptyTree) {
       res.history.push_back(is);
       continue;  // nothing movable; the epsilon schedule advances

@@ -131,6 +131,11 @@ struct EngineResult {
   bool ran_out_of_slots = false;
   bool reached_lower_bound = false;  ///< Section VII-B monotone bound
   double lower_bound = 0;
+  /// Iterations whose embedding region was shrunk by the max_region_points
+  /// guard (0 when the guard is off). Deterministic: counted when an outcome
+  /// is consumed by the serial selection loop, never on speculative
+  /// computation, so the value is identical for every thread count.
+  std::uint64_t region_truncations = 0;
   std::vector<IterationStats> history;
 
   /// Parallel speculation accounting (docs/ALGORITHMS.md §11).

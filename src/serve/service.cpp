@@ -64,6 +64,9 @@ std::string validate_spec(const JobSpec& spec) {
   EmbedVariant v;
   if (spec.variant != "none" && !variant_from_name(spec.variant, &v))
     return "unknown variant '" + spec.variant + "'";
+  PlacerBackend pb;
+  if (!spec.placer.empty() && !parse_placer_backend(spec.placer, &pb))
+    return "unknown placer '" + spec.placer + "'";
   if (spec.engine_threads < 0) return "engine_threads must be >= 0";
   if (spec.timeout_seconds < 0) return "timeout_seconds must be >= 0";
   if (!stage_name_valid(spec.inject_fail_stage)) return "bad inject_fail stage";
@@ -102,6 +105,7 @@ EngineSummary summarize(const EngineResult& r) {
   e.ran_out_of_slots = r.ran_out_of_slots;
   e.reached_lower_bound = r.reached_lower_bound;
   e.lower_bound = r.lower_bound;
+  e.region_truncations = r.region_truncations;
   return e;
 }
 
@@ -153,6 +157,8 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
   FlowConfig cfg = opt_.base;
   cfg.scale = spec.scale;
   cfg.seed = spec.seed;
+  if (!spec.placer.empty())  // validated at submit; "" inherits the default
+    parse_placer_backend(spec.placer, &cfg.placer);
   cfg.num_threads =
       spec.engine_threads > 0 ? spec.engine_threads : opt_.engine_threads;
 
@@ -179,6 +185,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
       // The checkpoint must describe the same work; a stale file from a
       // previous batch with different parameters restarts from scratch.
       if (loaded.circuit == spec.circuit && loaded.variant == spec.variant &&
+          loaded.cfg.placer == cfg.placer &&
           loaded.cfg.seed == spec.seed && loaded.cfg.scale == spec.scale &&
           loaded.stage >= FlowStage::kPlaced) {
         snap = std::move(loaded);
@@ -274,11 +281,24 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
         snap.nl->num_logic(),
         snap.nl->num_input_pads() + snap.nl->num_output_pads());
     snap.grid = std::make_unique<FpgaGrid>(snap.grid_n, snap.grid_io_rat);
-    AnnealerOptions aopt = cfg.annealer;
-    aopt.seed = rng.next_u64();
-    aopt.cancel = &token;
-    snap.pl = std::make_unique<Placement>(
-        anneal_placement(*snap.nl, *snap.grid, cfg.delay, aopt));
+    PlacerOptions popt;
+    popt.backend = cfg.placer;
+    popt.annealer = cfg.annealer;
+    popt.annealer.seed = rng.next_u64();
+    popt.annealer.cancel = &token;
+    popt.analytic = cfg.analytic;
+    // Stage batteries inside place_circuit (place.analytic / place.polish)
+    // run at the service's audit level; the job-level "place" battery below
+    // still covers the final placement for every backend.
+    popt.audit = cfg.audit;
+    popt.audit_seed = cfg.seed;
+    try {
+      snap.pl = std::make_unique<Placement>(
+          place_circuit(*snap.nl, *snap.grid, cfg.delay, popt));
+    } catch (const AuditError& e) {
+      record_audit_failure(e);
+      throw;
+    }
     snap.rng_state = rng.state();
     snap.place_seconds = now_seconds() - t0;
     out.place_peak_rss_bytes = peak_rss_bytes();
@@ -341,6 +361,9 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
         record_audit_failure(e);
         throw;
       }
+      // Replication-stage observability piggybacks on the metrics record:
+      // truncated embeddings must be visible in result lines, not just logs.
+      snap.metrics.embed_region_truncations = snap.engine.region_truncations;
       snap.has_metrics = true;
     }
     snap.rng_state = rng.state();
@@ -498,6 +521,7 @@ JobSpec parse_job_line(const std::string& line) {
     else if (key == "scale") spec.scale = num(v, key);
     else if (key == "seed") spec.seed = u64(v, key);
     else if (key == "variant") spec.variant = str(v, key);
+    else if (key == "placer") spec.placer = str(v, key);
     else if (key == "route") spec.route = boolean(v, key);
     else if (key == "engine_threads") spec.engine_threads = i32(v, key);
     else if (key == "timeout_seconds") spec.timeout_seconds = num(v, key);
@@ -513,6 +537,10 @@ std::string format_result_line(const JobResult& r, bool stable) {
   w.field("id", r.spec.id);
   w.field("circuit", r.spec.circuit);
   w.field("variant", r.spec.variant);
+  // Backend field appears only when the job asked for a non-default backend,
+  // so annealer batches stay byte-identical to pre-placer output.
+  if (!r.spec.placer.empty() && r.spec.placer != "annealer")
+    w.field("placer", r.spec.placer);
   w.field("seed", static_cast<std::uint64_t>(r.spec.seed));
   w.field("scale", r.spec.scale);
   w.field("state", job_state_name(r.state));
@@ -549,6 +577,10 @@ std::string format_result_line(const JobResult& r, bool stable) {
     w.field("density", m.density);
     w.field("route_nodes_expanded", m.route_nodes_expanded);
     w.field("route_passes", m.route_passes);
+    // Appears only when the max_region_points guard actually fired, so
+    // guard-off batches stay byte-identical to pre-counter output.
+    if (m.embed_region_truncations > 0)
+      w.field("region_truncations", m.embed_region_truncations);
   }
   if (!stable) {
     w.field("attempts", r.attempts);

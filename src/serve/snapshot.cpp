@@ -240,6 +240,28 @@ namespace {
 
 void save_config(const FlowConfig& cfg, ByteWriter& w) {
   w.f64(cfg.scale);
+  // Placement backend + analytic knobs (format v2). Everything that affects
+  // the deterministic trajectory is serialized; num_threads and the cancel
+  // pointer are process-local (thread count never changes results).
+  w.u8(static_cast<std::uint8_t>(cfg.placer));
+  const AnalyticPlacerOptions& ap = cfg.analytic;
+  w.i32(ap.max_iterations);
+  w.i32(ap.min_iterations);
+  w.f64(ap.target_overflow);
+  w.f64(ap.learning_rate);
+  w.f64(ap.beta1);
+  w.f64(ap.beta2);
+  w.f64(ap.gamma);
+  w.f64(ap.gamma_max_fraction);
+  w.f64(ap.density_weight_initial);
+  w.f64(ap.density_weight_mult);
+  w.i32(ap.blur_radius);
+  w.i32(ap.blur_passes);
+  w.i32(ap.reweight_interval);
+  w.f64(ap.crit_weight);
+  w.f64(ap.crit_exponent);
+  w.f64(ap.reweight_start_overflow);
+  w.u64(ap.seed);
   w.f64(cfg.annealer.lambda);
   w.f64(cfg.annealer.max_crit_exponent);
   w.f64(cfg.annealer.inner_num);
@@ -277,6 +299,29 @@ void save_config(const FlowConfig& cfg, ByteWriter& w) {
 FlowConfig load_config(ByteReader& r) {
   FlowConfig cfg;
   cfg.scale = r.f64_finite("config.scale");
+  const std::uint8_t placer = r.u8();
+  if (placer > static_cast<std::uint8_t>(PlacerBackend::kHybrid))
+    throw SnapshotError("snapshot: invalid placer backend " +
+                        std::to_string(placer));
+  cfg.placer = static_cast<PlacerBackend>(placer);
+  AnalyticPlacerOptions& ap = cfg.analytic;
+  ap.max_iterations = r.i32();
+  ap.min_iterations = r.i32();
+  ap.target_overflow = r.f64_finite("analytic.target_overflow");
+  ap.learning_rate = r.f64_finite("analytic.learning_rate");
+  ap.beta1 = r.f64_finite("analytic.beta1");
+  ap.beta2 = r.f64_finite("analytic.beta2");
+  ap.gamma = r.f64_finite("analytic.gamma");
+  ap.gamma_max_fraction = r.f64_finite("analytic.gamma_max_fraction");
+  ap.density_weight_initial = r.f64_finite("analytic.density_weight_initial");
+  ap.density_weight_mult = r.f64_finite("analytic.density_weight_mult");
+  ap.blur_radius = r.i32();
+  ap.blur_passes = r.i32();
+  ap.reweight_interval = r.i32();
+  ap.crit_weight = r.f64_finite("analytic.crit_weight");
+  ap.crit_exponent = r.f64_finite("analytic.crit_exponent");
+  ap.reweight_start_overflow = r.f64_finite("analytic.reweight_start_overflow");
+  ap.seed = r.u64();
   cfg.annealer.lambda = r.f64_finite("annealer.lambda");
   cfg.annealer.max_crit_exponent = r.f64_finite("annealer.max_crit_exponent");
   cfg.annealer.inner_num = r.f64_finite("annealer.inner_num");
@@ -324,6 +369,7 @@ void save_metrics(const CircuitMetrics& m, ByteWriter& w) {
   w.f64(m.route_seconds);
   w.u64(m.route_nodes_expanded);
   w.u64(m.route_passes);
+  w.u64(m.embed_region_truncations);
 }
 
 CircuitMetrics load_metrics(ByteReader& r) {
@@ -341,6 +387,7 @@ CircuitMetrics load_metrics(ByteReader& r) {
   m.route_seconds = r.f64_finite("metrics.route_seconds");
   m.route_nodes_expanded = r.u64();
   m.route_passes = r.u64();
+  m.embed_region_truncations = r.u64();
   return m;
 }
 
@@ -358,6 +405,7 @@ void save_engine(const EngineSummary& e, ByteWriter& w) {
   w.boolean(e.ran_out_of_slots);
   w.boolean(e.reached_lower_bound);
   w.f64(e.lower_bound);
+  w.u64(e.region_truncations);
 }
 
 EngineSummary load_engine(ByteReader& r) {
@@ -375,6 +423,7 @@ EngineSummary load_engine(ByteReader& r) {
   e.ran_out_of_slots = r.boolean();
   e.reached_lower_bound = r.boolean();
   e.lower_bound = r.f64_finite("engine.lower_bound");
+  e.region_truncations = r.u64();
   return e;
 }
 

@@ -40,6 +40,8 @@ struct EngineSummary {
   bool ran_out_of_slots = false;
   bool reached_lower_bound = false;
   double lower_bound = 0;
+  /// EngineResult::region_truncations (max_region_points guard activations).
+  std::uint64_t region_truncations = 0;
 };
 
 /// Deterministic binary snapshot of one flow job.
@@ -93,7 +95,7 @@ class SnapshotError : public std::runtime_error {
   explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
 };
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serializes header + payload into a byte buffer.
 std::string serialize_snapshot(const FlowSnapshot& s);

@@ -46,6 +46,8 @@ void ArenaCounters::reset() {
   embed_scratch_bytes = 0;
   sim_buffer_bytes = 0;
   annealer_bbox_bytes = 0;
+  analytic_net_model_bytes = 0;
+  analytic_density_bytes = 0;
   scratch_reuses = 0;
   scratch_growths = 0;
 }
@@ -55,7 +57,9 @@ std::uint64_t ArenaCounters::total_bytes() const {
          monotone_scratch_bytes.load(std::memory_order_relaxed) +
          embed_scratch_bytes.load(std::memory_order_relaxed) +
          sim_buffer_bytes.load(std::memory_order_relaxed) +
-         annealer_bbox_bytes.load(std::memory_order_relaxed);
+         annealer_bbox_bytes.load(std::memory_order_relaxed) +
+         analytic_net_model_bytes.load(std::memory_order_relaxed) +
+         analytic_density_bytes.load(std::memory_order_relaxed);
 }
 
 ArenaCounters& arena_counters() { return g_arena_counters; }

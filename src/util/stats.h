@@ -94,6 +94,8 @@ struct ArenaCounters {
   std::atomic<std::uint64_t> embed_scratch_bytes{0};     ///< embedder DP arenas
   std::atomic<std::uint64_t> sim_buffer_bytes{0};        ///< simulator flat buffers
   std::atomic<std::uint64_t> annealer_bbox_bytes{0};     ///< incremental net bboxes
+  std::atomic<std::uint64_t> analytic_net_model_bytes{0};  ///< analytic placer pin CSR
+  std::atomic<std::uint64_t> analytic_density_bytes{0};    ///< analytic placer bin grids
   std::atomic<std::uint64_t> scratch_reuses{0};   ///< calls served with no growth
   std::atomic<std::uint64_t> scratch_growths{0};  ///< calls that grew an arena
 

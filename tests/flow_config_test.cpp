@@ -108,6 +108,27 @@ TEST(FlowConfig, RouterFastPathKnobs) {
   EXPECT_TRUE(on.router.warm_start_wmin);
 }
 
+TEST(FlowConfig, PlacerBackendOverride) {
+  EnvGuard g1("REPRO_PLACER");
+  setenv("REPRO_PLACER", "analytic", 1);
+  EXPECT_EQ(config_from_env().placer, PlacerBackend::kAnalytic);
+  setenv("REPRO_PLACER", "hybrid", 1);
+  EXPECT_EQ(config_from_env().placer, PlacerBackend::kHybrid);
+  setenv("REPRO_PLACER", "annealer", 1);
+  EXPECT_EQ(config_from_env().placer, PlacerBackend::kAnnealer);
+}
+
+// Same degradation contract as the other env knobs: a typo selects the
+// default backend with a warning, it never aborts a batch.
+TEST(FlowConfig, InvalidPlacerFallsBackToAnnealer) {
+  EnvGuard g1("REPRO_PLACER");
+  for (const char* bad : {"Analytic", "gradient", "2", ""}) {
+    setenv("REPRO_PLACER", bad, 1);
+    EXPECT_EQ(config_from_env().placer, PlacerBackend::kAnnealer)
+        << "REPRO_PLACER=" << bad;
+  }
+}
+
 TEST(ServiceConfig, EnvKnobsOverrideBase) {
   EnvGuard g1("REPRO_SERVE_THREADS");
   EnvGuard g2("REPRO_SERVE_JOB_TIMEOUT");

@@ -270,7 +270,7 @@ TEST(FlatVsLegacy, EngineTrajectoryIdenticalAcrossLayoutAndThreads) {
   base.num_threads = 1;
 
   struct Run {
-    std::uint64_t hist, nl_fp, pl_fp;
+    std::uint64_t hist, nl_fp, pl_fp, truncations;
   };
   auto run = [&](bool flat, int threads, int region_points) {
     Placed p("ex5p", 0.08, golden_annealer_options());
@@ -280,10 +280,11 @@ TEST(FlatVsLegacy, EngineTrajectoryIdenticalAcrossLayoutAndThreads) {
     eopt.max_region_points = region_points;
     EngineResult r = run_replication_engine(p.nl, p.pl, p.dm, eopt);
     return Run{history_fingerprint(r), netlist_fingerprint(p.nl),
-               placement_fingerprint(p.nl, p.pl)};
+               placement_fingerprint(p.nl, p.pl), r.region_truncations};
   };
 
   const Run ref = run(true, 1, 0);
+  EXPECT_EQ(ref.truncations, 0u);  // guard off => counter stays silent
   for (bool flat : {true, false}) {
     for (int threads : {1, 2, 4}) {
       Run o = run(flat, threads, 0);
@@ -296,12 +297,19 @@ TEST(FlatVsLegacy, EngineTrajectoryIdenticalAcrossLayoutAndThreads) {
   // The region guard changes which embeddings run (legitimately different
   // results from uncapped), but must itself be deterministic across layouts
   // and thread counts.
-  const Run guarded = run(true, 1, 256);
+  // The cap must sit below the die's point count (ex5p at this scale is a
+  // ~12x12 grid, ~144 sites) or the guard never fires; 48 points forces
+  // truncation on any region spanning more than a ~7x7 window, which the
+  // consumed trajectory is guaranteed to contain.
+  const Run guarded = run(true, 1, 48);
+  EXPECT_GT(guarded.truncations, 0u);
   for (bool flat : {true, false}) {
     for (int threads : {1, 4}) {
-      Run o = run(flat, threads, 256);
+      Run o = run(flat, threads, 48);
       EXPECT_EQ(o.hist, guarded.hist) << "flat " << flat << " threads " << threads;
       EXPECT_EQ(o.nl_fp, guarded.nl_fp) << "flat " << flat << " threads " << threads;
+      EXPECT_EQ(o.truncations, guarded.truncations)
+          << "flat " << flat << " threads " << threads;
     }
   }
 }

@@ -147,6 +147,44 @@ TEST(Snapshot, PreservesPlacementOccupantOrderAndDeadCells) {
   }
 }
 
+// Snapshot format v2: the placer backend and every analytic option field
+// ride in the config block and must survive the round trip bit-exactly —
+// a resumed job re-derives its placement trajectory from them.
+TEST(Snapshot, PlacerBackendAndAnalyticOptionsRoundTrip) {
+  FlowSnapshot s = make_placed_snapshot("tseng", 0.05, 17);
+  s.cfg.placer = PlacerBackend::kAnalytic;
+  s.cfg.analytic.max_iterations = 123;
+  s.cfg.analytic.target_overflow = 0.07;
+  s.cfg.analytic.crit_weight = 17.5;
+  s.cfg.analytic.reweight_start_overflow = 0.33;
+  s.cfg.analytic.seed = 0xBEEF;
+  const std::string bytes = serialize_snapshot(s);
+  FlowSnapshot parsed = parse_snapshot(bytes);
+  EXPECT_EQ(parsed.cfg.placer, PlacerBackend::kAnalytic);
+  EXPECT_EQ(parsed.cfg.analytic.max_iterations, 123);
+  EXPECT_DOUBLE_EQ(parsed.cfg.analytic.target_overflow, 0.07);
+  EXPECT_DOUBLE_EQ(parsed.cfg.analytic.crit_weight, 17.5);
+  EXPECT_DOUBLE_EQ(parsed.cfg.analytic.reweight_start_overflow, 0.33);
+  EXPECT_EQ(parsed.cfg.analytic.seed, 0xBEEFull);
+  EXPECT_EQ(serialize_snapshot(parsed), bytes);
+
+  for (PlacerBackend b : {PlacerBackend::kAnnealer, PlacerBackend::kAnalytic,
+                          PlacerBackend::kHybrid}) {
+    FlowSnapshot v = make_placed_snapshot("tseng", 0.05, 18);
+    v.cfg.placer = b;
+    EXPECT_EQ(parse_snapshot(serialize_snapshot(v)).cfg.placer, b);
+  }
+}
+
+// Job specs select the backend per job; unknown names must be rejected at
+// submission, and the field round-trips through parse_job_line.
+TEST(Jsonl, JobSpecPlacerField) {
+  JobSpec spec =
+      parse_job_line(R"({"id":"x","circuit":"tseng","placer":"analytic"})");
+  EXPECT_EQ(spec.placer, "analytic");
+  EXPECT_TRUE(parse_job_line(R"({"id":"x","circuit":"tseng"})").placer.empty());
+}
+
 TEST(Snapshot, RejectsCorruptedBytes) {
   FlowSnapshot s = make_placed_snapshot("tseng", 0.05, 5);
   const std::string bytes = serialize_snapshot(s);

@@ -43,7 +43,8 @@ struct Args {
   bool stable = false;
   bool quiet = false;
   int crash_after_checkpoints = 0;
-  std::string audit;  // "" = leave to REPRO_AUDIT / config default
+  std::string audit;   // "" = leave to REPRO_AUDIT / config default
+  std::string placer;  // "" = leave to REPRO_PLACER / config default
 };
 
 int usage() {
@@ -60,6 +61,9 @@ int usage() {
                "  --max-retries N      retries for failed (not timed-out) jobs\n"
                "  --stable             omit wall-clock fields from results so\n"
                "                       resumed and straight runs compare equal\n"
+               "  --placer BACKEND     default placement backend for jobs that\n"
+               "                       don't set one: annealer | analytic |\n"
+               "                       hybrid (or REPRO_PLACER)\n"
                "  --audit LEVEL        invariant auditing after every stage:\n"
                "                       off | stage | paranoid (default off);\n"
                "                       audit-failing jobs are quarantined\n"
@@ -108,6 +112,9 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (!std::strcmp(arg, "--max-retries")) {
       if (!(v = need(arg))) return false;
       a.max_retries = std::atoi(v);
+    } else if (!std::strcmp(arg, "--placer")) {
+      if (!(v = need(arg))) return false;
+      a.placer = v;
     } else if (!std::strcmp(arg, "--audit")) {
       if (!(v = need(arg))) return false;
       a.audit = v;
@@ -176,6 +183,12 @@ int main(int argc, char** argv) {
         !parse_audit_level(args.audit, &sopt.base.audit)) {
       std::fprintf(stderr, "flow_server: bad --audit level '%s'\n",
                    args.audit.c_str());
+      return usage();
+    }
+    if (!args.placer.empty() &&
+        !parse_placer_backend(args.placer, &sopt.base.placer)) {
+      std::fprintf(stderr, "flow_server: bad --placer backend '%s'\n",
+                   args.placer.c_str());
       return usage();
     }
     if (args.threads >= 0) sopt.threads = args.threads;

@@ -38,6 +38,7 @@ struct Args {
   std::string circuit = "apex2";
   double scale = 0.25;
   std::uint64_t seed = 7;
+  std::string placer;  // "" = leave to REPRO_PLACER / config default
   std::string variant = "lex3";
   int threads = 0;
   std::string place_in;
@@ -62,6 +63,8 @@ int usage() {
       "  --scale S          generator scale vs Table I sizes (default 0.25)\n"
       "  --seed N           generator/annealer seed (default 7)\n"
       "  --place FILE       load an initial placement instead of annealing\n"
+      "  --placer BACKEND   annealer | analytic | hybrid (default annealer,\n"
+      "                     or REPRO_PLACER); see DESIGN.md section 10\n"
       "  --variant V        rt|lex2|lex3|lex4|lex5|mc|local|none (default lex3)\n"
       "  --threads N        speculation threads (0 = hardware, 1 = serial;\n"
       "                     results are identical for every value)\n"
@@ -105,6 +108,9 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (!std::strcmp(arg, "--place")) {
       if (!(v = need(arg))) return false;
       a.place_in = v;
+    } else if (!std::strcmp(arg, "--placer")) {
+      if (!(v = need(arg))) return false;
+      a.placer = v;
     } else if (!std::strcmp(arg, "--variant")) {
       if (!(v = need(arg))) return false;
       a.variant = v;
@@ -181,6 +187,11 @@ int run(const Args& args) {
   if (args.route_incremental >= 0)
     cfg.router.incremental_reroute = args.route_incremental != 0;
   if (args.route_warm >= 0) cfg.router.warm_start_wmin = args.route_warm != 0;
+  if (!args.placer.empty() && !parse_placer_backend(args.placer, &cfg.placer)) {
+    std::fprintf(stderr, "replicate_tool: bad --placer backend '%s'\n",
+                 args.placer.c_str());
+    return usage();
+  }
   if (!args.audit.empty() && !parse_audit_level(args.audit, &cfg.audit)) {
     std::fprintf(stderr, "replicate_tool: bad --audit level '%s'\n",
                  args.audit.c_str());
@@ -236,9 +247,19 @@ int run(const Args& args) {
       return 2;
     }
   } else {
-    AnnealerOptions aopt = cfg.annealer;
-    aopt.seed = cfg.seed;
-    pl = std::make_unique<Placement>(anneal_placement(*nl, grid, cfg.delay, aopt));
+    PlacerOptions popt;
+    popt.backend = cfg.placer;
+    popt.annealer = cfg.annealer;
+    popt.annealer.seed = cfg.seed;
+    popt.analytic = cfg.analytic;
+    popt.audit = cfg.audit;
+    popt.audit_seed = cfg.seed;
+    PlacerStats pstats;
+    pl = std::make_unique<Placement>(
+        place_circuit(*nl, grid, cfg.delay, popt, &pstats));
+    std::printf("placer %s: %llu work units\n",
+                placer_backend_name(pstats.backend),
+                static_cast<unsigned long long>(pstats.work_units()));
   }
   {
     TimingGraph tg(*nl, *pl, cfg.delay);
@@ -272,6 +293,10 @@ int run(const Args& args) {
                 variant_name(opt.variant), r.initial_critical, r.final_critical,
                 r.history.size(), r.total_replicated, r.total_unified,
                 r.ran_out_of_slots ? " [slots exhausted]" : "");
+    if (r.region_truncations > 0)
+      std::printf("warning: %llu embedding region(s) truncated by "
+                  "max_region_points guard\n",
+                  static_cast<unsigned long long>(r.region_truncations));
   }
 
   // ---- verify -----------------------------------------------------------------
