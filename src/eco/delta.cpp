@@ -1,0 +1,94 @@
+#include "eco/delta.h"
+
+namespace repro {
+
+const char* delta_kind_name(DeltaKind k) {
+  switch (k) {
+    case DeltaKind::kMoveCell: return "move_cell";
+    case DeltaKind::kSetFunction: return "set_function";
+    case DeltaKind::kRewireInput: return "rewire_input";
+    case DeltaKind::kSetDelayModel: return "set_delay_model";
+  }
+  return "?";
+}
+
+bool parse_delta_kind(const std::string& text, DeltaKind* out) {
+  if (text == "move_cell") *out = DeltaKind::kMoveCell;
+  else if (text == "set_function") *out = DeltaKind::kSetFunction;
+  else if (text == "rewire_input") *out = DeltaKind::kRewireInput;
+  else if (text == "set_delay_model") *out = DeltaKind::kSetDelayModel;
+  else return false;
+  return true;
+}
+
+std::string Delta::canonical_encoding() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case DeltaKind::kMoveCell:
+      w.i32(cell);
+      w.i32(x);
+      w.i32(y);
+      break;
+    case DeltaKind::kSetFunction:
+      w.i32(cell);
+      w.u64(function);
+      w.boolean(registered);
+      break;
+    case DeltaKind::kRewireInput:
+      w.i32(cell);
+      w.i32(pin);
+      w.i32(net);
+      break;
+    case DeltaKind::kSetDelayModel:
+      w.f64(wire_delay_per_unit);
+      w.f64(logic_delay);
+      w.f64(io_delay);
+      w.f64(ff_delay);
+      break;
+  }
+  return w.take();
+}
+
+Delta Delta::decode(ByteReader& r) try {
+  Delta d;
+  const std::uint8_t tag = r.u8();
+  if (tag > static_cast<std::uint8_t>(DeltaKind::kSetDelayModel))
+    throw EcoError("unknown delta kind tag " + std::to_string(tag));
+  d.kind = static_cast<DeltaKind>(tag);
+  switch (d.kind) {
+    case DeltaKind::kMoveCell:
+      d.cell = r.i32();
+      d.x = r.i32();
+      d.y = r.i32();
+      break;
+    case DeltaKind::kSetFunction:
+      d.cell = r.i32();
+      d.function = r.u64();
+      d.registered = r.boolean();
+      break;
+    case DeltaKind::kRewireInput:
+      d.cell = r.i32();
+      d.pin = r.i32();
+      d.net = r.i32();
+      break;
+    case DeltaKind::kSetDelayModel:
+      d.wire_delay_per_unit = r.f64_finite("wire_delay_per_unit");
+      d.logic_delay = r.f64_finite("logic_delay");
+      d.io_delay = r.f64_finite("io_delay");
+      d.ff_delay = r.f64_finite("ff_delay");
+      break;
+  }
+  return d;
+} catch (const WireError& e) {
+  throw EcoError(std::string("delta: ") + e.what());
+}
+
+Delta Delta::decode(std::string_view bytes) {
+  ByteReader r(bytes);
+  Delta d = decode(r);
+  if (!r.exhausted()) throw EcoError("delta: trailing bytes after encoding");
+  return d;
+}
+
+}  // namespace repro

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "serve/wire.h"
+
+namespace repro {
+
+/// Thrown on malformed eco inputs: an undecodable delta, a corrupt session
+/// file, an unknown session id, or a session-op protocol violation. Delta
+/// *rejections* (a validation rule failing against the current circuit) are
+/// NOT exceptions — they are reported in EcoDeltaResult so a rejected delta
+/// never tears down the session.
+class EcoError : public std::runtime_error {
+ public:
+  explicit EcoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The ECO edit vocabulary. Each kind maps onto the incremental machinery
+/// the flow already has: moves re-time via TimingEngine::on_cell_moved and
+/// re-legalize only the touched region; function/rewire edits splice through
+/// on_cells_rewired; delay-model changes are inherently full re-times
+/// (every edge delay changes) and resync the engine.
+enum class DeltaKind : std::uint8_t {
+  /// Move a cell to a (possibly occupied) compatible location; overfull
+  /// targets are resolved by the timing-driven ripple legalizer.
+  kMoveCell = 0,
+  /// Replace a logic cell's truth table and flip-flop flag ("resize" /
+  /// function change). Applied to every live member of the cell's
+  /// equivalence class so replication invariants survive the edit.
+  kSetFunction = 1,
+  /// Reconnect one input pin to another net. Also broadcast across the
+  /// equivalence class (every member's pin moves to the same net).
+  kRewireInput = 2,
+  /// Replace the linear delay model (the session's timing constraint knob).
+  kSetDelayModel = 3,
+};
+
+const char* delta_kind_name(DeltaKind k);
+/// Parses "move_cell" / "set_function" / "rewire_input" / "set_delay_model".
+bool parse_delta_kind(const std::string& text, DeltaKind* out);
+
+/// One ECO edit. Only the fields of the active `kind` are meaningful; the
+/// canonical encoding serializes exactly those fields, so two deltas that
+/// agree on the active fields encode identically regardless of junk in the
+/// others — the property the result cache and the journal chain rely on.
+struct Delta {
+  DeltaKind kind = DeltaKind::kMoveCell;
+
+  // kMoveCell / kSetFunction / kRewireInput: target cell id.
+  std::int32_t cell = -1;
+  // kMoveCell: destination grid coordinates.
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  // kSetFunction: new truth table + flip-flop flag.
+  std::uint64_t function = 0;
+  bool registered = false;
+  // kRewireInput: input pin index and replacement net id.
+  std::int32_t pin = 0;
+  std::int32_t net = -1;
+  // kSetDelayModel: the four LinearDelayModel constants.
+  double wire_delay_per_unit = 1.0;
+  double logic_delay = 0.5;
+  double io_delay = 0.3;
+  double ff_delay = 0.2;
+
+  /// Deterministic byte encoding (kind tag + active fields, little-endian).
+  /// This is the unit the delta journal stores and the chain checksum and
+  /// result-cache key hash over.
+  std::string canonical_encoding() const;
+
+  /// Inverse of canonical_encoding(). Throws EcoError on a truncated buffer
+  /// or unknown kind tag.
+  static Delta decode(ByteReader& r);
+  static Delta decode(std::string_view bytes);
+};
+
+}  // namespace repro

@@ -80,6 +80,12 @@ void Netlist::set_registered(CellId cell, bool registered) {
   c.registered = registered;
 }
 
+void Netlist::set_function(CellId cell, std::uint64_t function) {
+  Cell& c = cells_[cell.index()];
+  assert(c.kind == CellKind::kLogic);
+  c.function = function;
+}
+
 void Netlist::rename_cell(CellId cell, std::string name) {
   Cell& c = cells_[cell.index()];
   c.name = std::move(name);

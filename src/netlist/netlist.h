@@ -107,6 +107,10 @@ class Netlist {
   /// to collapse a single-fanout LUT -> latch pair into one registered BLE).
   void set_registered(CellId cell, bool registered);
 
+  /// Replaces a logic cell's truth table in place, keeping its connectivity
+  /// (used by ECO function-change deltas).
+  void set_function(CellId cell, std::uint64_t function);
+
   /// Renames a cell (cosmetic; names are used by file formats and reports).
   void rename_cell(CellId cell, std::string name);
 

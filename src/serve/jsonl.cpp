@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/strfmt.h"
+
 namespace repro {
 namespace {
 
@@ -181,9 +183,7 @@ void JsonlWriter::field(const std::string& key, const char* value) {
 
 void JsonlWriter::field(const std::string& key, double value) {
   key_prefix(key);
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  out_ += buf;
+  out_ += format_double_17g(value);
 }
 
 void JsonlWriter::field(const std::string& key, std::int64_t value) {

@@ -393,7 +393,15 @@ std::vector<JobResult> FlowService::run_batch(
   sopt.threads = opt_.threads;
   sopt.max_retries = opt_.max_retries;
   sopt.retry_backoff_seconds = opt_.retry_backoff_seconds;
-  scheduler_ = std::make_unique<Scheduler>(sopt);
+  {
+    std::lock_guard<std::mutex> lock(scheduler_mu_);
+    scheduler_ = std::make_unique<Scheduler>(sopt);
+    // A shutdown requested before (or between) batches sticks: the fresh
+    // scheduler starts with its kill flag already raised, so jobs submitted
+    // below unwind at their first cancellation point.
+    if (shutdown_requested_.load(std::memory_order_relaxed))
+      scheduler_->request_shutdown();
+  }
 
   std::vector<JobResult> results(specs.size());
   std::vector<std::function<void(int attempt)>> fns;
@@ -446,8 +454,15 @@ std::vector<JobResult> FlowService::run_batch(
   return results;
 }
 
+void FlowService::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(scheduler_mu_);
+  if (scheduler_) scheduler_->request_shutdown();
+}
+
 ServiceStats FlowService::stats() const {
   ServiceStats s;
+  std::lock_guard<std::mutex> lock(scheduler_mu_);
   if (scheduler_) {
     const SchedulerStats& ss = scheduler_->stats();
     s.jobs_completed = ss.jobs_completed.load(std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,12 @@ class FlowService {
   /// errors only (e.g. the checkpoint directory cannot be created).
   std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs);
 
+  /// Cooperative shutdown (signal path): running jobs unwind at their next
+  /// cancellation point and are reported CHECKPOINTED; queued jobs are not
+  /// started. Safe to call from any thread, including before or between
+  /// run_batch() calls — the request sticks and applies to the next batch.
+  void request_shutdown();
+
   ServiceStats stats() const;
 
  private:
@@ -90,6 +97,10 @@ class FlowService {
   void write_checkpoint(const FlowSnapshot& snap);
 
   ServiceOptions opt_;
+  /// Guards scheduler_ (re)creation in run_batch against request_shutdown
+  /// and stats readers on other threads.
+  mutable std::mutex scheduler_mu_;
+  std::atomic<bool> shutdown_requested_{false};
   std::unique_ptr<Scheduler> scheduler_;
   std::atomic<std::uint64_t> jobs_resumed_{0};
   std::atomic<std::uint64_t> jobs_invalid_{0};

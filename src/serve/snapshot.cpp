@@ -1,107 +1,17 @@
 #include "serve/snapshot.h"
 
-#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <limits>
 
+#include "serve/wire.h"
+
 namespace repro {
 namespace {
 
-// ---- primitive byte I/O -----------------------------------------------------
-
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void boolean(bool v) { u8(v ? 1 : 0); }
-  void str(const std::string& s) {
-    u64(s.size());
-    buf_.append(s);
-  }
-
-  std::string take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(bytes_[pos_++]);
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  double f64() { return std::bit_cast<double>(u64()); }
-  /// Restored state must stay arithmetically sane: a NaN or infinity smuggled
-  /// into a config/metric field would silently poison every downstream
-  /// computation, so reject it at the boundary.
-  double f64_finite(const char* what) {
-    const double v = f64();
-    if (!std::isfinite(v))
-      throw SnapshotError(std::string("snapshot: non-finite value for ") + what);
-    return v;
-  }
-  bool boolean() { return u8() != 0; }
-  std::string str() {
-    const std::uint64_t n = u64();
-    need(n);
-    std::string s(bytes_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-  /// Bounded element count for vector prefixes: each element consumes at
-  /// least `min_elem_bytes`, so a count the remaining bytes cannot hold is
-  /// corruption, not a huge allocation.
-  std::size_t count(std::size_t min_elem_bytes) {
-    const std::uint64_t n = u64();
-    if (min_elem_bytes > 0 && n > (bytes_.size() - pos_) / min_elem_bytes)
-      throw SnapshotError("snapshot: element count exceeds payload size");
-    return static_cast<std::size_t>(n);
-  }
-
-  bool exhausted() const { return pos_ == bytes_.size(); }
-
- private:
-  void need(std::uint64_t n) {
-    if (n > bytes_.size() - pos_) throw SnapshotError("snapshot: truncated payload");
-  }
-
-  std::string_view bytes_;
-  std::size_t pos_ = 0;
-};
-
-std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (char c : bytes) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+// Byte I/O primitives and the checksummed envelope live in serve/wire.h,
+// shared with the eco session format (same layout, different magic).
 
 constexpr char kMagic[4] = {'R', 'P', 'S', '1'};
 
@@ -462,37 +372,12 @@ std::string serialize_snapshot(const FlowSnapshot& s) {
   w.boolean(s.has_metrics);
   if (s.has_metrics) save_metrics(s.metrics, w);
 
-  const std::string payload = w.take();
-  ByteWriter out;
-  out.u8(kMagic[0]);
-  out.u8(kMagic[1]);
-  out.u8(kMagic[2]);
-  out.u8(kMagic[3]);
-  out.u32(kSnapshotVersion);
-  out.u64(payload.size());
-  out.u64(fnv1a64(payload));
-  std::string bytes = out.take();
-  bytes += payload;
-  return bytes;
+  return wire_envelope(kMagic, kSnapshotVersion, w.take());
 }
 
-FlowSnapshot parse_snapshot(std::string_view bytes) {
-  constexpr std::size_t kHeader = 4 + 4 + 8 + 8;
-  if (bytes.size() < kHeader) throw SnapshotError("snapshot: truncated header");
-  if (std::memcmp(bytes.data(), kMagic, 4) != 0)
-    throw SnapshotError("snapshot: bad magic (not a snapshot file)");
-  ByteReader hdr(bytes.substr(4));
-  const std::uint32_t version = hdr.u32();
-  if (version != kSnapshotVersion)
-    throw SnapshotError("snapshot: unsupported format version " +
-                        std::to_string(version));
-  const std::uint64_t payload_size = hdr.u64();
-  const std::uint64_t checksum = hdr.u64();
-  if (bytes.size() != kHeader + payload_size)
-    throw SnapshotError("snapshot: payload size mismatch");
-  const std::string_view payload = bytes.substr(kHeader);
-  if (fnv1a64(payload) != checksum)
-    throw SnapshotError("snapshot: checksum mismatch (corrupted file)");
+FlowSnapshot parse_snapshot(std::string_view bytes) try {
+  const std::string_view payload =
+      parse_wire_envelope(bytes, kMagic, kSnapshotVersion, "snapshot");
 
   ByteReader r(payload);
   FlowSnapshot s;
@@ -531,6 +416,10 @@ FlowSnapshot parse_snapshot(std::string_view bytes) {
   if (s.has_metrics) s.metrics = load_metrics(r);
   if (!r.exhausted()) throw SnapshotError("snapshot: trailing bytes");
   return s;
+} catch (const WireError& e) {
+  // Reader-level truncation/corruption surfaces as the format's error type,
+  // message-compatible with the pre-wire.h parser.
+  throw SnapshotError(std::string("snapshot: ") + e.what());
 }
 
 void write_snapshot_file(const FlowSnapshot& s, const std::string& path) {

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace repro {
+
+/// Shared little-endian byte I/O for the repository's checksummed binary
+/// wire formats: flow snapshots ("RPS1", serve/snapshot.h) and eco session
+/// files ("RPE1", eco/session.h) use the same primitives and the same
+/// "magic + u32 version + u64 payload size + u64 FNV-1a checksum + payload"
+/// envelope, so both formats are bit-deterministic and corruption-evident.
+///
+/// ByteReader throws WireError on truncation/corruption; format-level
+/// parsers catch it at their boundary and rethrow their own error type with
+/// a format-naming prefix (e.g. SnapshotError("snapshot: " + what)).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  /// Restored state must stay arithmetically sane: a NaN or infinity smuggled
+  /// into a config/metric field would silently poison every downstream
+  /// computation, so reject it at the boundary.
+  double f64_finite(const char* what) {
+    const double v = f64();
+    if (!std::isfinite(v))
+      throw WireError(std::string("non-finite value for ") + what);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  /// Bounded element count for vector prefixes: each element consumes at
+  /// least `min_elem_bytes`, so a count the remaining bytes cannot hold is
+  /// corruption, not a huge allocation.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (min_elem_bytes > 0 && n > (bytes_.size() - pos_) / min_elem_bytes)
+      throw WireError("element count exceeds payload size");
+    return static_cast<std::size_t>(n);
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::uint64_t n) {
+    if (n > bytes_.size() - pos_) throw WireError("truncated payload");
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Header layout shared by every wire format (little-endian):
+///   magic[4], u32 version, u64 payload size, u64 FNV-1a 64 checksum.
+inline constexpr std::size_t kWireHeaderBytes = 4 + 4 + 8 + 8;
+
+/// Wraps a payload in the standard envelope.
+inline std::string wire_envelope(const char magic[4], std::uint32_t version,
+                                 const std::string& payload) {
+  ByteWriter out;
+  for (int i = 0; i < 4; ++i) out.u8(static_cast<std::uint8_t>(magic[i]));
+  out.u32(version);
+  out.u64(payload.size());
+  out.u64(fnv1a64(payload));
+  std::string bytes = out.take();
+  bytes += payload;
+  return bytes;
+}
+
+/// Validates the envelope and returns a view of the payload. `what` names
+/// the format for error messages ("snapshot", "eco session"). Throws
+/// WireError on a bad magic/version/size/checksum.
+inline std::string_view parse_wire_envelope(std::string_view bytes,
+                                            const char magic[4],
+                                            std::uint32_t expected_version,
+                                            const char* what) {
+  if (bytes.size() < kWireHeaderBytes) throw WireError("truncated header");
+  if (std::memcmp(bytes.data(), magic, 4) != 0)
+    throw WireError(std::string("bad magic (not a ") + what + " file)");
+  ByteReader hdr(bytes.substr(4));
+  const std::uint32_t version = hdr.u32();
+  if (version != expected_version)
+    throw WireError("unsupported format version " + std::to_string(version));
+  const std::uint64_t payload_size = hdr.u64();
+  const std::uint64_t checksum = hdr.u64();
+  if (bytes.size() != kWireHeaderBytes + payload_size)
+    throw WireError("payload size mismatch");
+  const std::string_view payload = bytes.substr(kWireHeaderBytes);
+  if (fnv1a64(payload) != checksum)
+    throw WireError("checksum mismatch (corrupted file)");
+  return payload;
+}
+
+}  // namespace repro

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace repro {
+
+/// Stable text form of a double, shared by every deterministic text emitter
+/// (the serve JSONL writer, the bench JSON files): %.17g prints enough
+/// significant decimal digits that strtod() restores the exact IEEE-754 bit
+/// pattern, so deterministic metrics survive a text round trip bit-for-bit.
+inline std::string format_double_17g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace repro

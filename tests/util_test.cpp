@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <future>
 #include <set>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -10,10 +13,33 @@
 #include "util/ids.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/strfmt.h"
 #include "util/thread_pool.h"
 
 namespace repro {
 namespace {
+
+TEST(Strfmt, FormatDouble17gRoundTripsBitExactly) {
+  // %.17g prints enough digits that strtod() restores the exact bit pattern;
+  // every deterministic text emitter (JSONL writer, bench JSON) relies on it.
+  const double values[] = {0.0,
+                           1.0,
+                           0.1 + 0.2,
+                           1.0 / 3.0,
+                           24.349999999999998,
+                           1e-300,
+                           1e300,
+                           -12345.678901234567,
+                           5e-324 /* min subnormal */};
+  for (double v : values) {
+    const std::string text = format_double_17g(v);
+    const double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(back, v) << text;
+  }
+  // Negative zero keeps its sign through the round trip.
+  const double nz = std::strtod(format_double_17g(-0.0).c_str(), nullptr);
+  EXPECT_TRUE(std::signbit(nz));
+}
 
 TEST(Ids, DefaultIsInvalid) {
   CellId c;

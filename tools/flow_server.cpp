@@ -1,28 +1,42 @@
-// Batch job server for place -> replicate -> route runs.
+// Batch job server for place -> replicate -> route runs, plus the ECO
+// serving mode (long-lived incremental sessions, DESIGN.md §11).
 //
-// Reads one JSON job object per line (see examples/flow_jobs.jsonl), runs the
-// batch over a thread pool with per-stage timeouts, bounded retry and
-// stage-boundary checkpointing, and writes one JSON result object per line in
-// job order. A failing or hanging job is reported FAILED/TIMED_OUT with a
-// nonzero per-job error_code; the process still exits 0 as long as the batch
-// itself ran.
+// Reads one JSON object per line. Lines WITHOUT an "op" key are batch job
+// specs (see examples/flow_jobs.jsonl): they run over a thread pool with
+// per-stage timeouts, bounded retry and stage-boundary checkpointing. Lines
+// WITH an "op" key are session ops (see examples/eco_session.jsonl):
+// open_session / apply_delta / query / close_session against long-lived
+// incremental sessions. The two kinds interleave freely — pending batch jobs
+// are flushed before each session op, and the output has one result line per
+// input line, in input order. A failing job or a rejected delta is reported
+// in its result line; the process still exits 0 as long as the batch ran.
 //
 //   flow_server --jobs batch.jsonl --out results.jsonl \
 //               --checkpoint-dir ckpt --threads 4 --job-timeout 60
 //   flow_server --jobs batch.jsonl --out results.jsonl --resume ckpt
+//   flow_server --jobs session.jsonl --out results.jsonl --sessions-dir eco
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight jobs unwind at their next
+// cancellation point (CHECKPOINTED; their snapshots are on disk), open
+// sessions are persisted, results produced so far are flushed, exit 0.
 //
 // Exit codes: 0 batch ran (per-job status is in the output), 2 bad usage or
-// unreadable job file, 42 simulated crash (--crash-after-checkpoints, CI
-// resume test).
+// unreadable job file, 42 simulated crash (--crash-after-checkpoints /
+// --crash-after-deltas, CI resume tests).
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "eco/session_manager.h"
 #include "serve/jsonl.h"
 #include "serve/service.h"
 #include "util/log.h"
@@ -31,10 +45,15 @@ using namespace repro;
 
 namespace {
 
+std::atomic<bool> g_shutdown{false};
+
+void handle_signal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
 struct Args {
   std::string jobs;  // "" or "-" = stdin
   std::string out;   // "" or "-" = stdout
   std::string checkpoint_dir;
+  std::string sessions_dir;
   bool resume = false;
   int threads = 1;
   int engine_threads = 1;
@@ -42,7 +61,9 @@ struct Args {
   int max_retries = 0;
   bool stable = false;
   bool quiet = false;
+  bool eco_cold_audit = false;
   int crash_after_checkpoints = 0;
+  int crash_after_deltas = 0;
   std::string audit;   // "" = leave to REPRO_AUDIT / config default
   std::string placer;  // "" = leave to REPRO_PLACER / config default
 };
@@ -50,11 +71,14 @@ struct Args {
 int usage() {
   std::fprintf(stderr,
                "usage: flow_server [options]\n"
-               "  --jobs FILE          JSONL job file (default: stdin)\n"
+               "  --jobs FILE          JSONL job/session-op file (default: stdin)\n"
                "  --out FILE           JSONL results file (default: stdout)\n"
                "  --checkpoint-dir D   write stage-boundary snapshots into D\n"
                "  --resume D           resume from snapshots in D (implies\n"
                "                       --checkpoint-dir D)\n"
+               "  --sessions-dir D     persist ECO sessions into D as .ecs files;\n"
+               "                       an open_session whose id has a file there\n"
+               "                       resumes it mid-stream\n"
                "  --threads N          concurrent jobs (0 = hardware, default 1)\n"
                "  --engine-threads N   speculation threads per job (default 1)\n"
                "  --job-timeout S      per-stage wall-clock timeout in seconds\n"
@@ -64,13 +88,21 @@ int usage() {
                "  --placer BACKEND     default placement backend for jobs that\n"
                "                       don't set one: annealer | analytic |\n"
                "                       hybrid (or REPRO_PLACER)\n"
-               "  --audit LEVEL        invariant auditing after every stage:\n"
-               "                       off | stage | paranoid (default off);\n"
-               "                       audit-failing jobs are quarantined\n"
+               "  --audit LEVEL        invariant auditing after every stage and\n"
+               "                       every applied delta: off | stage |\n"
+               "                       paranoid (default off); audit-failing\n"
+               "                       jobs are quarantined\n"
+               "  --eco-cold-audit     on close_session, replay the full delta\n"
+               "                       journal against a cold rebuild and fail\n"
+               "                       the close on any disagreement\n"
                "  --quiet              no stats summary on stderr\n"
                "  --crash-after-checkpoints N\n"
                "                       CI hook: stop after N checkpoints and\n"
                "                       exit 42 without writing results\n"
+               "  --crash-after-deltas N\n"
+               "                       CI hook: exit 42 after N applied deltas\n"
+               "                       have been persisted, without writing\n"
+               "                       results\n"
                "Env: REPRO_SERVE_THREADS, REPRO_SERVE_JOB_TIMEOUT,\n"
                "     REPRO_SERVE_MAX_RETRIES, REPRO_AUDIT (flags win).\n");
   return 2;
@@ -100,6 +132,9 @@ bool parse_args(int argc, char** argv, Args& a) {
       if (!(v = need(arg))) return false;
       a.checkpoint_dir = v;
       a.resume = true;
+    } else if (!std::strcmp(arg, "--sessions-dir")) {
+      if (!(v = need(arg))) return false;
+      a.sessions_dir = v;
     } else if (!std::strcmp(arg, "--threads")) {
       if (!(v = need(arg))) return false;
       a.threads = std::atoi(v);
@@ -122,9 +157,14 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.stable = true;
     } else if (!std::strcmp(arg, "--quiet")) {
       a.quiet = true;
+    } else if (!std::strcmp(arg, "--eco-cold-audit")) {
+      a.eco_cold_audit = true;
     } else if (!std::strcmp(arg, "--crash-after-checkpoints")) {
       if (!(v = need(arg))) return false;
       a.crash_after_checkpoints = std::atoi(v);
+    } else if (!std::strcmp(arg, "--crash-after-deltas")) {
+      if (!(v = need(arg))) return false;
+      a.crash_after_deltas = std::atoi(v);
     } else {
       std::fprintf(stderr, "flow_server: unknown option '%s'\n", arg);
       return false;
@@ -133,15 +173,27 @@ bool parse_args(int argc, char** argv, Args& a) {
   return true;
 }
 
+/// One classified input line: a batch job spec or a raw session-op line
+/// (session ops are validated when handled — a bad op is an error result
+/// line, not a dead server).
+struct InputLine {
+  bool is_op = false;
+  JobSpec spec;
+  std::string raw;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
 
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
   try {
-    // ---- read the job file ------------------------------------------------
-    std::vector<JobSpec> specs;
+    // ---- read and classify the input ----------------------------------------
+    std::vector<InputLine> lines;
     {
       std::ifstream file;
       const bool use_stdin = args.jobs.empty() || args.jobs == "-";
@@ -161,22 +213,29 @@ int main(int argc, char** argv) {
         // Blank lines and #-comments are allowed between jobs.
         const auto pos = line.find_first_not_of(" \t\r");
         if (pos == std::string::npos || line[pos] == '#') continue;
-        try {
-          specs.push_back(parse_job_line(line));
-        } catch (const JsonlError& e) {
-          std::fprintf(stderr, "flow_server: %s line %d: %s\n",
-                       use_stdin ? "<stdin>" : args.jobs.c_str(), lineno,
-                       e.what());
-          return 2;
+        InputLine l;
+        if (is_session_op_line(line)) {
+          l.is_op = true;
+          l.raw = line;
+        } else {
+          try {
+            l.spec = parse_job_line(line);
+          } catch (const JsonlError& e) {
+            std::fprintf(stderr, "flow_server: %s line %d: %s\n",
+                         use_stdin ? "<stdin>" : args.jobs.c_str(), lineno,
+                         e.what());
+            return 2;
+          }
         }
+        lines.push_back(std::move(l));
       }
     }
-    if (specs.empty()) {
+    if (lines.empty()) {
       std::fprintf(stderr, "flow_server: no jobs\n");
       return 2;
     }
 
-    // ---- run the batch ----------------------------------------------------
+    // ---- options -----------------------------------------------------------
     ServiceOptions sopt = service_options_from_env();
     sopt.base = config_from_env();
     if (!args.audit.empty() &&
@@ -199,20 +258,93 @@ int main(int argc, char** argv) {
     sopt.resume = args.resume;
     sopt.stop_after_checkpoints = args.crash_after_checkpoints;
 
-    FlowService service(sopt);
-    const std::vector<JobResult> results = service.run_batch(specs);
+    SessionManagerOptions mopt;
+    mopt.sessions_dir = args.sessions_dir;
+    mopt.audit = sopt.base.audit;
+    mopt.cold_audit = args.eco_cold_audit;
+    mopt.base = sopt.base;
+    mopt.crash_after_deltas = args.crash_after_deltas;
+    mopt.kill_flag = &g_shutdown;
 
-    if (args.crash_after_checkpoints > 0 &&
-        service.stats().checkpoints_written >=
-            static_cast<std::uint64_t>(args.crash_after_checkpoints)) {
-      // Simulated crash: the snapshots are on disk, the results are not.
-      std::fprintf(stderr, "flow_server: simulated crash after %llu checkpoints\n",
-                   static_cast<unsigned long long>(
-                       service.stats().checkpoints_written));
+    FlowService service(sopt);
+    SessionManager sessions(mopt);
+
+    // Signals must not call into the service (handlers can only touch the
+    // atomic); a watcher thread relays the flag to the batch scheduler so
+    // in-flight jobs unwind at their next cancellation point.
+    std::atomic<bool> watcher_done{false};
+    std::thread watcher([&] {
+      while (!watcher_done.load(std::memory_order_relaxed)) {
+        if (g_shutdown.load(std::memory_order_relaxed)) {
+          service.request_shutdown();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+
+    // ---- run ----------------------------------------------------------------
+    std::vector<std::string> out_lines;
+    std::vector<JobSpec> pending;
+    bool crashed = false;
+    std::string crash_msg;
+
+    auto flush_batch = [&] {
+      if (pending.empty()) return;
+      const std::vector<JobResult> results = service.run_batch(pending);
+      pending.clear();
+      for (const JobResult& r : results) {
+        out_lines.push_back(format_result_line(r, args.stable));
+        // Quarantined jobs: findings go to stderr as JSONL so the result
+        // stream stays one line per input line.
+        if (r.error_code == kJobAuditFailed && !r.audit_jsonl.empty())
+          std::fprintf(stderr, "%s\n", r.audit_jsonl.c_str());
+      }
+      if (args.crash_after_checkpoints > 0 &&
+          service.stats().checkpoints_written >=
+              static_cast<std::uint64_t>(args.crash_after_checkpoints)) {
+        crashed = true;
+        crash_msg = "simulated crash after " +
+                    std::to_string(service.stats().checkpoints_written) +
+                    " checkpoints";
+      }
+    };
+
+    for (InputLine& l : lines) {
+      if (crashed || g_shutdown.load(std::memory_order_relaxed)) break;
+      if (!l.is_op) {
+        pending.push_back(std::move(l.spec));
+        continue;
+      }
+      // Session ops see the results of every batch job submitted above them
+      // (e.g. open_session from a checkpoint the batch just wrote).
+      flush_batch();
+      if (crashed) break;
+      out_lines.push_back(sessions.handle_line(l.raw));
+      if (sessions.crash_requested()) {
+        crashed = true;
+        crash_msg = "simulated crash after " +
+                    std::to_string(sessions.deltas_persisted()) +
+                    " applied deltas";
+      }
+    }
+    if (!crashed && !g_shutdown.load(std::memory_order_relaxed)) flush_batch();
+
+    watcher_done.store(true, std::memory_order_relaxed);
+    watcher.join();
+
+    if (crashed) {
+      // Simulated crash: the snapshots/sessions are on disk, the results
+      // are not.
+      std::fprintf(stderr, "flow_server: %s\n", crash_msg.c_str());
       return 42;
     }
 
-    // ---- write results ----------------------------------------------------
+    // Graceful shutdown and normal exit share this path: persist every open
+    // session, then flush the results produced so far.
+    sessions.checkpoint_all();
+
+    // ---- write results ------------------------------------------------------
     {
       std::ofstream file;
       const bool use_stdout = args.out.empty() || args.out == "-";
@@ -225,18 +357,21 @@ int main(int argc, char** argv) {
         }
       }
       std::ostream& out = use_stdout ? std::cout : file;
-      for (const JobResult& r : results) {
-        out << format_result_line(r, args.stable) << '\n';
-        // Quarantined jobs: findings go to stderr as JSONL so the result
-        // stream stays one line per job.
-        if (r.error_code == kJobAuditFailed && !r.audit_jsonl.empty())
-          std::fprintf(stderr, "%s\n", r.audit_jsonl.c_str());
-      }
+      for (const std::string& line : out_lines) out << line << '\n';
     }
 
-    if (!args.quiet)
+    if (!args.quiet) {
       std::fprintf(stderr, "flow_server: %s\n",
                    service.stats().summary().c_str());
+      if (sessions.open_sessions() > 0 || sessions.deltas_persisted() > 0)
+        std::fprintf(stderr,
+                     "flow_server: eco: %zu open session(s), %llu deltas "
+                     "persisted, %zu cached results\n",
+                     sessions.open_sessions(),
+                     static_cast<unsigned long long>(
+                         sessions.deltas_persisted()),
+                     sessions.cache().size());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "flow_server: %s\n", e.what());

@@ -15,8 +15,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "eco/session_manager.h"
 #include "flow/experiment.h"
 #include "flow/svg_report.h"
 #include "netlist/blif.h"
@@ -51,6 +53,7 @@ struct Args {
   int route_incremental = -1;
   int route_warm = -1;
   std::string audit;  // "" = leave to REPRO_AUDIT / config default
+  std::string eco;    // session-op JSONL file to replay offline
   bool verbose = false;
 };
 
@@ -75,6 +78,11 @@ int usage() {
       "  --audit LEVEL      invariant auditing after place/replicate/route:\n"
       "                     off | stage | paranoid (default off, or\n"
       "                     REPRO_AUDIT); exit 3 on an audit failure\n"
+      "  --eco FILE         replay a session-op JSONL stream (open_session /\n"
+      "                     apply_delta / query / close_session) in memory,\n"
+      "                     printing one result line per op; every close runs\n"
+      "                     the cold-rebuild delta-chain audit. Exit 1 if any\n"
+      "                     op failed. Other flags set the base flow config\n"
       "  --out-blif FILE    write the optimized netlist\n"
       "  --out-place FILE   write the final placement\n"
       "  --svg FILE         write a placement/criticality SVG\n"
@@ -131,6 +139,9 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (!std::strcmp(arg, "--audit")) {
       if (!(v = need(arg))) return false;
       a.audit = v;
+    } else if (!std::strcmp(arg, "--eco")) {
+      if (!(v = need(arg))) return false;
+      a.eco = v;
     } else if (!std::strcmp(arg, "--out-blif")) {
       if (!(v = need(arg))) return false;
       a.out_blif = v;
@@ -197,6 +208,31 @@ int run(const Args& args) {
                  args.audit.c_str());
     return usage();
   }
+  // ---- ECO replay mode ------------------------------------------------------
+  if (!args.eco.empty()) {
+    std::ifstream in(args.eco);
+    if (!in) {
+      std::fprintf(stderr, "replicate_tool: cannot read %s\n",
+                   args.eco.c_str());
+      return 2;
+    }
+    SessionManagerOptions mopt;
+    mopt.audit = cfg.audit;
+    mopt.cold_audit = true;  // offline replay is the paranoid path
+    mopt.base = cfg;
+    SessionManager sessions(mopt);
+    bool any_failed = false;
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      const std::string result = sessions.handle_line(line);
+      std::printf("%s\n", result.c_str());
+      if (result.find("\"ok\":false") != std::string::npos) any_failed = true;
+    }
+    return any_failed ? 1 : 0;
+  }
+
   AuditOptions audit_opt;
   audit_opt.level = cfg.audit;
   audit_opt.seed = cfg.seed;
