@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/socket.h"
+
+namespace repro {
+
+struct CoordinatorOptions {
+  /// Flow configuration; threads is ignored (parallelism = workers), the
+  /// retry/timeout/checkpoint/resume knobs mean exactly what they mean for
+  /// FlowService — the dist layer must be a drop-in replacement.
+  ServiceOptions service;
+  /// Endpoint to bind ("tcp:0" binds an ephemeral port, reported by
+  /// start()).
+  SocketAddr listen;
+
+  /// Worker processes to spawn at start() (0 = external workers only —
+  /// in-process test threads or processes started by hand).
+  int spawn_workers = 0;
+  /// Binary to exec for spawned workers (flow_server passes itself).
+  std::string worker_exe;
+  /// Extra argv forwarded to every spawned worker (config flags like
+  /// --audit/--placer that must match the coordinator for byte-identical
+  /// results).
+  std::vector<std::string> worker_args;
+  /// Per-initial-slot fault spec (see dist/worker.h parse_fault_plan); ""
+  /// or missing = no faults. Respawned replacements never get faults.
+  std::vector<std::string> worker_faults;
+
+  /// A worker silent for this long is declared dead: its connection is
+  /// closed, its process (if we spawned it) is SIGKILLed, and its job is
+  /// reassigned from the last streamed checkpoint.
+  double heartbeat_timeout_s = 1.5;
+  /// How long to wait with zero workers before degrading to in-process
+  /// execution.
+  double degrade_grace_s = 0.75;
+  /// A job whose worker died this many times (distinct workers) is
+  /// quarantined from remote execution and finished in-process — a
+  /// poison-pill job must not take down worker after worker.
+  int max_worker_deaths_per_job = 2;
+  /// Total replacement workers the coordinator may spawn across a batch.
+  int respawn_budget = 4;
+};
+
+/// Distributed-layer counters, on top of the ServiceStats the coordinator
+/// also maintains.
+struct DistStats {
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t workers_respawned = 0;
+  std::uint64_t workers_connected = 0;
+  std::uint64_t workers_died = 0;       ///< EOF, frame error or heartbeat loss
+  std::uint64_t heartbeat_timeouts = 0;
+  std::uint64_t frame_errors = 0;       ///< corrupt frames dropped a worker
+  std::uint64_t jobs_reassigned = 0;    ///< rescheduled after a worker death
+  std::uint64_t jobs_quarantined_remote = 0;  ///< finished in-process after
+                                              ///< repeated worker deaths
+  std::uint64_t jobs_degraded = 0;      ///< ran in-process, zero workers
+  std::uint64_t jobs_completed_remote = 0;
+  std::uint64_t checkpoints_streamed = 0;
+  std::uint64_t checkpoint_stream_bytes = 0;
+
+  std::string summary() const;  ///< one human-readable line
+};
+
+/// Owns the job queue and the result log for a batch executed by worker
+/// processes over local sockets (dist/worker.h), with the FlowService
+/// contract: results in input order, per-job errors never throw, and — the
+/// invariant everything here serves — a result log byte-identical (in
+/// --stable form) to a single-process run for every worker count and every
+/// failure schedule.
+///
+/// Failure handling: dead/hung workers are detected by EOF or heartbeat
+/// deadline and their jobs resume on another worker from the last streamed
+/// stage-boundary checkpoint (a death never burns the job's retry budget;
+/// genuine FAILED attempts follow the same jittered-backoff retry budget as
+/// FlowService). A job that kills repeated workers is quarantined to
+/// in-process execution; a batch with zero live workers degrades to
+/// in-process execution after a grace period. Corrupt frames drop the
+/// offending connection, never the batch.
+class Coordinator {
+ public:
+  explicit Coordinator(const CoordinatorOptions& opt);
+  ~Coordinator();
+
+  /// Binds the listen socket and spawns the initial workers. Returns the
+  /// bound address (meaningful for "tcp:0"). Throws SocketError on a bad
+  /// endpoint.
+  SocketAddr start();
+
+  /// Runs one batch; callable repeatedly — workers persist across batches.
+  std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs);
+
+  /// Cooperative shutdown from any thread (signal watcher): remaining jobs
+  /// are reported CHECKPOINTED, workers get a Shutdown frame.
+  void request_shutdown();
+
+  /// Sends Shutdown to every worker, reaps spawned processes (SIGKILL after
+  /// a grace period), closes sockets. Idempotent; the destructor calls it.
+  void stop();
+
+  ServiceStats stats() const;
+  const DistStats& dist_stats() const { return dist_stats_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  CoordinatorOptions opt_;
+  DistStats dist_stats_;
+  std::atomic<bool> shutdown_requested_{false};
+  friend struct Impl;
+};
+
+}  // namespace repro

@@ -1,0 +1,61 @@
+#include "dist/frame.h"
+
+#include <cstring>
+
+#include "serve/wire.h"
+
+namespace repro {
+
+std::string encode_frame(std::uint32_t tag, std::string_view payload) {
+  if (payload.size() > kFrameMaxPayload)
+    throw FrameError("frame payload too large: " +
+                     std::to_string(payload.size()));
+  ByteWriter w;
+  for (char c : kFrameMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u8(kFrameVersion);
+  w.u32(tag);
+  w.u64(payload.size());
+  w.u64(fnv1a64(payload));
+  std::string bytes = w.take();
+  bytes.append(payload.data(), payload.size());
+  return bytes;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  // Compact the consumed prefix before it grows unbounded on a long-lived
+  // connection; amortized O(1) per byte.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+bool FrameDecoder::next(Frame* out) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return false;
+  const char* base = buf_.data() + pos_;
+  if (std::memcmp(base, kFrameMagic, sizeof kFrameMagic) != 0)
+    throw FrameError("bad frame magic (stream desynchronized or corrupt)");
+  ByteReader hdr(std::string_view(base + 4, kFrameHeaderBytes - 4));
+  const std::uint8_t version = hdr.u8();
+  if (version != kFrameVersion)
+    throw FrameError("unsupported frame version " + std::to_string(version));
+  const std::uint32_t tag = hdr.u32();
+  const std::uint64_t size = hdr.u64();
+  const std::uint64_t checksum = hdr.u64();
+  if (size > max_payload_)
+    throw FrameError("implausible frame payload size " + std::to_string(size));
+  if (avail - kFrameHeaderBytes < size) return false;  // wait for more bytes
+  const std::string_view payload(base + kFrameHeaderBytes,
+                                 static_cast<std::size_t>(size));
+  if (fnv1a64(payload) != checksum)
+    throw FrameError("frame checksum mismatch (corrupt payload, tag " +
+                     std::to_string(tag) + ")");
+  out->tag = tag;
+  out->payload.assign(payload.data(), payload.size());
+  pos_ += kFrameHeaderBytes + static_cast<std::size_t>(size);
+  return true;
+}
+
+}  // namespace repro

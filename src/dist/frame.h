@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace repro {
+
+/// Thrown on a corrupt or malformed frame stream: bad magic, unsupported
+/// version, implausible payload size, or checksum mismatch. The stream is
+/// unrecoverable after this (frame boundaries are lost), so the receiving
+/// end drops the connection and lets the resume machinery take over — the
+/// sender reconnects and in-flight work restarts from its last good
+/// checkpoint.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Self-describing message frame for the coordinator <-> worker transport
+/// (the Galois libdist shape: buffered, length-prefixed, self-describing
+/// (tag, size, payload) so either end can skip what it does not understand).
+///
+/// Layout (little-endian):
+///   "RPF1"  magic (4 bytes)
+///   u8      frame format version (kFrameVersion)
+///   u32     tag (message kind; unknown tags are skippable by design)
+///   u64     payload size in bytes
+///   u64     FNV-1a 64 checksum of the payload
+///   payload
+///
+/// The codec is deliberately dumb: it knows nothing about message contents.
+/// Tags and payload schemas live in dist/protocol.h; a receiver that sees a
+/// valid frame with a tag it does not know skips it and keeps the stream —
+/// that is what lets old coordinators talk to newer workers.
+struct Frame {
+  std::uint32_t tag = 0;
+  std::string payload;
+};
+
+inline constexpr char kFrameMagic[4] = {'R', 'P', 'F', '1'};
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4 + 8 + 8;
+/// Frames carry whole checkpoint snapshots, which are MBs at paper scale;
+/// anything beyond this is a corrupt length field, not a real message.
+inline constexpr std::uint64_t kFrameMaxPayload = 1ull << 30;
+
+/// Serializes one frame (header + payload).
+std::string encode_frame(std::uint32_t tag, std::string_view payload);
+
+/// Incremental frame parser over a byte stream delivered in arbitrary
+/// chunks. feed() appends bytes; next() pops the earliest complete frame.
+/// Throws FrameError at the first corrupt header or payload — the caller
+/// must discard the decoder (and the connection) after that.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint64_t max_payload = kFrameMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::string_view bytes);
+
+  /// Returns true and fills *out when a complete frame is buffered.
+  bool next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::uint64_t max_payload_;
+};
+
+}  // namespace repro

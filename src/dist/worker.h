@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/service.h"
+#include "util/socket.h"
+
+namespace repro {
+
+/// Deterministic fault-injection plan for one worker, parsed from a spec
+/// string of comma-separated hooks (all optional, all one-shot):
+///
+///   drop_connection_after_frames=N   close the socket right after the N-th
+///                                    data frame is sent, then reconnect
+///   corrupt_frame=N                  flip one payload byte in the N-th data
+///                                    frame sent (coordinator sees a
+///                                    checksum mismatch and drops us)
+///   hang_worker=STAGE[:k]            at the k-th checkpoint of STAGE
+///                                    (place|replicate|route; default k=1),
+///                                    stop heartbeating and go silent until
+///                                    hang_max_s or shutdown
+///   kill_worker_at_stage=STAGE[:k]   die right after streaming the k-th
+///                                    checkpoint of STAGE (_exit(9) in a
+///                                    spawned process; the in-process runner
+///                                    unwinds and returns 9)
+///
+/// Frame counts exclude heartbeats: heartbeats ride a timer thread, so
+/// including them would make the injection point race wall-clock time.
+/// Counting only data frames (hello, checkpoints, results) pins each fault
+/// to the same protocol event on every run.
+struct FaultPlan {
+  int drop_after_frames = 0;   ///< 0 = off
+  int corrupt_frame = 0;       ///< 0 = off
+  std::string hang_stage;      ///< "" = off
+  int hang_nth = 1;
+  std::string kill_stage;      ///< "" = off
+  int kill_nth = 1;
+
+  bool any() const {
+    return drop_after_frames > 0 || corrupt_frame > 0 || !hang_stage.empty() ||
+           !kill_stage.empty();
+  }
+};
+
+/// Parses the spec string above. Returns false with *err set on a malformed
+/// hook (unknown name, bad count, bad stage).
+bool parse_fault_plan(const std::string& spec, FaultPlan* out,
+                      std::string* err);
+
+struct WorkerOptions {
+  /// Flow configuration for executing attempts; must match the
+  /// coordinator's for the byte-identical invariant (spawned workers
+  /// inherit it via forwarded flags + environment). checkpoint_dir/resume
+  /// are ignored: a worker never touches disk, checkpoints stream back.
+  ServiceOptions service;
+  SocketAddr connect;
+  FaultPlan fault;
+
+  double heartbeat_interval_s = 0.1;
+  /// Bounded exponential reconnect backoff; the budget resets after every
+  /// successful connect, so a long-lived worker survives any number of
+  /// coordinator blips but gives up promptly when it is truly gone.
+  double reconnect_initial_s = 0.02;
+  double reconnect_max_s = 0.5;
+  int max_reconnect_attempts = 25;
+  /// Upper bound on an injected hang (the coordinator declares us dead long
+  /// before this; the cap just keeps in-process test workers joinable).
+  double hang_max_s = 20;
+  /// True in a spawned process: kill_worker_at_stage uses _exit(9) so not
+  /// even destructors run, exactly like a SIGKILL. In-process (test) workers
+  /// instead unwind their stack and return 9.
+  bool process_mode = false;
+};
+
+struct WorkerStats {
+  std::uint64_t jobs_run = 0;
+  std::uint64_t checkpoints_sent = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t frames_sent = 0;  ///< data frames, heartbeats excluded
+};
+
+/// Runs the worker loop: connect (with bounded backoff), handshake, then
+/// pull Assign frames, execute attempts via run_flow_attempt, stream
+/// Checkpoint frames at stage boundaries and one Result frame per attempt.
+/// A heartbeat thread beacons liveness the whole time.
+///
+/// Returns 0 on a clean Shutdown frame (or `stop` raised), 1 when the
+/// reconnect budget ran out, 9 when kill_worker_at_stage fired in-process.
+/// `stop` may be null.
+int run_worker(const WorkerOptions& opt, const std::atomic<bool>* stop,
+               WorkerStats* stats = nullptr);
+
+}  // namespace repro

@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "audit/auditor.h"
@@ -24,12 +25,28 @@ void bump_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
 
 }  // namespace
 
+double retry_backoff_with_jitter(double base, int retry_index,
+                                 std::uint64_t seed) {
+  if (base <= 0 || retry_index < 1) return 0;
+  // splitmix64 of (seed, retry_index): cheap, portable, and well-mixed even
+  // for adjacent seeds/indices.
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(retry_index);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  // Uniform in [0.5, 1.0): halving the floor keeps the expected doubling
+  // cadence while decorrelating jobs that fail at the same instant.
+  const double f = 0.5 + 0.5 * (static_cast<double>(z >> 11) * 0x1.0p-53);
+  return base * std::ldexp(1.0, retry_index - 1) * f;
+}
+
 Scheduler::Scheduler(const SchedulerOptions& opt) : opt_(opt) {}
 
-RunOutcome Scheduler::run_one(const std::function<void(int attempt)>& fn) {
+RunOutcome Scheduler::run_one(const std::function<void(int attempt)>& fn,
+                              std::uint64_t backoff_seed) {
   RunOutcome out;
   const auto run_start = std::chrono::steady_clock::now();
-  double backoff = opt_.retry_backoff_seconds;
   for (int attempt = 1;; ++attempt) {
     out.attempts = attempt;
     try {
@@ -65,9 +82,10 @@ RunOutcome Scheduler::run_one(const std::function<void(int attempt)>& fn) {
         break;
       }
       stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      const double backoff = retry_backoff_with_jitter(
+          opt_.retry_backoff_seconds, attempt, backoff_seed);
       if (backoff > 0)
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      backoff *= 2;
     } catch (...) {
       out.error = "non-standard exception";
       out.state = JobState::kFailed;
@@ -81,6 +99,14 @@ RunOutcome Scheduler::run_one(const std::function<void(int attempt)>& fn) {
 
 std::vector<RunOutcome> Scheduler::run_all(
     const std::vector<std::function<void(int attempt)>>& jobs) {
+  std::vector<std::uint64_t> seeds(jobs.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+  return run_all(jobs, seeds);
+}
+
+std::vector<RunOutcome> Scheduler::run_all(
+    const std::vector<std::function<void(int attempt)>>& jobs,
+    const std::vector<std::uint64_t>& backoff_seeds) {
   const unsigned threads =
       opt_.threads > 0 ? static_cast<unsigned>(opt_.threads)
                        : ThreadPool::hardware_threads();
@@ -89,13 +115,15 @@ std::vector<RunOutcome> Scheduler::run_all(
   const auto submit_time = std::chrono::steady_clock::now();
   std::vector<std::future<RunOutcome>> futures;
   futures.reserve(jobs.size());
-  for (const auto& fn : jobs) {
-    futures.push_back(pool.submit([this, &fn, submit_time] {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& fn = jobs[i];
+    const std::uint64_t seed = i < backoff_seeds.size() ? backoff_seeds[i] : i;
+    futures.push_back(pool.submit([this, &fn, seed, submit_time] {
       const double queued = seconds_since(submit_time);
       const auto us = static_cast<std::uint64_t>(queued * 1e6);
       stats_.queue_latency_us_total.fetch_add(us, std::memory_order_relaxed);
       bump_max(stats_.queue_latency_us_max, us);
-      RunOutcome out = run_one(fn);
+      RunOutcome out = run_one(fn, seed);
       out.queue_seconds = queued;
       return out;
     }));

@@ -36,6 +36,15 @@ struct SchedulerStats {
   std::atomic<std::uint64_t> queue_latency_us_max{0};
 };
 
+/// Deterministic backoff-with-jitter for the k-th retry (k >= 1) of a job:
+///   base * 2^(k-1) * f,   f in [0.5, 1.0) derived from (seed, k)
+/// via a splitmix64 mix. Jobs seeded differently (the service uses the
+/// FNV-1a hash of the job id) retry at staggered times instead of
+/// stampeding, and the sequence for a given (base, seed) is pinned — tests
+/// and replayed chaos schedules observe the exact same delays every run.
+double retry_backoff_with_jitter(double base, int retry_index,
+                                 std::uint64_t seed);
+
 /// Outcome of one scheduled job (the generic part; the flow service layers
 /// job-specific payloads on top).
 struct RunOutcome {
@@ -71,8 +80,13 @@ class Scheduler {
   /// `fn(attempt)` runs one attempt (attempt starts at 1); it returns on
   /// success and throws to report failure/cancellation. Outcomes are
   /// returned in input order regardless of completion order.
+  /// `backoff_seeds` (parallel to `jobs`; job index when omitted) seed the
+  /// deterministic retry jitter — see retry_backoff_with_jitter.
   std::vector<RunOutcome> run_all(
       const std::vector<std::function<void(int attempt)>>& jobs);
+  std::vector<RunOutcome> run_all(
+      const std::vector<std::function<void(int attempt)>>& jobs,
+      const std::vector<std::uint64_t>& backoff_seeds);
 
   const SchedulerStats& stats() const { return stats_; }
 
@@ -83,7 +97,8 @@ class Scheduler {
   void request_shutdown() { kill_.store(true, std::memory_order_relaxed); }
 
  private:
-  RunOutcome run_one(const std::function<void(int attempt)>& fn);
+  RunOutcome run_one(const std::function<void(int attempt)>& fn,
+                     std::uint64_t backoff_seed);
 
   SchedulerOptions opt_;
   SchedulerStats stats_;

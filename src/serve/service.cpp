@@ -12,6 +12,7 @@
 #include "gen/circuit_gen.h"
 #include "replicate/engine.h"
 #include "serve/jsonl.h"
+#include "serve/wire.h"
 #include "util/cancel.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -55,8 +56,9 @@ bool stage_name_valid(const std::string& s) {
   return s.empty() || s == "place" || s == "replicate" || s == "route";
 }
 
-/// "" = valid, else the reason the spec is rejected before scheduling.
-std::string validate_spec(const JobSpec& spec) {
+}  // namespace
+
+std::string validate_job_spec(const JobSpec& spec) {
   if (!filename_safe(spec.id))
     return "id must be a non-empty filename-safe string ([A-Za-z0-9._-])";
   if (!find_circuit(spec.circuit)) return "unknown circuit '" + spec.circuit + "'";
@@ -73,6 +75,24 @@ std::string validate_spec(const JobSpec& spec) {
   if (!stage_name_valid(spec.inject_hang_stage)) return "bad inject_hang stage";
   return "";
 }
+
+std::vector<std::string> validate_batch(const std::vector<JobSpec>& specs) {
+  std::vector<std::string> errors(specs.size());
+  std::vector<const std::string*> seen_ids;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    errors[i] = validate_job_spec(specs[i]);
+    if (!errors[i].empty()) continue;
+    for (const std::string* id : seen_ids)
+      if (*id == specs[i].id) {
+        errors[i] = "duplicate job id '" + specs[i].id + "'";
+        break;
+      }
+    if (errors[i].empty()) seen_ids.push_back(&specs[i].id);
+  }
+  return errors;
+}
+
+namespace {
 
 void maybe_inject(const JobSpec& spec, const char* stage,
                   const CancelToken& token) {
@@ -152,50 +172,41 @@ void FlowService::write_checkpoint(const FlowSnapshot& snap) {
     scheduler_->request_shutdown();
 }
 
-void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
-                                  JobResult& out) {
-  FlowConfig cfg = opt_.base;
+void run_flow_attempt(const ServiceOptions& opt, const FlowAttemptRequest& req,
+                      JobResult& out) {
+  const JobSpec& spec = *req.spec;
+  const int attempt = req.attempt;
+  FlowConfig cfg = opt.base;
   cfg.scale = spec.scale;
   cfg.seed = spec.seed;
   if (!spec.placer.empty())  // validated at submit; "" inherits the default
     parse_placer_backend(spec.placer, &cfg.placer);
   cfg.num_threads =
-      spec.engine_threads > 0 ? spec.engine_threads : opt_.engine_threads;
+      spec.engine_threads > 0 ? spec.engine_threads : opt.engine_threads;
 
   const double timeout = spec.timeout_seconds > 0 ? spec.timeout_seconds
-                                                  : opt_.job_timeout_seconds;
+                                                  : opt.job_timeout_seconds;
   auto make_token = [&](CancelToken& token) {
-    token.set_kill_flag(scheduler_->kill_flag());
+    token.set_kill_flag(req.kill_flag);
     if (timeout > 0) token.set_deadline_after(timeout);
   };
 
-  // Fresh state or resumed checkpoint. On a retry after a failure the
-  // attempt starts again from the last stage-boundary checkpoint.
+  // Fresh state or resumed checkpoint (a file the service read back, or a
+  // snapshot the coordinator streamed with the assignment).
   FlowSnapshot snap;
-  const std::string ckpt = opt_.checkpoint_dir.empty()
-                               ? std::string()
-                               : checkpoint_path(spec.id);
-  const bool try_resume =
-      (opt_.resume || attempt > 1) && !ckpt.empty() &&
-      std::filesystem::exists(std::filesystem::path(ckpt));
   bool resumed = false;
-  if (try_resume) {
-    try {
-      FlowSnapshot loaded = read_snapshot_file(ckpt);
-      // The checkpoint must describe the same work; a stale file from a
-      // previous batch with different parameters restarts from scratch.
-      if (loaded.circuit == spec.circuit && loaded.variant == spec.variant &&
-          loaded.cfg.placer == cfg.placer &&
-          loaded.cfg.seed == spec.seed && loaded.cfg.scale == spec.scale &&
-          loaded.stage >= FlowStage::kPlaced) {
-        snap = std::move(loaded);
-        snap.cfg.num_threads = cfg.num_threads;  // thread count never
-                                                 // changes results
-        resumed = true;
-      }
-    } catch (const SnapshotError& e) {
-      LOG_WARN() << "job " << spec.id << ": ignoring unreadable checkpoint: "
-                 << e.what();
+  if (req.resume) {
+    // The checkpoint must describe the same work; a stale snapshot from a
+    // previous batch with different parameters restarts from scratch.
+    FlowSnapshot& loaded = *req.resume;
+    if (loaded.circuit == spec.circuit && loaded.variant == spec.variant &&
+        loaded.cfg.placer == cfg.placer &&
+        loaded.cfg.seed == spec.seed && loaded.cfg.scale == spec.scale &&
+        loaded.stage >= FlowStage::kPlaced) {
+      snap = std::move(loaded);
+      snap.cfg.num_threads = cfg.num_threads;  // thread count never
+                                               // changes results
+      resumed = true;
     }
   }
   if (!resumed) {
@@ -206,10 +217,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     snap.cfg = cfg;
     snap.rng_state = Rng(spec.seed).state();
   }
-  if (resumed && attempt == 1) {
-    out.resumed = true;
-    jobs_resumed_.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (resumed && attempt == 1) out.resumed = true;
 
   // The job-level RNG stream position is part of the snapshot: stages that
   // draw from it (the annealer seed today) advance it, so a resumed run
@@ -219,8 +227,14 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
 
   // ---- invariant auditing (src/audit) -------------------------------------
   // cfg.audit is process-local (never serialized), so a resumed snapshot is
-  // audited at the CURRENT service's level, not the writer's.
+  // audited at the CURRENT service's level, not the writer's. The cumulative
+  // check counter follows the same rule: restore it only when auditing is on
+  // (it stands in for the skipped stages' audits, keeping the result line's
+  // `audit_checks` byte-identical to an uninterrupted run), zero it when the
+  // current service audits nothing.
   snap.cfg.audit = cfg.audit;
+  if (cfg.audit == AuditLevel::kOff) snap.audit_checks = 0;
+  out.audit_checks += snap.audit_checks;
   // Pre-replication golden for the functional-equivalence check. Captured by
   // copy before the engine mutates the netlist; on resume it is regenerated
   // from the spec (generation is deterministic in (circuit, scale, seed)).
@@ -237,7 +251,8 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
         e.report().count_at_least(AuditSeverity::kError));
     out.audit_jsonl = e.report().to_jsonl_lines();
   };
-  auto audit_after = [&](const std::string& stage, const Netlist* gold) {
+  auto audit_after = [&](const std::string& stage, const Netlist* gold,
+                         bool count = true) {
     if (cfg.audit == AuditLevel::kOff) return;
     AuditOptions aud;
     aud.level = cfg.audit;
@@ -245,7 +260,14 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     Auditor auditor(aud);
     AuditReport rep = auditor.audit_stage(stage, *snap.nl, snap.pl.get(),
                                           &cfg.delay, gold, nullptr);
-    out.audit_checks += rep.checks_run;
+    // The defensive re-audit of a restored snapshot (count=false) still
+    // throws on violations but stays out of the deterministic counters: an
+    // uninterrupted run never performs it, and the restored snap.audit_checks
+    // already accounts for the completed stages.
+    if (count) {
+      out.audit_checks += rep.checks_run;
+      snap.audit_checks += rep.checks_run;
+    }
     if (!rep.clean()) {
       AuditError err(stage, std::move(rep));
       record_audit_failure(err);
@@ -264,7 +286,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
       ensure_golden();
       gold = golden.get();
     }
-    audit_after("resume", gold);
+    audit_after("resume", gold, /*count=*/false);
   }
 
   // ---- stage: place (generate + anneal) -----------------------------------
@@ -304,7 +326,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     out.place_peak_rss_bytes = peak_rss_bytes();
     snap.stage = FlowStage::kPlaced;
     audit_after("place", nullptr);
-    write_checkpoint(snap);
+    if (req.on_checkpoint) req.on_checkpoint(snap);
   }
   out.place_seconds = snap.place_seconds;
   out.completed_stage = snap.stage;
@@ -338,7 +360,7 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     out.replicate_peak_rss_bytes = peak_rss_bytes();
     snap.stage = FlowStage::kReplicated;
     audit_after("replicate", golden.get());
-    write_checkpoint(snap);
+    if (req.on_checkpoint) req.on_checkpoint(snap);
   }
   out.replicate_seconds = snap.replicate_seconds;
   out.engine = snap.engine;
@@ -369,13 +391,45 @@ void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
     snap.rng_state = rng.state();
     out.route_peak_rss_bytes = peak_rss_bytes();
     snap.stage = FlowStage::kRouted;
-    write_checkpoint(snap);
+    if (req.on_checkpoint) req.on_checkpoint(snap);
   }
   out.arena_bytes = arena_counters().total_bytes();
   out.has_metrics = snap.has_metrics;
   out.metrics = snap.metrics;
   out.route_seconds = snap.has_metrics ? snap.metrics.route_seconds : 0;
   out.completed_stage = snap.stage;
+}
+
+void FlowService::run_job_attempt(const JobSpec& spec, int attempt,
+                                  JobResult& out) {
+  // On a retry after a failure (attempt > 1) the attempt starts again from
+  // the last stage-boundary checkpoint on disk.
+  FlowSnapshot loaded;
+  bool have_loaded = false;
+  const std::string ckpt = opt_.checkpoint_dir.empty()
+                               ? std::string()
+                               : checkpoint_path(spec.id);
+  const bool try_resume =
+      (opt_.resume || attempt > 1) && !ckpt.empty() &&
+      std::filesystem::exists(std::filesystem::path(ckpt));
+  if (try_resume) {
+    try {
+      loaded = read_snapshot_file(ckpt);
+      have_loaded = true;
+    } catch (const SnapshotError& e) {
+      LOG_WARN() << "job " << spec.id << ": ignoring unreadable checkpoint: "
+                 << e.what();
+    }
+  }
+  FlowAttemptRequest req;
+  req.spec = &spec;
+  req.attempt = attempt;
+  req.resume = have_loaded ? &loaded : nullptr;
+  req.on_checkpoint = [this](const FlowSnapshot& s) { write_checkpoint(s); };
+  req.kill_flag = scheduler_->kill_flag();
+  run_flow_attempt(opt_, req, out);
+  if (out.resumed && attempt == 1)
+    jobs_resumed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<JobResult> FlowService::run_batch(
@@ -405,35 +459,31 @@ std::vector<JobResult> FlowService::run_batch(
 
   std::vector<JobResult> results(specs.size());
   std::vector<std::function<void(int attempt)>> fns;
+  std::vector<std::uint64_t> backoff_seeds;
   std::vector<std::size_t> scheduled;  // fns[k] runs specs[scheduled[k]]
-  std::vector<std::string> seen_ids;
+  const std::vector<std::string> errors = validate_batch(specs);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     results[i].spec = specs[i];
-    std::string err = validate_spec(specs[i]);
-    if (err.empty()) {
-      for (const std::string& id : seen_ids)
-        if (id == specs[i].id) {
-          err = "duplicate job id '" + specs[i].id + "'";
-          break;
-        }
-    }
-    if (!err.empty()) {
+    if (!errors[i].empty()) {
       results[i].state = JobState::kFailed;
       results[i].error_code = kJobInvalidSpec;
-      results[i].error = err;
+      results[i].error = errors[i];
       jobs_invalid_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    seen_ids.push_back(specs[i].id);
     JobResult* slot = &results[i];
     const JobSpec* spec = &specs[i];
     scheduled.push_back(i);
+    // Retry backoff jitter is seeded from the job id so simultaneous
+    // retries of different jobs spread out deterministically.
+    backoff_seeds.push_back(fnv1a64(specs[i].id));
     fns.push_back([this, spec, slot](int attempt) {
       run_job_attempt(*spec, attempt, *slot);
     });
   }
 
-  const std::vector<RunOutcome> outcomes = scheduler_->run_all(fns);
+  const std::vector<RunOutcome> outcomes =
+      scheduler_->run_all(fns, backoff_seeds);
   for (std::size_t k = 0; k < outcomes.size(); ++k) {
     JobResult& r = results[scheduled[k]];
     const RunOutcome& o = outcomes[k];

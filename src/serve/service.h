@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -63,6 +64,41 @@ struct ServiceStats {
 
   std::string summary() const;  ///< one human-readable line
 };
+
+/// "" = valid, else the reason a spec is rejected before scheduling.
+std::string validate_job_spec(const JobSpec& spec);
+
+/// Batch-level validation: per-spec errors plus duplicate-id detection, in
+/// input order ("" = valid). Shared by the in-process service and the dist
+/// coordinator so both reject the same specs with the same messages — a
+/// prerequisite for byte-identical result logs.
+std::vector<std::string> validate_batch(const std::vector<JobSpec>& specs);
+
+/// One single-attempt execution request for run_flow_attempt. The attempt
+/// runner is deliberately free-standing: FlowService drives it with on-disk
+/// checkpoints, a dist worker drives it with a streamed-resume snapshot and
+/// a frame-sending checkpoint sink. Same code, same bits.
+struct FlowAttemptRequest {
+  const JobSpec* spec = nullptr;
+  int attempt = 1;
+  /// Snapshot to resume from (consumed via move when it matches the spec);
+  /// nullptr = fresh run. A mismatched or under-placed snapshot is ignored
+  /// and the job restarts from scratch, exactly like the file-based path.
+  FlowSnapshot* resume = nullptr;
+  /// Called after every completed stage boundary with the serializable job
+  /// state. May be empty. Exceptions from the sink propagate (a worker uses
+  /// this for deterministic kill-at-stage fault injection).
+  std::function<void(const FlowSnapshot&)> on_checkpoint;
+  /// Cooperative shutdown flag wired into every stage's CancelToken.
+  const std::atomic<bool>* kill_flag = nullptr;
+};
+
+/// Runs one job attempt end to end (place -> replicate -> route), filling
+/// `out` and throwing to report failure/cancellation exactly like the
+/// pre-extraction FlowService internals: FlowCancelled on deadline/kill,
+/// AuditError on invariant violations, std::runtime_error otherwise.
+void run_flow_attempt(const ServiceOptions& opt, const FlowAttemptRequest& req,
+                      JobResult& out);
 
 /// Batch server for place -> replicate -> route jobs.
 ///

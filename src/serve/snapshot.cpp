@@ -265,7 +265,9 @@ FlowConfig load_config(ByteReader& r) {
   return cfg;
 }
 
-void save_metrics(const CircuitMetrics& m, ByteWriter& w) {
+}  // namespace
+
+void wire_save_metrics(const CircuitMetrics& m, ByteWriter& w) {
   w.str(m.circuit);
   w.f64(m.crit_winf);
   w.f64(m.crit_wls);
@@ -282,7 +284,7 @@ void save_metrics(const CircuitMetrics& m, ByteWriter& w) {
   w.u64(m.embed_region_truncations);
 }
 
-CircuitMetrics load_metrics(ByteReader& r) {
+CircuitMetrics wire_load_metrics(ByteReader& r) {
   CircuitMetrics m;
   m.circuit = r.str();
   m.crit_winf = r.f64_finite("metrics.crit_winf");
@@ -301,7 +303,7 @@ CircuitMetrics load_metrics(ByteReader& r) {
   return m;
 }
 
-void save_engine(const EngineSummary& e, ByteWriter& w) {
+void wire_save_engine(const EngineSummary& e, ByteWriter& w) {
   w.boolean(e.ran);
   w.f64(e.initial_critical);
   w.f64(e.final_critical);
@@ -318,7 +320,7 @@ void save_engine(const EngineSummary& e, ByteWriter& w) {
   w.u64(e.region_truncations);
 }
 
-EngineSummary load_engine(ByteReader& r) {
+EngineSummary wire_load_engine(ByteReader& r) {
   EngineSummary e;
   e.ran = r.boolean();
   e.initial_critical = r.f64_finite("engine.initial_critical");
@@ -336,8 +338,6 @@ EngineSummary load_engine(ByteReader& r) {
   e.region_truncations = r.u64();
   return e;
 }
-
-}  // namespace
 
 const char* flow_stage_name(FlowStage s) {
   switch (s) {
@@ -368,9 +368,10 @@ std::string serialize_snapshot(const FlowSnapshot& s) {
   }
   w.f64(s.place_seconds);
   w.f64(s.replicate_seconds);
-  save_engine(s.engine, w);
+  wire_save_engine(s.engine, w);
   w.boolean(s.has_metrics);
-  if (s.has_metrics) save_metrics(s.metrics, w);
+  if (s.has_metrics) wire_save_metrics(s.metrics, w);
+  w.i32(s.audit_checks);
 
   return wire_envelope(kMagic, kSnapshotVersion, w.take());
 }
@@ -411,9 +412,12 @@ FlowSnapshot parse_snapshot(std::string_view bytes) try {
   }
   s.place_seconds = r.f64_finite("place_seconds");
   s.replicate_seconds = r.f64_finite("replicate_seconds");
-  s.engine = load_engine(r);
+  s.engine = wire_load_engine(r);
   s.has_metrics = r.boolean();
-  if (s.has_metrics) s.metrics = load_metrics(r);
+  if (s.has_metrics) s.metrics = wire_load_metrics(r);
+  // Appended after the format shipped; absent in older snapshots, which
+  // predate the counter and resume with it at zero.
+  s.audit_checks = r.exhausted() ? 0 : r.i32();
   if (!r.exhausted()) throw SnapshotError("snapshot: trailing bytes");
   return s;
 } catch (const WireError& e) {

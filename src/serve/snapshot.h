@@ -86,6 +86,13 @@ struct FlowSnapshot {
   EngineSummary engine;
   bool has_metrics = false;
   CircuitMetrics metrics;
+
+  /// Cumulative invariant-audit checks run by the completed stages. Restored
+  /// on resume so the result line's deterministic `audit_checks` counter is
+  /// byte-identical to an uninterrupted run even when stages are skipped
+  /// (the defensive re-audit of a restored snapshot is deliberately NOT
+  /// counted — its cost depends on where the interruption happened).
+  std::int32_t audit_checks = 0;
 };
 
 /// Thrown on malformed, truncated, corrupted (checksum mismatch) or
@@ -99,6 +106,17 @@ inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serializes header + payload into a byte buffer.
 std::string serialize_snapshot(const FlowSnapshot& s);
+
+// Wire-level blocks shared with the dist protocol (src/dist/protocol.cpp):
+// the engine summary and metrics a worker streams back inside a Result
+// message use the exact snapshot encoding, so the two formats cannot drift.
+// The load functions throw WireError on truncation/non-finite values.
+class ByteWriter;
+class ByteReader;
+void wire_save_engine(const EngineSummary& e, ByteWriter& w);
+EngineSummary wire_load_engine(ByteReader& r);
+void wire_save_metrics(const CircuitMetrics& m, ByteWriter& w);
+CircuitMetrics wire_load_metrics(ByteReader& r);
 
 /// Parses a buffer produced by serialize_snapshot. Throws SnapshotError.
 FlowSnapshot parse_snapshot(std::string_view bytes);

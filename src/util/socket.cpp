@@ -1,0 +1,212 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace repro {
+namespace {
+
+std::string errno_str(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+UniqueFd make_socket(SocketAddr::Kind kind) {
+  const int domain = kind == SocketAddr::Kind::kUnix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw SocketError(errno_str("socket"));
+  return UniqueFd(fd);
+}
+
+/// Fills a sockaddr for the endpoint; returns its size. Throws on an
+/// over-long unix path (sun_path is ~108 bytes).
+socklen_t fill_sockaddr(const SocketAddr& addr, sockaddr_storage* ss) {
+  std::memset(ss, 0, sizeof *ss);
+  if (addr.kind == SocketAddr::Kind::kUnix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(ss);
+    sun->sun_family = AF_UNIX;
+    if (addr.path.empty() || addr.path.size() >= sizeof sun->sun_path)
+      throw SocketError("unix socket path empty or too long: " + addr.path);
+    std::memcpy(sun->sun_path, addr.path.c_str(), addr.path.size() + 1);
+    return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  addr.path.size() + 1);
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(ss);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(static_cast<std::uint16_t>(addr.port));
+  sin->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return sizeof(sockaddr_in);
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::string SocketAddr::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + std::to_string(port);
+}
+
+bool SocketAddr::parse(const std::string& text, SocketAddr* out,
+                       std::string* err) {
+  if (text.rfind("unix:", 0) == 0) {
+    out->kind = Kind::kUnix;
+    out->path = text.substr(5);
+    if (out->path.empty()) {
+      if (err) *err = "empty unix socket path";
+      return false;
+    }
+    return true;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string p = text.substr(4);
+    char* end = nullptr;
+    const long port = std::strtol(p.c_str(), &end, 10);
+    if (p.empty() || *end != '\0' || port < 0 || port > 65535) {
+      if (err) *err = "bad tcp port '" + p + "'";
+      return false;
+    }
+    out->kind = Kind::kTcp;
+    out->port = static_cast<int>(port);
+    return true;
+  }
+  if (err) *err = "address must be unix:<path> or tcp:<port>";
+  return false;
+}
+
+UniqueFd listen_socket(const SocketAddr& addr, SocketAddr* bound) {
+  UniqueFd fd = make_socket(addr.kind);
+  if (addr.kind == SocketAddr::Kind::kUnix) {
+    ::unlink(addr.path.c_str());  // stale socket from a dead coordinator
+  } else {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  }
+  sockaddr_storage ss;
+  const socklen_t len = fill_sockaddr(addr, &ss);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&ss), len) != 0)
+    throw SocketError(errno_str(("bind " + addr.to_string()).c_str()));
+  if (::listen(fd.get(), 64) != 0)
+    throw SocketError(errno_str("listen"));
+  if (bound) {
+    *bound = addr;
+    if (addr.kind == SocketAddr::Kind::kTcp && addr.port == 0) {
+      sockaddr_in sin;
+      socklen_t slen = sizeof sin;
+      if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&sin), &slen) !=
+          0)
+        throw SocketError(errno_str("getsockname"));
+      bound->port = ntohs(sin.sin_port);
+    }
+  }
+  return fd;
+}
+
+UniqueFd accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+      return UniqueFd();
+    throw SocketError(errno_str("accept"));
+  }
+}
+
+UniqueFd connect_socket(const SocketAddr& addr, std::string* err) {
+  try {
+    UniqueFd fd = make_socket(addr.kind);
+    sockaddr_storage ss;
+    const socklen_t len = fill_sockaddr(addr, &ss);
+    for (;;) {
+      if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&ss), len) == 0) {
+        if (addr.kind == SocketAddr::Kind::kTcp) {
+          const int one = 1;
+          ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        }
+        return fd;
+      }
+      if (errno == EINTR) continue;
+      if (err) *err = errno_str(("connect " + addr.to_string()).c_str());
+      return UniqueFd();
+    }
+  } catch (const SocketError& e) {
+    if (err) *err = e.what();
+    return UniqueFd();
+  }
+}
+
+void cleanup_socket(const SocketAddr& addr) {
+  if (addr.kind == SocketAddr::Kind::kUnix && !addr.path.empty())
+    ::unlink(addr.path.c_str());
+}
+
+bool send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    // Blocking sockets: EAGAIN should not happen; treat everything else
+    // (EPIPE, ECONNRESET, ...) as the peer being gone.
+    return false;
+  }
+  return true;
+}
+
+long recv_bytes(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, n, 0);
+    if (r >= 0) return static_cast<long>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags) ::fcntl(fd, F_SETFL, want);
+}
+
+int poll_wait(std::vector<PollFd>& fds, int timeout_ms) {
+  std::vector<pollfd> pfds(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    pfds[i].fd = fds[i].fd;
+    pfds[i].events = static_cast<short>((fds[i].want_read ? POLLIN : 0) |
+                                        (fds[i].want_write ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+  int n;
+  for (;;) {
+    n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n >= 0) break;
+    if (errno != EINTR) throw SocketError(errno_str("poll"));
+    // EINTR: retry with the same timeout; callers recompute deadlines in
+    // their loop anyway, so a slightly longer wait is fine.
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    fds[i].readable = (pfds[i].revents & POLLIN) != 0;
+    fds[i].writable = (pfds[i].revents & POLLOUT) != 0;
+    fds[i].closed = (pfds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+  }
+  return n;
+}
+
+}  // namespace repro

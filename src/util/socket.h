@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Thrown on unrecoverable socket setup failures (bind/listen on a bad
+/// address). Per-connection I/O errors are reported by return value instead:
+/// a peer dying mid-conversation is an expected event the dist layer handles,
+/// not an exception.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Local transport endpoint: a Unix-domain socket path or a TCP port on
+/// 127.0.0.1. Text form "unix:<path>" or "tcp:<port>" ("tcp:0" binds an
+/// ephemeral port reported back by listen_socket).
+struct SocketAddr {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: filesystem path (<= ~100 bytes)
+  int port = 0;      ///< kTcp: port on 127.0.0.1
+
+  std::string to_string() const;
+  /// Parses "unix:<path>" / "tcp:<port>". Returns false with *err set on a
+  /// malformed string.
+  static bool parse(const std::string& text, SocketAddr* out,
+                    std::string* err);
+};
+
+/// Binds + listens. For kUnix a stale socket file at the path is unlinked
+/// first; for "tcp:0" the kernel-chosen port is written back to *bound.
+/// Sockets are CLOEXEC so spawned workers do not inherit them.
+/// Throws SocketError.
+UniqueFd listen_socket(const SocketAddr& addr, SocketAddr* bound = nullptr);
+
+/// Accepts one pending connection (CLOEXEC). Returns an invalid fd if the
+/// accept would block or was interrupted; throws SocketError only on a dead
+/// listening socket.
+UniqueFd accept_connection(int listen_fd);
+
+/// Connects to a local endpoint. Returns an invalid fd with *err set on
+/// failure (connection refused is an expected, retryable event).
+UniqueFd connect_socket(const SocketAddr& addr, std::string* err);
+
+/// Unlinks a kUnix socket file (no-op for kTcp / missing file).
+void cleanup_socket(const SocketAddr& addr);
+
+/// Writes all n bytes, retrying short writes and EINTR, never raising
+/// SIGPIPE (MSG_NOSIGNAL). Returns false on EPIPE/reset/any error.
+bool send_all(int fd, const void* data, std::size_t n);
+
+/// Reads up to n bytes. Returns >0 bytes read, 0 on clean EOF, -1 on
+/// would-block (EAGAIN on a nonblocking fd), -2 on a hard error.
+long recv_bytes(int fd, void* buf, std::size_t n);
+
+void set_nonblocking(int fd, bool nonblocking);
+
+/// One pollable fd for poll_wait. Results are written back by poll_wait.
+struct PollFd {
+  int fd = -1;
+  bool want_read = true;
+  bool want_write = false;
+  // outputs
+  bool readable = false;
+  bool writable = false;
+  bool closed = false;  ///< HUP/ERR/NVAL: the peer is gone
+};
+
+/// EINTR-safe poll(2) wrapper. timeout_ms < 0 blocks indefinitely.
+/// Returns the number of fds with any event set.
+int poll_wait(std::vector<PollFd>& fds, int timeout_ms);
+
+}  // namespace repro

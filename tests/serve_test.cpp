@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.h"
 #include "gen/circuit_gen.h"
 #include "place/annealer.h"
 #include "serve/jsonl.h"
@@ -410,6 +412,42 @@ TEST(Scheduler, KillFlagClassifiesAsCheckpointed) {
   EXPECT_EQ(outcomes[0].state, JobState::kCheckpointed);
 }
 
+// Retry backoff jitter is a pure function of (base, retry index, job seed):
+// the exact sequence is pinned so a refactor cannot silently change retry
+// timing, and the jittered value always stays inside the exponential
+// envelope [base * 2^(k-1) / 2, base * 2^(k-1)).
+TEST(Scheduler, RetryBackoffJitterSequenceIsPinned) {
+  EXPECT_DOUBLE_EQ(retry_backoff_with_jitter(1.0, 1, 42),
+                   0.8707824393859116);
+  EXPECT_DOUBLE_EQ(retry_backoff_with_jitter(1.0, 2, 42),
+                   1.1599103928769201);
+  EXPECT_DOUBLE_EQ(retry_backoff_with_jitter(1.0, 3, 42),
+                   2.5572022605102775);
+  EXPECT_DOUBLE_EQ(retry_backoff_with_jitter(1.0, 4, 42),
+                   5.3767628660945501);
+  EXPECT_DOUBLE_EQ(retry_backoff_with_jitter(0.5, 1, 7),
+                   0.34745743709781785);
+
+  // Degenerate inputs are a zero sleep, never a negative or NaN one.
+  EXPECT_EQ(retry_backoff_with_jitter(0, 1, 42), 0);
+  EXPECT_EQ(retry_backoff_with_jitter(-1, 1, 42), 0);
+  EXPECT_EQ(retry_backoff_with_jitter(1.0, 0, 42), 0);
+
+  // Envelope + determinism: same seed repeats exactly, and different job
+  // seeds decorrelate (no thundering herd on shared infrastructure).
+  for (const std::uint64_t seed : {0ull, 7ull, 0xffffffffffffffffull}) {
+    for (int k = 1; k <= 8; ++k) {
+      const double lo = std::ldexp(1.0, k - 1);  // (base=2) * 2^(k-1) / 2
+      const double v = retry_backoff_with_jitter(2.0, k, seed);
+      EXPECT_EQ(v, retry_backoff_with_jitter(2.0, k, seed));
+      EXPECT_GE(v, lo * 0.999999);
+      EXPECT_LT(v, 2 * lo);
+    }
+  }
+  EXPECT_NE(retry_backoff_with_jitter(1.0, 1, 1),
+            retry_backoff_with_jitter(1.0, 1, 2));
+}
+
 // ---- service: determinism across checkpoint/resume and thread counts ------
 
 JobSpec small_job(const char* circuit, std::uint64_t seed, int engine_threads) {
@@ -479,6 +517,53 @@ TEST(FlowService, ResumeAfterAnnealReproducesStraightRunBitExactly) {
     };
     EXPECT_EQ(tail(line_per_threads[0]), tail(line_per_threads[1]))
         << circuit << " results differ across engine thread counts";
+  }
+}
+
+// Same byte-identity contract with the invariant auditor enabled: the result
+// line then carries `audit_checks`, which must count exactly what an
+// uninterrupted run counts. The snapshot persists the cumulative stage-audit
+// counter for the skipped stages, and the defensive re-audit of the restored
+// state must not inflate it (regression: resumed jobs under-reported
+// audit_checks because the counter was never checkpointed).
+TEST(FlowService, ResumeUnderParanoidAuditKeepsAuditChecksByteIdentical) {
+  const JobSpec spec = small_job("tseng", 11, 1);
+
+  ServiceOptions straight_opt;
+  straight_opt.threads = 1;
+  straight_opt.base.audit = AuditLevel::kParanoid;
+  FlowService straight(straight_opt);
+  const auto straight_res = straight.run_batch({spec});
+  ASSERT_EQ(straight_res[0].state, JobState::kDone);
+  ASSERT_GT(straight_res[0].audit_checks, 0);
+  const std::string want = format_result_line(straight_res[0], true);
+
+  // Interrupt after each of the two audited stage boundaries in turn.
+  for (const int checkpoints : {1, 2}) {
+    TempDir dir("resume_audit_" + std::to_string(checkpoints));
+    ServiceOptions crash_opt;
+    crash_opt.threads = 1;
+    crash_opt.base.audit = AuditLevel::kParanoid;
+    crash_opt.checkpoint_dir = dir.path;
+    crash_opt.stop_after_checkpoints = checkpoints;
+    FlowService crash(crash_opt);
+    ASSERT_EQ(crash.run_batch({spec})[0].state, JobState::kCheckpointed)
+        << checkpoints;
+
+    ServiceOptions resume_opt;
+    resume_opt.threads = 1;
+    resume_opt.base.audit = AuditLevel::kParanoid;
+    resume_opt.checkpoint_dir = dir.path;
+    resume_opt.resume = true;
+    FlowService resume(resume_opt);
+    const auto resumed = resume.run_batch({spec});
+    ASSERT_EQ(resumed[0].state, JobState::kDone) << checkpoints;
+    EXPECT_TRUE(resumed[0].resumed);
+    EXPECT_EQ(resumed[0].audit_checks, straight_res[0].audit_checks)
+        << "audit_checks diverged resuming after checkpoint " << checkpoints;
+    EXPECT_EQ(format_result_line(resumed[0], true), want)
+        << "resumed run diverged from straight run (checkpoint "
+        << checkpoints << ")";
   }
 }
 

@@ -36,10 +36,15 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "dist/coordinator.h"
+#include "dist/worker.h"
 #include "eco/session_manager.h"
 #include "serve/jsonl.h"
 #include "serve/service.h"
 #include "util/log.h"
+#include "util/socket.h"
 
 using namespace repro;
 
@@ -66,6 +71,18 @@ struct Args {
   int crash_after_deltas = 0;
   std::string audit;   // "" = leave to REPRO_AUDIT / config default
   std::string placer;  // "" = leave to REPRO_PLACER / config default
+
+  // Distributed mode (src/dist): coordinator side.
+  int workers = -1;     // >= 0 = coordinator mode, spawning N workers
+  std::string listen;   // "" = default unix socket under /tmp
+  std::vector<std::string> chaos;  // "SLOT:FAULTSPEC" per spawned worker
+  double heartbeat_timeout = 1.5;
+  double degrade_grace = 0.75;
+  int respawn_budget = 4;
+  // Worker side.
+  bool worker_mode = false;
+  std::string connect;
+  std::string fault;
 };
 
 int usage() {
@@ -95,6 +112,28 @@ int usage() {
                "  --eco-cold-audit     on close_session, replay the full delta\n"
                "                       journal against a cold rebuild and fail\n"
                "                       the close on any disagreement\n"
+               "  --workers N          distributed mode: spawn N worker\n"
+               "                       processes and run batch jobs through\n"
+               "                       the dist coordinator (0 = listen for\n"
+               "                       externally started workers only)\n"
+               "  --listen ADDR        coordinator endpoint, unix:<path> or\n"
+               "                       tcp:<port> (default: a unix socket\n"
+               "                       under /tmp; tcp:0 = ephemeral port)\n"
+               "  --chaos SLOT:SPEC    fault-injection plan for spawned worker\n"
+               "                       SLOT (repeatable; see --fault)\n"
+               "  --heartbeat-timeout S  declare a silent worker dead after S\n"
+               "                       seconds (default 1.5)\n"
+               "  --degrade-grace S    with zero workers, wait S seconds then\n"
+               "                       run jobs in-process (default 0.75)\n"
+               "  --respawn-budget N   replacement workers to spawn after\n"
+               "                       deaths (default 4)\n"
+               "  --worker             run as a worker process instead of a\n"
+               "                       server; requires --connect\n"
+               "  --connect ADDR       coordinator endpoint to join\n"
+               "  --fault SPEC         worker fault injection, comma-separated\n"
+               "                       hooks: drop_connection_after_frames=N,\n"
+               "                       corrupt_frame=N, hang_worker=STAGE[:k],\n"
+               "                       kill_worker_at_stage=STAGE[:k]\n"
                "  --quiet              no stats summary on stderr\n"
                "  --crash-after-checkpoints N\n"
                "                       CI hook: stop after N checkpoints and\n"
@@ -159,6 +198,32 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.quiet = true;
     } else if (!std::strcmp(arg, "--eco-cold-audit")) {
       a.eco_cold_audit = true;
+    } else if (!std::strcmp(arg, "--workers")) {
+      if (!(v = need(arg))) return false;
+      a.workers = std::atoi(v);
+    } else if (!std::strcmp(arg, "--listen")) {
+      if (!(v = need(arg))) return false;
+      a.listen = v;
+    } else if (!std::strcmp(arg, "--chaos")) {
+      if (!(v = need(arg))) return false;
+      a.chaos.push_back(v);
+    } else if (!std::strcmp(arg, "--heartbeat-timeout")) {
+      if (!(v = need(arg))) return false;
+      a.heartbeat_timeout = std::atof(v);
+    } else if (!std::strcmp(arg, "--degrade-grace")) {
+      if (!(v = need(arg))) return false;
+      a.degrade_grace = std::atof(v);
+    } else if (!std::strcmp(arg, "--respawn-budget")) {
+      if (!(v = need(arg))) return false;
+      a.respawn_budget = std::atoi(v);
+    } else if (!std::strcmp(arg, "--worker")) {
+      a.worker_mode = true;
+    } else if (!std::strcmp(arg, "--connect")) {
+      if (!(v = need(arg))) return false;
+      a.connect = v;
+    } else if (!std::strcmp(arg, "--fault")) {
+      if (!(v = need(arg))) return false;
+      a.fault = v;
     } else if (!std::strcmp(arg, "--crash-after-checkpoints")) {
       if (!(v = need(arg))) return false;
       a.crash_after_checkpoints = std::atoi(v);
@@ -182,6 +247,133 @@ struct InputLine {
   std::string raw;
 };
 
+/// Service options shared by every mode. Worker processes rebuild these
+/// from the same environment + forwarded flags as the coordinator, which is
+/// what keeps remote attempts bit-identical to local ones.
+int build_service_options(const Args& args, ServiceOptions& sopt) {
+  sopt = service_options_from_env();
+  sopt.base = config_from_env();
+  if (!args.audit.empty() && !parse_audit_level(args.audit, &sopt.base.audit)) {
+    std::fprintf(stderr, "flow_server: bad --audit level '%s'\n",
+                 args.audit.c_str());
+    return usage();
+  }
+  if (!args.placer.empty() &&
+      !parse_placer_backend(args.placer, &sopt.base.placer)) {
+    std::fprintf(stderr, "flow_server: bad --placer backend '%s'\n",
+                 args.placer.c_str());
+    return usage();
+  }
+  if (args.threads >= 0) sopt.threads = args.threads;
+  sopt.engine_threads = args.engine_threads;
+  if (args.job_timeout > 0) sopt.job_timeout_seconds = args.job_timeout;
+  if (args.max_retries > 0) sopt.max_retries = args.max_retries;
+  sopt.checkpoint_dir = args.checkpoint_dir;
+  sopt.resume = args.resume;
+  sopt.stop_after_checkpoints = args.crash_after_checkpoints;
+  return 0;
+}
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+int run_worker_mode(const Args& args) {
+  if (args.connect.empty()) {
+    std::fprintf(stderr, "flow_server: --worker requires --connect\n");
+    return usage();
+  }
+  WorkerOptions wopt;
+  if (const int rc = build_service_options(args, wopt.service)) return rc;
+  // A worker never touches disk: checkpoints stream to the coordinator.
+  wopt.service.checkpoint_dir.clear();
+  wopt.service.resume = false;
+  std::string err;
+  if (!SocketAddr::parse(args.connect, &wopt.connect, &err)) {
+    std::fprintf(stderr, "flow_server: bad --connect: %s\n", err.c_str());
+    return usage();
+  }
+  if (!args.fault.empty() &&
+      !parse_fault_plan(args.fault, &wopt.fault, &err)) {
+    std::fprintf(stderr, "flow_server: bad --fault: %s\n", err.c_str());
+    return usage();
+  }
+  wopt.process_mode = true;
+  return run_worker(wopt, &g_shutdown);
+}
+
+/// Builds the coordinator for --workers/--listen mode. Returns nullptr +
+/// nonzero *rc on a bad flag.
+std::unique_ptr<Coordinator> make_coordinator(const Args& args,
+                                              const ServiceOptions& sopt,
+                                              const char* argv0, int* rc) {
+  CoordinatorOptions copt;
+  copt.service = sopt;
+  const std::string listen_str =
+      args.listen.empty()
+          ? "unix:/tmp/flow_server." + std::to_string(::getpid()) + ".sock"
+          : args.listen;
+  std::string err;
+  if (!SocketAddr::parse(listen_str, &copt.listen, &err)) {
+    std::fprintf(stderr, "flow_server: bad --listen: %s\n", err.c_str());
+    *rc = usage();
+    return nullptr;
+  }
+  copt.spawn_workers = std::max(args.workers, 0);
+  copt.worker_exe = self_exe_path(argv0);
+  copt.heartbeat_timeout_s = args.heartbeat_timeout;
+  copt.degrade_grace_s = args.degrade_grace;
+  copt.respawn_budget = args.respawn_budget;
+  // Forward every flag that changes results so spawned workers compute the
+  // same bits (environment variables are inherited via exec).
+  if (!args.audit.empty()) {
+    copt.worker_args.push_back("--audit");
+    copt.worker_args.push_back(args.audit);
+  }
+  if (!args.placer.empty()) {
+    copt.worker_args.push_back("--placer");
+    copt.worker_args.push_back(args.placer);
+  }
+  copt.worker_args.push_back("--engine-threads");
+  copt.worker_args.push_back(std::to_string(args.engine_threads));
+  if (args.job_timeout > 0) {
+    copt.worker_args.push_back("--job-timeout");
+    copt.worker_args.push_back(std::to_string(args.job_timeout));
+  }
+  copt.worker_faults.resize(static_cast<std::size_t>(copt.spawn_workers));
+  for (const std::string& c : args.chaos) {
+    const std::size_t colon = c.find(':');
+    const int slot = colon == std::string::npos ? -1
+                                                : std::atoi(c.substr(0, colon).c_str());
+    if (colon == std::string::npos || slot < 0 ||
+        slot >= copt.spawn_workers) {
+      std::fprintf(stderr,
+                   "flow_server: bad --chaos '%s' (want SLOT:FAULTSPEC with "
+                   "SLOT < --workers)\n",
+                   c.c_str());
+      *rc = usage();
+      return nullptr;
+    }
+    FaultPlan check;
+    const std::string spec = c.substr(colon + 1);
+    if (!parse_fault_plan(spec, &check, &err)) {
+      std::fprintf(stderr, "flow_server: bad --chaos '%s': %s\n", c.c_str(),
+                   err.c_str());
+      *rc = usage();
+      return nullptr;
+    }
+    copt.worker_faults[static_cast<std::size_t>(slot)] = spec;
+  }
+  *rc = 0;
+  return std::make_unique<Coordinator>(copt);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +382,11 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // A consumer closing the result pipe (head, a dying coordinator) must be
+  // a clean shutdown with a diagnostic, not a silent SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (args.worker_mode) return run_worker_mode(args);
 
   try {
     // ---- read and classify the input ----------------------------------------
@@ -236,27 +433,8 @@ int main(int argc, char** argv) {
     }
 
     // ---- options -----------------------------------------------------------
-    ServiceOptions sopt = service_options_from_env();
-    sopt.base = config_from_env();
-    if (!args.audit.empty() &&
-        !parse_audit_level(args.audit, &sopt.base.audit)) {
-      std::fprintf(stderr, "flow_server: bad --audit level '%s'\n",
-                   args.audit.c_str());
-      return usage();
-    }
-    if (!args.placer.empty() &&
-        !parse_placer_backend(args.placer, &sopt.base.placer)) {
-      std::fprintf(stderr, "flow_server: bad --placer backend '%s'\n",
-                   args.placer.c_str());
-      return usage();
-    }
-    if (args.threads >= 0) sopt.threads = args.threads;
-    sopt.engine_threads = args.engine_threads;
-    if (args.job_timeout > 0) sopt.job_timeout_seconds = args.job_timeout;
-    if (args.max_retries > 0) sopt.max_retries = args.max_retries;
-    sopt.checkpoint_dir = args.checkpoint_dir;
-    sopt.resume = args.resume;
-    sopt.stop_after_checkpoints = args.crash_after_checkpoints;
+    ServiceOptions sopt;
+    if (const int rc = build_service_options(args, sopt)) return rc;
 
     SessionManagerOptions mopt;
     mopt.sessions_dir = args.sessions_dir;
@@ -269,6 +447,19 @@ int main(int argc, char** argv) {
     FlowService service(sopt);
     SessionManager sessions(mopt);
 
+    // Distributed mode: batch jobs go through the coordinator + worker
+    // processes instead of the in-process service (session ops stay local).
+    std::unique_ptr<Coordinator> coordinator;
+    if (args.workers >= 0 || !args.listen.empty()) {
+      int rc = 0;
+      coordinator = make_coordinator(args, sopt, argv[0], &rc);
+      if (!coordinator) return rc;
+      const SocketAddr bound = coordinator->start();
+      if (!args.quiet)
+        std::fprintf(stderr, "flow_server: coordinator on %s, %d worker(s)\n",
+                     bound.to_string().c_str(), std::max(args.workers, 0));
+    }
+
     // Signals must not call into the service (handlers can only touch the
     // atomic); a watcher thread relays the flag to the batch scheduler so
     // in-flight jobs unwind at their next cancellation point.
@@ -277,6 +468,7 @@ int main(int argc, char** argv) {
       while (!watcher_done.load(std::memory_order_relaxed)) {
         if (g_shutdown.load(std::memory_order_relaxed)) {
           service.request_shutdown();
+          if (coordinator) coordinator->request_shutdown();
           return;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -289,9 +481,14 @@ int main(int argc, char** argv) {
     bool crashed = false;
     std::string crash_msg;
 
+    auto batch_stats = [&] {
+      return coordinator ? coordinator->stats() : service.stats();
+    };
     auto flush_batch = [&] {
       if (pending.empty()) return;
-      const std::vector<JobResult> results = service.run_batch(pending);
+      const std::vector<JobResult> results =
+          coordinator ? coordinator->run_batch(pending)
+                      : service.run_batch(pending);
       pending.clear();
       for (const JobResult& r : results) {
         out_lines.push_back(format_result_line(r, args.stable));
@@ -301,11 +498,11 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "%s\n", r.audit_jsonl.c_str());
       }
       if (args.crash_after_checkpoints > 0 &&
-          service.stats().checkpoints_written >=
+          batch_stats().checkpoints_written >=
               static_cast<std::uint64_t>(args.crash_after_checkpoints)) {
         crashed = true;
         crash_msg = "simulated crash after " +
-                    std::to_string(service.stats().checkpoints_written) +
+                    std::to_string(batch_stats().checkpoints_written) +
                     " checkpoints";
       }
     };
@@ -343,6 +540,7 @@ int main(int argc, char** argv) {
     // Graceful shutdown and normal exit share this path: persist every open
     // session, then flush the results produced so far.
     sessions.checkpoint_all();
+    if (coordinator) coordinator->stop();
 
     // ---- write results ------------------------------------------------------
     {
@@ -357,12 +555,34 @@ int main(int argc, char** argv) {
         }
       }
       std::ostream& out = use_stdout ? std::cout : file;
-      for (const std::string& line : out_lines) out << line << '\n';
+      bool write_failed = false;
+      for (const std::string& line : out_lines) {
+        if (!(out << line << '\n')) {
+          write_failed = true;
+          break;
+        }
+      }
+      if (!write_failed) {
+        out.flush();
+        write_failed = !out;
+      }
+      if (write_failed) {
+        // EPIPE or a short write on the result stream (SIGPIPE is ignored):
+        // the consumer is gone, so shut down cleanly with one diagnostic —
+        // everything durable (checkpoints, sessions) is already on disk.
+        std::fprintf(stderr,
+                     "flow_server: result stream closed early (EPIPE/short "
+                     "write); shutting down cleanly\n");
+        return 0;
+      }
     }
 
     if (!args.quiet) {
       std::fprintf(stderr, "flow_server: %s\n",
-                   service.stats().summary().c_str());
+                   batch_stats().summary().c_str());
+      if (coordinator)
+        std::fprintf(stderr, "flow_server: dist: %s\n",
+                     coordinator->dist_stats().summary().c_str());
       if (sessions.open_sessions() > 0 || sessions.deltas_persisted() > 0)
         std::fprintf(stderr,
                      "flow_server: eco: %zu open session(s), %llu deltas "
